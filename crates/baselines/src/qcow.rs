@@ -1,0 +1,130 @@
+//! The Qcow2 baseline: one qcow2 file per image, no dedup, no compression.
+
+use crate::snapshot::VmiSnapshot;
+use xpl_guestfs::Vmi;
+use xpl_pkg::Catalog;
+use xpl_simio::SimEnv;
+use xpl_store::{ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_util::FxHashMap;
+
+struct Entry {
+    bytes: Vec<u8>,
+    snapshot: VmiSnapshot,
+}
+
+/// Plain qcow2 image repository.
+pub struct QcowStore {
+    env: SimEnv,
+    images: FxHashMap<String, Entry>,
+    order: Vec<String>,
+}
+
+impl QcowStore {
+    pub fn new(env: SimEnv) -> Self {
+        QcowStore { env, images: FxHashMap::default(), order: Vec::new() }
+    }
+
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+}
+
+impl ImageStore for QcowStore {
+    fn name(&self) -> &'static str {
+        "Qcow2"
+    }
+
+    fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        let t0 = self.env.clock.now();
+        let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+        let bytes = report.breakdown.measure(&self.env.clock, "serialize", || {
+            let b = vmi.disk.serialize();
+            self.env.local.charge_read(b.len() as u64);
+            b
+        });
+        report.breakdown.measure(&self.env.clock, "upload", || {
+            self.env.local.charge_copy_to(&self.env.repo, bytes.len() as u64);
+        });
+        report.bytes_added = bytes.len() as u64;
+        report.units_stored = 1;
+        if self.images.insert(vmi.name.clone(), Entry { bytes, snapshot: VmiSnapshot::of(vmi) }).is_none() {
+            self.order.push(vmi.name.clone());
+        }
+        report.duration = self.env.clock.since(t0);
+        Ok(report)
+    }
+
+    fn retrieve(
+        &mut self,
+        _catalog: &Catalog,
+        request: &RetrieveRequest,
+    ) -> Result<(Vmi, RetrieveReport), StoreError> {
+        let t0 = self.env.clock.now();
+        let entry = self
+            .images
+            .get(&request.name)
+            .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
+        let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
+        let vmi = report.breakdown.measure(&self.env.clock, "download", || {
+            self.env.repo.charge_open(entry.bytes.len() as u64);
+            self.env.repo.charge_copy_to(&self.env.local, entry.bytes.len() as u64);
+            // Integrity: the stored stream must still parse.
+            xpl_vdisk::QcowImage::deserialize(&entry.bytes)
+                .map(|_| entry.snapshot.restore())
+                .map_err(|e| StoreError::Corrupt(format!("qcow2 stream: {e}")))
+        })?;
+        report.bytes_read = entry.bytes.len() as u64;
+        report.duration = self.env.clock.since(t0);
+        Ok((vmi, report))
+    }
+
+    fn repo_bytes(&self) -> u64 {
+        self.images.values().map(|e| e.bytes.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpl_workloads::World;
+
+    #[test]
+    fn publish_accumulates_full_size() {
+        let w = World::small();
+        let mut store = QcowStore::new(w.env());
+        let mini = w.build_image("mini");
+        let redis = w.build_image("redis");
+        store.publish(&w.catalog, &mini).unwrap();
+        let after_one = store.repo_bytes();
+        store.publish(&w.catalog, &redis).unwrap();
+        // No dedup: second image adds its full serialized size.
+        assert!(store.repo_bytes() > after_one + after_one / 2);
+        assert_eq!(store.image_count(), 2);
+    }
+
+    #[test]
+    fn retrieve_roundtrip() {
+        let w = World::small();
+        let mut store = QcowStore::new(w.env());
+        let redis = w.build_image("redis");
+        store.publish(&w.catalog, &redis).unwrap();
+        let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
+        let (got, report) = store.retrieve(&w.catalog, &req).unwrap();
+        assert_eq!(got.installed_package_set(&w.catalog), redis.installed_package_set(&w.catalog));
+        assert_eq!(got.mounted_bytes(), redis.mounted_bytes());
+        assert!(report.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn missing_image_not_found() {
+        let w = World::small();
+        let mut store = QcowStore::new(w.env());
+        let req = xpl_store::RetrieveRequest {
+            name: "ghost".into(),
+            base: w.template.attrs.clone(),
+            primary: vec![],
+            user_data: vec![],
+        };
+        assert!(matches!(store.retrieve(&w.catalog, &req), Err(StoreError::NotFound(_))));
+    }
+}

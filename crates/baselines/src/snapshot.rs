@@ -1,0 +1,50 @@
+//! Internal: semantic snapshots of published images.
+//!
+//! Monolithic stores keep the whole image; our scale model stores the
+//! actual (serialized/compressed/chunked) bytes for size accounting and a
+//! lightweight semantic snapshot (file tree + package DB) so retrieval can
+//! hand back a functional [`Vmi`] that tests compare against the original.
+
+use xpl_guestfs::{FsTree, Vmi};
+use xpl_pkg::{BaseImageAttrs, DpkgDb, PackageId};
+
+/// Summary statistics are exposed for store diagnostics even where a
+/// particular store doesn't read them.
+#[derive(Clone)]
+#[allow(dead_code)]
+pub struct VmiSnapshot {
+    pub name: String,
+    pub base: BaseImageAttrs,
+    pub fs: FsTree,
+    pub pkgdb: DpkgDb,
+    pub primary: Vec<PackageId>,
+    pub mounted_bytes: u64,
+    pub file_count: usize,
+    pub disk_bytes: u64,
+}
+
+impl VmiSnapshot {
+    pub fn of(vmi: &Vmi) -> VmiSnapshot {
+        VmiSnapshot {
+            name: vmi.name.clone(),
+            base: vmi.base.clone(),
+            fs: vmi.fs.clone(),
+            pkgdb: vmi.pkgdb.clone(),
+            primary: vmi.primary.clone(),
+            mounted_bytes: vmi.mounted_bytes(),
+            file_count: vmi.file_count(),
+            disk_bytes: vmi.disk_bytes(),
+        }
+    }
+
+    /// Rebuild a full Vmi (rematerializes the disk).
+    pub fn restore(&self) -> Vmi {
+        Vmi::assemble(
+            &self.name,
+            self.base.clone(),
+            self.fs.clone(),
+            self.pkgdb.clone(),
+            self.primary.clone(),
+        )
+    }
+}

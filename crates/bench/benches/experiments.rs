@@ -1,0 +1,51 @@
+//! Criterion benches over the experiment pipelines at small-world scale:
+//! one bench per paper table/figure family, so `cargo bench` exercises the
+//! same code paths the `repro` binary runs at standard scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xpl_bench::experiments::{fig3_sizes, table2, Fig3Scenario};
+use xpl_core::ExpelliarmusRepo;
+use xpl_store::{ImageStore, RetrieveRequest};
+use xpl_workloads::World;
+
+fn bench_table2_pipeline(c: &mut Criterion) {
+    let world = World::small();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table2-small", |b| b.iter(|| table2(&world)));
+    g.finish();
+}
+
+fn bench_fig3_pipeline(c: &mut Criterion) {
+    let world = World::small();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig3-small", |b| {
+        b.iter(|| fig3_sizes(&world, Fig3Scenario::Nineteen))
+    });
+    g.finish();
+}
+
+fn bench_publish_retrieve(c: &mut Criterion) {
+    let world = World::small();
+    let lamp = world.build_image("lamp");
+    let mut g = c.benchmark_group("store-ops");
+    g.sample_size(10);
+    g.bench_function("expelliarmus-publish", |b| {
+        b.iter(|| {
+            let mut repo = ExpelliarmusRepo::new(world.env());
+            repo.publish(&world.catalog, &lamp).unwrap()
+        })
+    });
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    repo.publish(&world.catalog, &lamp).unwrap();
+    let req = RetrieveRequest::for_image(&lamp, &world.catalog);
+    g.bench_function("expelliarmus-retrieve", |b| {
+        b.iter(|| repo.retrieve(&world.catalog, &req).unwrap())
+    });
+    g.bench_function("image-build", |b| b.iter(|| world.build_image("lamp")));
+    g.finish();
+}
+
+criterion_group!(experiments, bench_table2_pipeline, bench_fig3_pipeline, bench_publish_retrieve);
+criterion_main!(experiments);

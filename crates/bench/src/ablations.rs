@@ -1,0 +1,137 @@
+//! Ablation studies beyond the paper's headline figures.
+//!
+//! * [`chunk_size_sweep`] — Jin & Miller's chunk-size question: dedup
+//!   factor of fixed-size vs. content-defined chunking across block
+//!   sizes, on the four-image workload.
+//! * [`master_graph_speedup`] — the design claim behind §III-H: similarity
+//!   against one master graph vs. pairwise against every stored image
+//!   graph (real CPU time, not simulated).
+
+use serde::Serialize;
+use xpl_baselines::{CdcDedupStore, FixedBlockDedupStore};
+use xpl_semgraph::{sim_g, MasterGraph, SemanticGraph};
+use xpl_store::ImageStore;
+use xpl_workloads::World;
+
+/// One row of the chunk-size sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChunkSweepRow {
+    /// Block size in nominal KB.
+    pub block_nominal_kb: u64,
+    pub fixed_dedup_factor: f64,
+    pub cdc_dedup_factor: f64,
+    pub fixed_repo_gb: f64,
+    pub cdc_repo_gb: f64,
+}
+
+/// Sweep block sizes over a set of images.
+pub fn chunk_size_sweep(world: &World, image_names: &[&str], blocks_real: &[usize]) -> Vec<ChunkSweepRow> {
+    let mut rows = Vec::new();
+    for &block in blocks_real {
+        let mut fixed = FixedBlockDedupStore::new(world.env(), block);
+        let mut cdc = CdcDedupStore::new(world.env(), block.next_power_of_two());
+        for name in image_names {
+            let vmi = world.build_image(name);
+            fixed.publish(&world.catalog, &vmi).expect("fixed");
+            cdc.publish(&world.catalog, &vmi).expect("cdc");
+        }
+        rows.push(ChunkSweepRow {
+            block_nominal_kb: (block as u64 * xpl_util::SCALE_FACTOR) / 1024,
+            fixed_dedup_factor: fixed.dedup_factor(),
+            cdc_dedup_factor: cdc.dedup_factor(),
+            fixed_repo_gb: xpl_util::bytesize::nominal_gb(fixed.repo_bytes()),
+            cdc_repo_gb: xpl_util::bytesize::nominal_gb(cdc.repo_bytes()),
+        });
+    }
+    rows
+}
+
+/// Master-graph vs. pairwise similarity timing.
+#[derive(Clone, Debug, Serialize)]
+pub struct MasterSpeedup {
+    pub stored_images: usize,
+    pub pairwise_ms: f64,
+    pub master_ms: f64,
+    pub speedup: f64,
+}
+
+/// Measure real CPU time of similarity computation for a new image against
+/// `n` stored image graphs, pairwise vs. one merged master graph.
+pub fn master_graph_speedup(world: &World, n: usize) -> MasterSpeedup {
+    // Build n stored graphs by cycling the world's recipes.
+    let names = world.image_names();
+    let graphs: Vec<SemanticGraph> = (0..n)
+        .map(|i| {
+            let vmi = world.build_image(names[i % names.len()]);
+            image_graph(world, &vmi)
+        })
+        .collect();
+    let probe = image_graph(world, &world.build_image(names[names.len() - 1]));
+
+    let t = std::time::Instant::now();
+    let mut best = 0.0f64;
+    for g in &graphs {
+        best = best.max(sim_g(&probe, g));
+    }
+    let pairwise_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut master = MasterGraph::create(&graphs[0]);
+    for g in &graphs[1..] {
+        master.absorb(g);
+    }
+    let t = std::time::Instant::now();
+    let s = master.similarity_to(&probe);
+    let master_ms = t.elapsed().as_secs_f64() * 1e3;
+    // Keep both results alive so the measurement isn't optimized away.
+    let _ = (best, s);
+
+    MasterSpeedup {
+        stored_images: n,
+        pairwise_ms,
+        master_ms,
+        speedup: if master_ms > 0.0 { pairwise_ms / master_ms } else { f64::INFINITY },
+    }
+}
+
+fn image_graph(world: &World, vmi: &xpl_guestfs::Vmi) -> SemanticGraph {
+    let installed = vmi.pkgdb.installed_ids();
+    let primary_set: std::collections::HashSet<_> = vmi.primary.iter().copied().collect();
+    let base_roots: Vec<_> = vmi
+        .pkgdb
+        .manual_ids()
+        .into_iter()
+        .filter(|id| !primary_set.contains(id))
+        .collect();
+    SemanticGraph::of_image(
+        &world.catalog,
+        &vmi.name,
+        vmi.base.clone(),
+        &installed,
+        &vmi.primary,
+        &base_roots,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_sweep_runs_small() {
+        let w = World::small();
+        let rows = chunk_size_sweep(&w, &["mini", "redis"], &[128, 512]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.fixed_dedup_factor >= 1.0);
+            assert!(r.cdc_dedup_factor >= 1.0);
+        }
+    }
+
+    #[test]
+    fn master_speedup_positive() {
+        let w = World::small();
+        let s = master_graph_speedup(&w, 4);
+        assert_eq!(s.stored_images, 4);
+        assert!(s.pairwise_ms >= 0.0 && s.master_ms >= 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro table2        Table II (19-image characteristics + times)
+//! repro fig3a         Figure 3a (repo growth, 4 images)
+//! repro fig3b         Figure 3b (repo growth, 19 images)
+//! repro fig3c [N]     Figure 3c (repo growth, N=40 IDE builds)
+//! repro fig4a         Figure 4a (publish time, 4 images)
+//! repro fig4b         Figure 4b (publish time, 19 images + Semantic)
+//! repro fig5a         Figure 5a (retrieval breakdown)
+//! repro fig5b         Figure 5b (retrieval comparison)
+//! repro ablations     chunk-size sweep + master-graph speedup
+//! repro all [dir]     everything; JSON results into dir (default results/)
+//! ```
+
+use std::io::Write as _;
+use xpl_bench::experiments::*;
+use xpl_bench::{ablations, render};
+use xpl_workloads::World;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let t0 = std::time::Instant::now();
+    eprintln!("[repro] building standard world (catalog + base template)…");
+    let world = World::standard();
+    eprintln!("[repro] world ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    match cmd {
+        "table2" => {
+            let r = table2(&world);
+            println!("{}", render::render_table2(&r));
+        }
+        "fig3a" => {
+            let r = fig3_sizes(&world, Fig3Scenario::FourImages);
+            println!("{}", render::render_fig3("FIGURE 3a", &r));
+        }
+        "fig3b" => {
+            let r = fig3_sizes(&world, Fig3Scenario::Nineteen);
+            println!("{}", render::render_fig3("FIGURE 3b", &r));
+        }
+        "fig3c" => {
+            let n: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+            let r = fig3_sizes(&world, Fig3Scenario::IdeBuilds(n));
+            println!("{}", render::render_fig3("FIGURE 3c", &r));
+        }
+        "fig4a" => {
+            let r = fig4a_publish(&world);
+            println!("{}", render::render_publish("FIGURE 4a", &r));
+        }
+        "fig4b" => {
+            let r = fig4b_publish(&world);
+            println!("{}", render::render_publish("FIGURE 4b", &r));
+        }
+        "fig5a" => {
+            let r = fig5a_breakdown(&world);
+            println!("{}", render::render_fig5a(&r));
+        }
+        "fig5b" => {
+            let r = fig5b_retrieval(&world);
+            println!("{}", render::render_fig5b(&r));
+        }
+        "ablations" => {
+            run_ablations(&world);
+        }
+        "all" => {
+            let dir = args.get(1).map(String::as_str).unwrap_or("results");
+            std::fs::create_dir_all(dir).expect("create results dir");
+            let save = |name: &str, json: String| {
+                let path = format!("{dir}/{name}.json");
+                std::fs::File::create(&path)
+                    .and_then(|mut f| f.write_all(json.as_bytes()))
+                    .expect("write results");
+                eprintln!("[repro] wrote {path}");
+            };
+
+            let r = table2(&world);
+            println!("{}", render::render_table2(&r));
+            save("table2", serde_json::to_string_pretty(&r).unwrap());
+
+            let r = fig3_sizes(&world, Fig3Scenario::FourImages);
+            println!("{}", render::render_fig3("FIGURE 3a", &r));
+            save("fig3a", serde_json::to_string_pretty(&r).unwrap());
+
+            let r = fig3_sizes(&world, Fig3Scenario::Nineteen);
+            println!("{}", render::render_fig3("FIGURE 3b", &r));
+            save("fig3b", serde_json::to_string_pretty(&r).unwrap());
+
+            let r = fig3_sizes(&world, Fig3Scenario::IdeBuilds(40));
+            println!("{}", render::render_fig3("FIGURE 3c", &r));
+            save("fig3c", serde_json::to_string_pretty(&r).unwrap());
+
+            let r = fig4a_publish(&world);
+            println!("{}", render::render_publish("FIGURE 4a", &r));
+            save("fig4a", serde_json::to_string_pretty(&r).unwrap());
+
+            let r = fig4b_publish(&world);
+            println!("{}", render::render_publish("FIGURE 4b", &r));
+            save("fig4b", serde_json::to_string_pretty(&r).unwrap());
+
+            let r = fig5a_breakdown(&world);
+            println!("{}", render::render_fig5a(&r));
+            save("fig5a", serde_json::to_string_pretty(&r).unwrap());
+
+            let r = fig5b_retrieval(&world);
+            println!("{}", render::render_fig5b(&r));
+            save("fig5b", serde_json::to_string_pretty(&r).unwrap());
+
+            run_ablations(&world);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|all]");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn run_ablations(world: &World) {
+    println!("ABLATION: chunk-size sweep (4-image workload)");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>12}",
+        "block (KB)", "fixed dedup×", "cdc dedup×", "fixed GB", "cdc GB"
+    );
+    let rows = ablations::chunk_size_sweep(
+        world,
+        &["Mini", "Base", "Desktop", "IDE"],
+        &[64, 128, 256, 512, 1024],
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
+            r.block_nominal_kb, r.fixed_dedup_factor, r.cdc_dedup_factor, r.fixed_repo_gb, r.cdc_repo_gb
+        );
+    }
+    println!();
+    println!("ABLATION: master graph vs pairwise similarity (real CPU time)");
+    println!("{:<14} {:>14} {:>14} {:>10}", "stored", "pairwise ms", "master ms", "speedup");
+    for n in [5usize, 10, 19] {
+        let s = ablations::master_graph_speedup(world, n);
+        println!(
+            "{:<14} {:>14.2} {:>14.2} {:>10.1}",
+            s.stored_images, s.pairwise_ms, s.master_ms, s.speedup
+        );
+    }
+    println!();
+}

@@ -1,0 +1,265 @@
+//! Experiment runners for every table and figure.
+
+use serde::Serialize;
+use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
+use xpl_core::{ExpelliarmusRepo, PublishMode};
+use xpl_store::{ImageStore, RetrieveRequest};
+use xpl_util::bytesize::nominal_gb;
+use xpl_workloads::World;
+
+/// One measured Table II row.
+#[derive(Clone, Debug, Serialize)]
+pub struct MeasuredRow {
+    pub name: String,
+    pub mounted_gb: f64,
+    pub files: u64,
+    pub sim_g: f64,
+    pub publish_s: f64,
+    pub retrieval_s: f64,
+}
+
+/// Full Table II result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Result {
+    pub rows: Vec<MeasuredRow>,
+}
+
+/// Reproduce Table II: publish the 19 images in order into Expelliarmus,
+/// then retrieve each; report characteristics and times.
+pub fn table2(world: &World) -> Table2Result {
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    let mut rows = Vec::new();
+    let mut retrieve_reqs = Vec::new();
+    for name in world.image_names() {
+        let vmi = world.build_image(name);
+        let report = repo.publish(&world.catalog, &vmi).expect("publish");
+        retrieve_reqs.push(RetrieveRequest::for_image(&vmi, &world.catalog));
+        rows.push(MeasuredRow {
+            name: name.to_string(),
+            mounted_gb: nominal_gb(vmi.mounted_bytes()),
+            files: vmi.file_count() as u64,
+            sim_g: report.similarity,
+            publish_s: report.duration.as_secs_f64(),
+            retrieval_s: 0.0,
+        });
+    }
+    for (row, req) in rows.iter_mut().zip(&retrieve_reqs) {
+        let (_vmi, report) = repo.retrieve(&world.catalog, req).expect("retrieve");
+        row.retrieval_s = report.duration.as_secs_f64();
+    }
+    Table2Result { rows }
+}
+
+/// Which Figure 3 panel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig3Scenario {
+    /// 3a: Mini, Base, Desktop, IDE.
+    FourImages,
+    /// 3b: all 19 Table II images.
+    Nineteen,
+    /// 3c: 40 successive IDE builds.
+    IdeBuilds(u32),
+}
+
+/// Cumulative repository size per store after each upload.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3Result {
+    pub images: Vec<String>,
+    /// store name → cumulative nominal GB after each image.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Reproduce Figure 3 (a/b/c): cumulative repository growth across the
+/// five encoding schemes.
+pub fn fig3_sizes(world: &World, scenario: Fig3Scenario) -> Fig3Result {
+    let names: Vec<String> = match scenario {
+        Fig3Scenario::FourImages => ["Mini", "Base", "Desktop", "IDE"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        Fig3Scenario::Nineteen => world.image_names().iter().map(|s| s.to_string()).collect(),
+        Fig3Scenario::IdeBuilds(n) => (0..n).map(|k| format!("IDE-build-{k:02}")).collect(),
+    };
+
+    let mut qcow = QcowStore::new(world.env());
+    let mut gzip = GzipStore::new(world.env());
+    let mut mirage = MirageStore::new(world.env());
+    let mut hemera = HemeraStore::new(world.env());
+    let mut xpl = ExpelliarmusRepo::new(world.env());
+
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for name in &names {
+        let vmi = match scenario {
+            Fig3Scenario::IdeBuilds(_) => {
+                let k: u32 = name.rsplit('-').next().unwrap().parse().unwrap();
+                world.ide_build(k)
+            }
+            _ => world.build_image(name),
+        };
+        qcow.publish(&world.catalog, &vmi).expect("qcow publish");
+        gzip.publish(&world.catalog, &vmi).expect("gzip publish");
+        mirage.publish(&world.catalog, &vmi).expect("mirage publish");
+        hemera.publish(&world.catalog, &vmi).expect("hemera publish");
+        xpl.publish(&world.catalog, &vmi).expect("xpl publish");
+        curves[0].push(nominal_gb(qcow.repo_bytes()));
+        curves[1].push(nominal_gb(gzip.repo_bytes()));
+        curves[2].push(nominal_gb(mirage.repo_bytes()));
+        curves[3].push(nominal_gb(hemera.repo_bytes()));
+        curves[4].push(nominal_gb(xpl.repo_bytes()));
+    }
+    Fig3Result {
+        images: names,
+        series: vec![
+            ("Qcow2".into(), curves[0].clone()),
+            ("Qcow2+Gzip".into(), curves[1].clone()),
+            ("Mirage".into(), curves[2].clone()),
+            ("Hemera".into(), curves[3].clone()),
+            ("Expelliarmus".into(), curves[4].clone()),
+        ],
+    }
+}
+
+/// Publish-time series (Figures 4a/4b).
+#[derive(Clone, Debug, Serialize)]
+pub struct PublishTimesResult {
+    pub images: Vec<String>,
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Figure 4a: publishing time of the four study images for Expelliarmus,
+/// Mirage and Hemera.
+pub fn fig4a_publish(world: &World) -> PublishTimesResult {
+    publish_times(world, &["Mini", "Base", "Desktop", "IDE"], false)
+}
+
+/// Figure 4b: publishing time of all 19 images, including the "Semantic"
+/// (decomposition-without-similarity) variant.
+pub fn fig4b_publish(world: &World) -> PublishTimesResult {
+    let names: Vec<&str> = world.image_names();
+    publish_times(world, &names, true)
+}
+
+fn publish_times(world: &World, names: &[&str], with_semantic: bool) -> PublishTimesResult {
+    let mut xpl = ExpelliarmusRepo::new(world.env());
+    let mut sem = with_semantic
+        .then(|| ExpelliarmusRepo::with_mode(world.env(), PublishMode::SemanticDecomposition));
+    let mut mirage = MirageStore::new(world.env());
+    let mut hemera = HemeraStore::new(world.env());
+
+    let mut xpl_s = Vec::new();
+    let mut sem_s = Vec::new();
+    let mut mir_s = Vec::new();
+    let mut hem_s = Vec::new();
+    for name in names {
+        let vmi = world.build_image(name);
+        xpl_s.push(xpl.publish(&world.catalog, &vmi).expect("xpl").duration.as_secs_f64());
+        if let Some(sem) = sem.as_mut() {
+            sem_s.push(sem.publish(&world.catalog, &vmi).expect("sem").duration.as_secs_f64());
+        }
+        mir_s.push(mirage.publish(&world.catalog, &vmi).expect("mirage").duration.as_secs_f64());
+        hem_s.push(hemera.publish(&world.catalog, &vmi).expect("hemera").duration.as_secs_f64());
+    }
+    let mut series = vec![("Expelliarmus".to_string(), xpl_s)];
+    if with_semantic {
+        series.push(("Semantic".to_string(), sem_s));
+    }
+    series.push(("Mirage".to_string(), mir_s));
+    series.push(("Hemera".to_string(), hem_s));
+    PublishTimesResult {
+        images: names.iter().map(|s| s.to_string()).collect(),
+        series,
+    }
+}
+
+/// Figure 5a: Expelliarmus retrieval time decomposed into its four phases.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5aResult {
+    pub images: Vec<String>,
+    /// phase → seconds per image.
+    pub phases: Vec<(String, Vec<f64>)>,
+}
+
+pub fn fig5a_breakdown(world: &World) -> Fig5aResult {
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    let mut reqs = Vec::new();
+    for name in world.image_names() {
+        let vmi = world.build_image(name);
+        repo.publish(&world.catalog, &vmi).expect("publish");
+        reqs.push((name.to_string(), RetrieveRequest::for_image(&vmi, &world.catalog)));
+    }
+    let phase_names = xpl_core::retrieve::PHASES;
+    let mut phases: Vec<(String, Vec<f64>)> =
+        phase_names.iter().map(|p| (p.to_string(), Vec::new())).collect();
+    let mut images = Vec::new();
+    for (name, req) in reqs {
+        let (_vmi, report) = repo.retrieve(&world.catalog, &req).expect("retrieve");
+        for (i, p) in phase_names.iter().enumerate() {
+            phases[i].1.push(report.breakdown.get(p).as_secs_f64());
+        }
+        images.push(name);
+    }
+    Fig5aResult { images, phases }
+}
+
+/// Figure 5b: retrieval-time comparison across Mirage, Hemera and
+/// Expelliarmus over the 19-image repository.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5bResult {
+    pub images: Vec<String>,
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+pub fn fig5b_retrieval(world: &World) -> Fig5bResult {
+    let mut mirage = MirageStore::new(world.env());
+    let mut hemera = HemeraStore::new(world.env());
+    let mut xpl = ExpelliarmusRepo::new(world.env());
+    let mut reqs = Vec::new();
+    for name in world.image_names() {
+        let vmi = world.build_image(name);
+        mirage.publish(&world.catalog, &vmi).expect("mirage");
+        hemera.publish(&world.catalog, &vmi).expect("hemera");
+        xpl.publish(&world.catalog, &vmi).expect("xpl");
+        reqs.push((name.to_string(), RetrieveRequest::for_image(&vmi, &world.catalog)));
+    }
+    let mut images = Vec::new();
+    let mut mir_s = Vec::new();
+    let mut hem_s = Vec::new();
+    let mut xpl_s = Vec::new();
+    for (name, req) in reqs {
+        mir_s.push(mirage.retrieve(&world.catalog, &req).expect("mirage").1.duration.as_secs_f64());
+        hem_s.push(hemera.retrieve(&world.catalog, &req).expect("hemera").1.duration.as_secs_f64());
+        xpl_s.push(xpl.retrieve(&world.catalog, &req).expect("xpl").1.duration.as_secs_f64());
+        images.push(name);
+    }
+    Fig5bResult {
+        images,
+        series: vec![
+            ("Mirage".into(), mir_s),
+            ("Hemera".into(), hem_s),
+            ("Expelliarmus".into(), xpl_s),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small-world smoke tests; the standard-scale assertions live in the
+    // integration suite and the repro binary.
+    #[test]
+    fn fig3_small_runs_and_orders_stores() {
+        let w = World::small();
+        let r = fig3_sizes(&w, Fig3Scenario::Nineteen);
+        assert_eq!(r.series.len(), 5);
+        let last = |name: &str| {
+            r.series
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| v.last().copied())
+                .unwrap()
+        };
+        assert!(last("Expelliarmus") < last("Qcow2"), "semantic must beat raw");
+        assert!(last("Mirage") < last("Qcow2"));
+    }
+}

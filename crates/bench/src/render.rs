@@ -1,0 +1,159 @@
+//! Plain-text rendering of experiment results (the `repro` binary's
+//! output format: one table per paper table/figure).
+
+use crate::experiments::{Fig3Result, Fig5aResult, Fig5bResult, PublishTimesResult, Table2Result};
+use xpl_workloads::TABLE2_PAPER;
+
+fn hr(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Render Table II with paper reference columns alongside.
+pub fn render_table2(r: &Table2Result) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE II: Experimental VMI characteristics (measured vs. paper)\n");
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "VMI", "mntGB", "mntGB*", "files", "files*", "SimG", "SimG*", "pub s", "pub s*", "ret s", "ret s*"
+    ));
+    out.push_str(&hr(116));
+    out.push('\n');
+    for (row, paper) in r.rows.iter().zip(TABLE2_PAPER.iter()) {
+        out.push_str(&format!(
+            "{:<14} {:>8.3} {:>8.3} {:>7} {:>7} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}\n",
+            row.name,
+            row.mounted_gb,
+            paper.mounted_gb,
+            row.files / 1000,
+            paper.files / 1000,
+            row.sim_g,
+            paper.sim_g,
+            row.publish_s,
+            paper.publish_s,
+            row.retrieval_s,
+            paper.retrieval_s,
+        ));
+    }
+    out.push_str("(* = paper value; files in thousands)\n");
+    out
+}
+
+/// Render a Figure 3 cumulative-size chart as a table.
+pub fn render_fig3(title: &str, r: &Fig3Result) -> String {
+    let mut out = format!("{title}: cumulative repository size (nominal GB)\n");
+    out.push_str(&format!("{:<14}", "VMI"));
+    for (name, _) in &r.series {
+        out.push_str(&format!(" {name:>13}"));
+    }
+    out.push('\n');
+    out.push_str(&hr(14 + 14 * r.series.len()));
+    out.push('\n');
+    for (i, img) in r.images.iter().enumerate() {
+        out.push_str(&format!("{:<14}", truncate(img, 14)));
+        for (_, curve) in &r.series {
+            out.push_str(&format!(" {:>13.2}", curve[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render publish-time series (Figures 4a/4b).
+pub fn render_publish(title: &str, r: &PublishTimesResult) -> String {
+    let mut out = format!("{title}: VMI publish time (seconds)\n");
+    out.push_str(&format!("{:<14}", "VMI"));
+    for (name, _) in &r.series {
+        out.push_str(&format!(" {name:>13}"));
+    }
+    out.push('\n');
+    out.push_str(&hr(14 + 14 * r.series.len()));
+    out.push('\n');
+    for (i, img) in r.images.iter().enumerate() {
+        out.push_str(&format!("{:<14}", truncate(img, 14)));
+        for (_, curve) in &r.series {
+            out.push_str(&format!(" {:>13.2}", curve[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the Figure 5a phase breakdown.
+pub fn render_fig5a(r: &Fig5aResult) -> String {
+    let mut out = String::from("FIGURE 5a: Expelliarmus retrieval time breakdown (seconds)\n");
+    out.push_str(&format!("{:<14}", "VMI"));
+    for (p, _) in &r.phases {
+        out.push_str(&format!(" {:>13}", truncate(p, 13)));
+    }
+    out.push_str(&format!(" {:>13}\n", "total"));
+    out.push_str(&hr(14 + 14 * (r.phases.len() + 1)));
+    out.push('\n');
+    for (i, img) in r.images.iter().enumerate() {
+        out.push_str(&format!("{:<14}", truncate(img, 14)));
+        let mut total = 0.0;
+        for (_, v) in &r.phases {
+            total += v[i];
+            out.push_str(&format!(" {:>13.2}", v[i]));
+        }
+        out.push_str(&format!(" {total:>13.2}\n"));
+    }
+    out
+}
+
+/// Render the Figure 5b retrieval comparison.
+pub fn render_fig5b(r: &Fig5bResult) -> String {
+    let mut out = String::from("FIGURE 5b: VMI retrieval time comparison (seconds)\n");
+    out.push_str(&format!("{:<14}", "VMI"));
+    for (name, _) in &r.series {
+        out.push_str(&format!(" {name:>13}"));
+    }
+    out.push('\n');
+    out.push_str(&hr(14 + 14 * r.series.len()));
+    out.push('\n');
+    for (i, img) in r.images.iter().enumerate() {
+        out.push_str(&format!("{:<14}", truncate(img, 14)));
+        for (_, curve) in &r.series {
+            out.push_str(&format!(" {:>13.2}", curve[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::MeasuredRow;
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let rows = TABLE2_PAPER
+            .iter()
+            .map(|p| MeasuredRow {
+                name: p.name.to_string(),
+                mounted_gb: p.mounted_gb,
+                files: p.files,
+                sim_g: p.sim_g,
+                publish_s: p.publish_s,
+                retrieval_s: p.retrieval_s,
+            })
+            .collect();
+        let s = render_table2(&Table2Result { rows });
+        assert!(s.contains("Elastic Stack"));
+        assert_eq!(s.lines().count(), 19 + 4);
+    }
+
+    #[test]
+    fn truncate_handles_long_names() {
+        assert_eq!(truncate("short", 10), "short");
+        assert!(truncate("a-very-long-image-name", 10).len() <= 12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fixed-size chunking.
+//!
+//! Jin & Miller's study (cited in the paper's related work) found fixed-
+//! size chunking at block level to be *more* effective than variable-size
+//! chunking for VM images, detecting up to 70 % identical content; the
+//! block-dedup baseline uses this chunker by default.
+
+use crate::ChunkSpan;
+
+/// Slice `data` into `block_size` chunks; the final chunk may be short.
+pub fn chunk_fixed(data: &[u8], block_size: usize) -> Vec<ChunkSpan> {
+    assert!(block_size > 0, "block size must be positive");
+    let mut spans = Vec::with_capacity(data.len() / block_size + 1);
+    let mut offset = 0;
+    while offset < data.len() {
+        let len = block_size.min(data.len() - offset);
+        spans.push(ChunkSpan { offset, len });
+        offset += len;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans_cover;
+
+    #[test]
+    fn exact_division() {
+        let data = vec![0u8; 4096];
+        let spans = chunk_fixed(&data, 1024);
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().all(|s| s.len == 1024));
+        assert!(spans_cover(&spans, data.len()));
+    }
+
+    #[test]
+    fn trailing_short_chunk() {
+        let data = vec![0u8; 4100];
+        let spans = chunk_fixed(&data, 1024);
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans.last().unwrap().len, 4);
+        assert!(spans_cover(&spans, data.len()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(chunk_fixed(&[], 512).is_empty());
+    }
+
+    #[test]
+    fn single_byte() {
+        let spans = chunk_fixed(&[42], 512);
+        assert_eq!(spans, vec![ChunkSpan { offset: 0, len: 1 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        chunk_fixed(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn shift_destroys_fixed_dedup() {
+        // The classic fixed-chunking weakness: a 1-byte insertion shifts
+        // every boundary, so almost nothing dedups. (CDC fixes this —
+        // see rabin.rs.)
+        let mut rng = xpl_util::SplitMix64::new(3);
+        let mut base = vec![0u8; 64 * 1024];
+        rng.fill_bytes(&mut base);
+        let mut shifted = vec![0xEE];
+        shifted.extend_from_slice(&base);
+
+        let mut ix = crate::ChunkIndex::new();
+        ix.ingest(&base, &chunk_fixed(&base, 4096));
+        let before = ix.unique_bytes();
+        ix.ingest(&shifted, &chunk_fixed(&shifted, 4096));
+        let added = ix.unique_bytes() - before;
+        assert!(
+            added as f64 > 0.9 * shifted.len() as f64,
+            "expected almost no dedup after shift; added only {added}"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! gzip framing (RFC 1952) over the DEFLATE core.
+//!
+//! The Qcow2+Gzip baseline compresses each serialized image with this
+//! layer. Multi-member streams are supported (concatenated members decode
+//! to the concatenation of their payloads), which is what the parallel
+//! compressor in [`crate`] emits.
+
+use crate::bitio::BitReader;
+use crate::deflate::{deflate, inflate_from, InflateError};
+use xpl_util::Crc32;
+
+const MAGIC: [u8; 2] = [0x1F, 0x8B];
+const METHOD_DEFLATE: u8 = 8;
+const OS_UNKNOWN: u8 = 255;
+
+const FHCRC: u8 = 1 << 1;
+const FEXTRA: u8 = 1 << 2;
+const FNAME: u8 = 1 << 3;
+const FCOMMENT: u8 = 1 << 4;
+
+/// gzip-compress `data` into a single member.
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let body = deflate(data);
+    let mut out = Vec::with_capacity(body.len() + 18);
+    out.extend_from_slice(&MAGIC);
+    out.push(METHOD_DEFLATE);
+    out.push(0); // FLG
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME: unset (determinism)
+    out.push(0); // XFL
+    out.push(OS_UNKNOWN);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&Crc32::checksum(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// gzip errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum GzipError {
+    BadMagic,
+    BadMethod,
+    TruncatedHeader,
+    TruncatedTrailer,
+    CrcMismatch,
+    SizeMismatch,
+    Inflate(InflateError),
+}
+
+impl From<InflateError> for GzipError {
+    fn from(e: InflateError) -> Self {
+        GzipError::Inflate(e)
+    }
+}
+
+/// Decompress a (possibly multi-member) gzip stream.
+pub fn gzip_decompress(mut data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    let mut out = Vec::new();
+    loop {
+        let (payload, rest) = decompress_member(data)?;
+        out.extend_from_slice(&payload);
+        if rest.is_empty() {
+            return Ok(out);
+        }
+        data = rest;
+    }
+}
+
+/// Decode one member; returns `(payload, remaining_input)`.
+fn decompress_member(data: &[u8]) -> Result<(Vec<u8>, &[u8]), GzipError> {
+    if data.len() < 10 {
+        return Err(GzipError::TruncatedHeader);
+    }
+    if data[0..2] != MAGIC {
+        return Err(GzipError::BadMagic);
+    }
+    if data[2] != METHOD_DEFLATE {
+        return Err(GzipError::BadMethod);
+    }
+    let flg = data[3];
+    let mut pos = 10usize;
+    if flg & FEXTRA != 0 {
+        if data.len() < pos + 2 {
+            return Err(GzipError::TruncatedHeader);
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [FNAME, FCOMMENT] {
+        if flg & flag != 0 {
+            let end = data
+                .get(pos..)
+                .and_then(|s| s.iter().position(|&b| b == 0))
+                .ok_or(GzipError::TruncatedHeader)?;
+            pos += end + 1;
+        }
+    }
+    if flg & FHCRC != 0 {
+        pos += 2;
+    }
+    if pos > data.len() {
+        return Err(GzipError::TruncatedHeader);
+    }
+
+    let body = &data[pos..];
+    let mut reader = BitReader::new(body);
+    let payload = inflate_from(&mut reader)?;
+    reader.align_byte();
+    let body_len = reader.bits_consumed() / 8;
+    if body.len() < body_len + 8 {
+        return Err(GzipError::TruncatedTrailer);
+    }
+    let trailer = &body[body_len..body_len + 8];
+    let crc = u32::from_le_bytes(trailer[0..4].try_into().unwrap());
+    let isize_ = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+    if crc != Crc32::checksum(&payload) {
+        return Err(GzipError::CrcMismatch);
+    }
+    if isize_ != payload.len() as u32 {
+        return Err(GzipError::SizeMismatch);
+    }
+    Ok((payload, &body[body_len + 8..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(20);
+        let c = gzip_compress(&data);
+        assert_eq!(gzip_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = gzip_compress(b"");
+        assert_eq!(gzip_decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn multi_member_concatenation() {
+        let a = gzip_compress(b"hello ");
+        let b = gzip_compress(b"world");
+        let mut joined = a;
+        joined.extend_from_slice(&b);
+        assert_eq!(gzip_decompress(&joined).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn many_members() {
+        let mut joined = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..10u8 {
+            let part = vec![i; 100 + i as usize];
+            joined.extend_from_slice(&gzip_compress(&part));
+            expect.extend_from_slice(&part);
+        }
+        assert_eq!(gzip_decompress(&joined).unwrap(), expect);
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let data = b"payload payload payload payload".repeat(10);
+        let mut c = gzip_compress(&data);
+        // Flip a bit inside the deflate body (past the 10-byte header,
+        // before the 8-byte trailer).
+        let mid = 10 + (c.len() - 18) / 2;
+        c[mid] ^= 0x10;
+        assert!(gzip_decompress(&c).is_err(), "corruption must be detected");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            gzip_decompress(&[0x1F, 0x8C, 8, 0, 0, 0, 0, 0, 0, 255]).err(),
+            Some(GzipError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let c = gzip_compress(b"some data worth compressing some data");
+        assert!(gzip_decompress(&c[..c.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn skips_optional_header_fields() {
+        // Build a member with FNAME set manually and ensure we skip it.
+        let payload = b"flagged";
+        let body = crate::deflate::deflate(payload);
+        let mut m = vec![0x1F, 0x8B, 8, FNAME, 0, 0, 0, 0, 0, 255];
+        m.extend_from_slice(b"file.img\0");
+        m.extend_from_slice(&body);
+        m.extend_from_slice(&Crc32::checksum(payload).to_le_bytes());
+        m.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&m).unwrap(), payload);
+    }
+}

@@ -1,0 +1,242 @@
+//! LZ77 tokenization with a hash-chain matcher (zlib-style, with one-step
+//! lazy matching).
+//!
+//! Produces the token stream consumed by the DEFLATE block encoder:
+//! literals, and `(length 3–258, distance 1–32768)` back-references.
+
+pub const MIN_MATCH: usize = 3;
+pub const MAX_MATCH: usize = 258;
+pub const WINDOW_SIZE: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Bound on chain walks per position — the compression/speed knob.
+const MAX_CHAIN: usize = 96;
+/// Stop searching when a match at least this long is found.
+const GOOD_MATCH: usize = 64;
+
+/// One LZ77 token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    Literal(u8),
+    /// Back-reference: copy `len` bytes from `dist` bytes back.
+    Match { len: u16, dist: u16 },
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `data` into literals and matches.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 16);
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h (+1, 0 = none).
+    let mut head = vec![0u32; HASH_SIZE];
+    // prev[i & (WINDOW-1)] = previous position with the same hash as i.
+    let mut prev = vec![0u32; WINDOW_SIZE];
+
+    #[inline]
+    fn insert(head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize) {
+        let h = hash3(data, i);
+        prev[i & (WINDOW_SIZE - 1)] = head[h];
+        head[h] = (i + 1) as u32;
+    }
+
+    /// Longest match for position `i` against candidates on its chain.
+    fn best_match(
+        head: &[u32],
+        prev: &[u32],
+        data: &[u8],
+        i: usize,
+        min_beat: usize,
+    ) -> Option<(usize, usize)> {
+        let n = data.len();
+        if i + MIN_MATCH > n {
+            return None;
+        }
+        let max_len = (n - i).min(MAX_MATCH);
+        if max_len < MIN_MATCH {
+            return None;
+        }
+        let h = hash3(data, i);
+        let mut cand = head[h];
+        let mut best_len = min_beat.max(MIN_MATCH - 1);
+        let mut best_dist = 0usize;
+        let window_floor = i.saturating_sub(WINDOW_SIZE);
+        let mut chain = 0;
+        while cand != 0 && chain < MAX_CHAIN {
+            let c = (cand - 1) as usize;
+            if c < window_floor || c >= i {
+                break;
+            }
+            // Quick reject: compare the byte just past the current best.
+            if i + best_len < n && data[c + best_len] == data[i + best_len] {
+                let mut l = 0usize;
+                while l < max_len && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l >= GOOD_MATCH || l == max_len {
+                        break;
+                    }
+                }
+            }
+            cand = prev[c & (WINDOW_SIZE - 1)];
+            chain += 1;
+        }
+        if best_dist > 0 && best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+
+    let mut i = 0usize;
+    while i < n {
+        if i + MIN_MATCH > n {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let here = best_match(&head, &prev, data, i, 0);
+        match here {
+            None => {
+                insert(&mut head, &mut prev, data, i);
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+            }
+            Some((len, dist)) => {
+                // One-step lazy matching: if the next position has a
+                // strictly better match, emit a literal instead.
+                insert(&mut head, &mut prev, data, i);
+                let take_lazy = if len < GOOD_MATCH && i + 1 + MIN_MATCH <= n {
+                    match best_match(&head, &prev, data, i + 1, len) {
+                        Some((nl, _)) if nl > len => true,
+                        _ => false,
+                    }
+                } else {
+                    false
+                };
+                if take_lazy {
+                    tokens.push(Token::Literal(data[i]));
+                    i += 1;
+                } else {
+                    tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                    // Index the skipped positions so future matches can
+                    // reference into this region.
+                    let end = (i + len).min(n.saturating_sub(MIN_MATCH - 1));
+                    for j in i + 1..end {
+                        insert(&mut head, &mut prev, data, j);
+                    }
+                    i += len;
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Expand a token stream back into bytes (reference decoder for tests and
+/// the inflate fallback).
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let data = b"abcabcabcabcabcabc";
+        let tokens = tokenize(data);
+        assert_eq!(detokenize(&tokens), data);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "repetition must produce matches: {tokens:?}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            assert_eq!(detokenize(&tokenize(data)), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        let mut rng = xpl_util::SplitMix64::new(99);
+        let mut data = vec![0u8; 5000];
+        rng.fill_bytes(&mut data);
+        assert_eq!(detokenize(&tokenize(&data)), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // "aaaa..." compresses via overlapping dist=1 matches.
+        let data = vec![b'a'; 1000];
+        let tokens = tokenize(&data);
+        assert_eq!(detokenize(&tokens), data);
+        assert!(tokens.len() < 20, "run should collapse, got {} tokens", tokens.len());
+    }
+
+    #[test]
+    fn long_repetition_capped_at_max_match() {
+        let data = vec![b'x'; 10_000];
+        let tokens = tokenize(&data);
+        for t in &tokens {
+            if let Token::Match { len, .. } = t {
+                assert!((*len as usize) <= MAX_MATCH);
+            }
+        }
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn distances_within_window() {
+        // Repetition separated by more than the window cannot be matched.
+        let mut data = vec![b'q'; 100];
+        data.extend(std::iter::repeat(0u8).take(WINDOW_SIZE + 10));
+        data.extend(std::iter::repeat(b'q').take(100));
+        let tokens = tokenize(&data);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!((*dist as usize) <= WINDOW_SIZE);
+            }
+        }
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn text_compresses_well() {
+        let text = "the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let tokens = tokenize(text.as_bytes());
+        assert_eq!(detokenize(&tokens), text.as_bytes());
+        // Token count should be far below input length.
+        assert!(tokens.len() < text.len() / 4, "{} tokens for {} bytes", tokens.len(), text.len());
+    }
+}

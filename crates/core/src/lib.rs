@@ -1,0 +1,27 @@
+//! `xpl-core` — the Expelliarmus VMI management system (paper §IV).
+//!
+//! Components, mapping one-to-one onto Figure 2:
+//!
+//! * [`analyzer`] — the **semantic analyzer**: builds a VMI's semantic
+//!   graph through the guest package manager and computes its similarity
+//!   against the per-(type, distro, ver, arch) master graphs.
+//! * [`publish`] — the **VMI decomposer** (Algorithm 1): stores
+//!   non-redundant packages and user data, strips the image down to its
+//!   base image, and updates master graphs.
+//! * [`select`] — the **base-image selection** algorithm (Algorithm 2):
+//!   picks a semantically compatible base image and a replace-list of
+//!   stored bases it makes redundant.
+//! * [`retrieve`] — the **VMI assembler** (Algorithm 3): copies the base
+//!   image, resets it, imports user data and installs the requested
+//!   packages from the local repository.
+//! * [`repo`] — [`ExpelliarmusRepo`]: the repository tying these together
+//!   behind the common [`xpl_store::ImageStore`] interface.
+
+pub mod analyzer;
+pub mod publish;
+pub mod repo;
+pub mod retrieve;
+pub mod select;
+
+pub use publish::PublishMode;
+pub use repo::ExpelliarmusRepo;

@@ -1,0 +1,292 @@
+//! VMI publishing — the decomposer (Algorithm 1).
+//!
+//! Steps, following the listing: extract the primary-package subgraph;
+//! store packages absent from the repository (lines 2–5); store user data
+//! (line 6); remove primary packages, user data and unused dependencies
+//! from the image (lines 7–11); select a base image (line 14); store the
+//! new base + master graph, or merge into the selected base's master
+//! (lines 15–21); absorb and delete replaced bases (lines 22–28).
+
+use crate::analyzer;
+use crate::repo::{IndexedPackage, RepoState, StoredBase, StoredData};
+use crate::select::select_base_image;
+use xpl_guestfs::{GuestHandle, Vmi};
+use xpl_metadb::Value;
+use xpl_pkg::Catalog;
+use xpl_semgraph::MasterGraph;
+use xpl_store::{PublishReport, StoreError};
+use xpl_util::IStr;
+
+/// Publishing behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PublishMode {
+    /// Full Expelliarmus: exports only packages the repository lacks.
+    Expelliarmus,
+    /// Figure 4b's "Semantic" variant: decomposes the image but exports
+    /// every package of the primary subgraph regardless of what is stored
+    /// (no similarity-driven skipping). Storage is still deduplicated by
+    /// content; only the export work differs.
+    SemanticDecomposition,
+}
+
+/// Run Algorithm 1 for `vmi`.
+pub fn publish(
+    state: &mut RepoState,
+    catalog: &Catalog,
+    vmi: &Vmi,
+) -> Result<PublishReport, StoreError> {
+    let env = state.env.clone();
+    let t0 = env.clock.now();
+    let bytes_before = state.repo_bytes();
+    let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+
+    // Work on a private copy: decomposition is destructive.
+    let mut work = vmi.clone();
+    let mut handle = report
+        .breakdown
+        .measure(&env.clock, "handle", || GuestHandle::launch(&env, &mut work));
+
+    // ---- Semantic analysis (§IV-B). --------------------------------
+    let vmi_snapshot = handle.vmi().clone();
+    let analysis = report.breakdown.measure(&env.clock, "analyze", || {
+        analyzer::analyze(state, catalog, &handle, &vmi_snapshot)
+    });
+    report.similarity = analysis.similarity;
+    let graph = analysis.graph;
+    let primary_sub = graph.primary_subgraph();
+
+    // ---- Export non-redundant packages (lines 1–5). -----------------
+    let mut exported = 0usize;
+    report.breakdown.measure(&env.clock, "export packages", || {
+        for v in &primary_sub.vertices {
+            let meta = catalog.get(v.pkg);
+            let identity = meta.identity();
+            let need_build = state.mode == PublishMode::SemanticDecomposition
+                || !state.package_index.contains_key(&identity);
+            if !need_build {
+                continue;
+            }
+            // Rebuild the binary package through the guest (charged by
+            // installed size) and store it.
+            let deb = handle.export_deb(catalog, v.pkg);
+            let was_new = state.packages.put_with_digest(deb.digest, &deb.bytes);
+            if state.package_index.contains_key(&identity) {
+                // SemanticDecomposition rebuilt an already-stored package;
+                // the CAS deduplicated it.
+                debug_assert!(!was_new);
+                continue;
+            }
+            state.package_index.insert(
+                identity.clone(),
+                IndexedPackage {
+                    digest: deb.digest,
+                    package: v.pkg,
+                    installed_size: meta.installed_size,
+                },
+            );
+            let _ = state.db.insert(
+                "packages",
+                vec![
+                    Value::from(identity),
+                    Value::from(deb.digest.to_hex()),
+                    Value::from(deb.bytes.len() as u64),
+                ],
+            );
+            exported += 1;
+        }
+    });
+    report.units_stored = exported;
+
+    // ---- Store user data (line 6). -----------------------------------
+    report.breakdown.measure(&env.clock, "store data", || {
+        let mut stored = StoredData::default();
+        for f in handle.vmi().user_data_files() {
+            let content = f.content();
+            let (digest, _) = state.data_store.put(&content);
+            stored.files.push(f);
+            stored.digests.push(digest);
+        }
+        state.data_index.insert(handle.vmi().name.clone(), stored);
+    });
+
+    // ---- Strip the image down to the base (lines 7–11). --------------
+    report.breakdown.measure(&env.clock, "strip", || {
+        let primary_names: Vec<IStr> =
+            handle.vmi().primary.iter().map(|&id| catalog.get(id).name).collect();
+        for name in primary_names {
+            handle.remove_package(catalog, name);
+        }
+        handle.autoremove(catalog);
+        let work = handle.vmi_mut();
+        let junk = work.fs.remove_junk();
+        let data = work.fs.remove_user_data();
+        env.local.charge_fixed(env.costs.pkg_remove(junk + data));
+    });
+
+    // ---- Base-image selection (line 14 / Algorithm 2). ---------------
+    let base_graph = graph.base_subgraph();
+    let base_attrs = handle.vmi().base.clone();
+    let selection = report.breakdown.measure(&env.clock, "select base", || {
+        select_base_image(state, &base_attrs, &base_graph, &primary_sub)
+    });
+
+    let base_id = match &selection.chosen_existing {
+        None => {
+            // Store the incoming base (lines 15–17): reset, repack,
+            // upload, create its master graph.
+            let id = format!("base:{}:{}", base_attrs.key(), state.bases.len());
+            report.breakdown.measure(&env.clock, "store base", || {
+                handle.sysprep_reset();
+                let work = handle.vmi_mut();
+                work.primary.clear();
+                work.refresh_status_file(catalog);
+                work.rebuild_disk();
+                let packed = work.disk.serialize();
+                let qcow_bytes = packed.len() as u64;
+                env.local.charge_fixed(xpl_simio::SimDuration(
+                    env.costs.base_pack_per_byte.0
+                        * qcow_bytes.saturating_mul(xpl_util::SCALE_FACTOR),
+                ));
+                env.local.charge_copy_to(&env.repo, qcow_bytes);
+                let _ = state.db.insert(
+                    "bases",
+                    vec![
+                        Value::from(id.clone()),
+                        Value::from(work.base.key()),
+                        Value::from(qcow_bytes),
+                    ],
+                );
+                state.bases.push(StoredBase {
+                    id: id.clone(),
+                    attrs: work.base.clone(),
+                    fs: work.fs.clone(),
+                    pkgdb: work.pkgdb.clone(),
+                    qcow_bytes,
+                    base_graph: base_graph.clone(),
+                });
+                state.masters.insert(id.clone(), MasterGraph::create(&graph));
+            });
+            id
+        }
+        Some(id) => {
+            // Merge into the existing master (lines 19–21).
+            let master = state
+                .masters
+                .get_mut(id)
+                .ok_or_else(|| StoreError::Corrupt(format!("master missing for base {id}")))?;
+            master.absorb(&graph);
+            id.clone()
+        }
+    };
+
+    drop(handle);
+    let image_name = work.name.clone();
+
+    // ---- Absorb and delete replaced bases (lines 22–28). -------------
+    for replaced_id in &selection.replace {
+        if replaced_id == &base_id {
+            continue;
+        }
+        if let Some(replaced_master) = state.masters.get(replaced_id).cloned() {
+            if let Some(master) = state.masters.get_mut(&base_id) {
+                master.absorb_master(&replaced_master);
+            }
+        }
+        state.remove_base(replaced_id);
+    }
+
+    let _ = state.db.insert(
+        "images",
+        vec![
+            Value::from(image_name.clone()),
+            Value::from(base_id),
+            Value::from((report.similarity * 1000.0) as u64),
+        ],
+    );
+    state.published.push(image_name);
+
+    report.duration = env.clock.since(t0);
+    report.bytes_added = state.repo_bytes().saturating_sub(bytes_before);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::repo::ExpelliarmusRepo;
+    use crate::PublishMode;
+    use xpl_store::ImageStore;
+    use xpl_workloads::World;
+
+    #[test]
+    fn first_publish_stores_base_and_packages() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        let redis = w.build_image("redis");
+        let report = repo.publish(&w.catalog, &redis).unwrap();
+        assert_eq!(repo.base_count(), 1);
+        assert!(repo.package_count() >= 1, "redis package exported");
+        assert!(report.duration.as_secs_f64() > 7.0, "at least the launch cost");
+        assert_eq!(report.similarity, 0.0);
+        repo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn second_publish_shares_base() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
+        let size_after_mini = repo.repo_bytes();
+        let report = repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
+        assert_eq!(repo.base_count(), 1, "base shared, not duplicated");
+        assert!(report.similarity > 0.5);
+        let growth = repo.repo_bytes() - size_after_mini;
+        assert!(
+            growth < size_after_mini / 4,
+            "publishing redis should add only its packages; grew {growth}"
+        );
+        repo.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_publish_adds_almost_nothing() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
+        let before = repo.repo_bytes();
+        let report = repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
+        assert_eq!(report.units_stored, 0, "nothing new to export");
+        let growth = repo.repo_bytes() - before;
+        assert!(growth < 2_000, "only metadata rows, grew {growth}");
+    }
+
+    #[test]
+    fn semantic_mode_exports_everything_but_stores_once() {
+        let w = World::small();
+        let mut full = ExpelliarmusRepo::new(w.env());
+        let mut sem = ExpelliarmusRepo::with_mode(w.env(), PublishMode::SemanticDecomposition);
+        for name in ["redis", "lamp"] {
+            full.publish(&w.catalog, &w.build_image(name)).unwrap();
+            sem.publish(&w.catalog, &w.build_image(name)).unwrap();
+        }
+        // Re-publishing redis: the variant rebuilds all its packages.
+        let r_full = full.publish(&w.catalog, &w.build_image("redis")).unwrap();
+        let r_sem = sem.publish(&w.catalog, &w.build_image("redis")).unwrap();
+        assert_eq!(r_full.units_stored, 0);
+        assert!(r_sem.duration > r_full.duration, "variant must be slower");
+        // Storage identical (CAS dedups the rebuilt packages).
+        assert_eq!(full.package_count(), sem.package_count());
+    }
+
+    #[test]
+    fn publish_time_dominated_by_exports() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
+        let lamp = repo.publish(&w.catalog, &w.build_image("lamp")).unwrap();
+        let export = lamp.breakdown.get("export packages");
+        assert!(
+            export.as_secs_f64() > lamp.breakdown.get("select base").as_secs_f64(),
+            "exports {export} should dominate selection"
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! The Expelliarmus repository.
+//!
+//! State layout mirrors Figure 2's "VMI database": a package store
+//! (content-addressed `.deb` blobs + identity index), a user-data store,
+//! the stored base images (one qcow2 per surviving base), the master
+//! graphs, and a metadata database.
+
+use xpl_guestfs::{FsTree, Vmi};
+use xpl_metadb::{ColumnDef, Database, Schema};
+use xpl_pkg::{BaseImageAttrs, Catalog, DpkgDb, PackageId};
+use xpl_semgraph::{MasterGraph, SemanticGraph};
+use xpl_simio::SimEnv;
+use xpl_store::{ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_util::{Digest, FxHashMap};
+
+use crate::publish::PublishMode;
+
+/// A stored base image: the serialized qcow2 (accounted by size) plus the
+/// semantic snapshot needed for reassembly.
+pub struct StoredBase {
+    pub id: String,
+    pub attrs: BaseImageAttrs,
+    /// Filesystem of the reset base image.
+    pub fs: FsTree,
+    /// Installed packages of the base.
+    pub pkgdb: DpkgDb,
+    /// Size of the stored qcow2, materialized bytes.
+    pub qcow_bytes: u64,
+    /// Base-image subgraph.
+    pub base_graph: SemanticGraph,
+}
+
+/// An exported package in the index.
+#[derive(Clone)]
+pub struct IndexedPackage {
+    pub digest: Digest,
+    pub package: PackageId,
+    pub installed_size: u64,
+}
+
+/// Stored user data of one image.
+#[derive(Clone, Default)]
+pub struct StoredData {
+    pub files: Vec<xpl_guestfs::FileRecord>,
+    pub digests: Vec<Digest>,
+}
+
+/// Internal repository state shared by the algorithm modules.
+pub struct RepoState {
+    pub env: SimEnv,
+    pub mode: PublishMode,
+    /// `.deb` blobs.
+    pub packages: ContentStore,
+    /// identity (`name=version/arch`) → blob + metadata.
+    pub package_index: FxHashMap<String, IndexedPackage>,
+    /// User-data blobs.
+    pub data_store: ContentStore,
+    /// image name → its user-data manifest.
+    pub data_index: FxHashMap<String, StoredData>,
+    pub bases: Vec<StoredBase>,
+    /// base id → master graph.
+    pub masters: FxHashMap<String, MasterGraph>,
+    /// Metadata DB (charged against the repository device).
+    pub db: Database,
+    /// Image names published (for duplicate detection / stats).
+    pub published: Vec<String>,
+}
+
+impl RepoState {
+    pub fn new(env: SimEnv, mode: PublishMode) -> Self {
+        let mut db = Database::on_device(std::sync::Arc::clone(&env.repo));
+        db.create_table(Schema::new(
+            "packages",
+            vec![ColumnDef::indexed("identity"), ColumnDef::plain("digest"), ColumnDef::plain("deb_size")],
+        ))
+        .expect("fresh db");
+        db.create_table(Schema::new(
+            "bases",
+            vec![ColumnDef::indexed("id"), ColumnDef::plain("attrs"), ColumnDef::plain("qcow_bytes")],
+        ))
+        .expect("fresh db");
+        db.create_table(Schema::new(
+            "images",
+            vec![ColumnDef::indexed("name"), ColumnDef::plain("base_id"), ColumnDef::plain("similarity")],
+        ))
+        .expect("fresh db");
+        RepoState {
+            packages: ContentStore::new(std::sync::Arc::clone(&env.repo)),
+            data_store: ContentStore::new(std::sync::Arc::clone(&env.repo)),
+            package_index: FxHashMap::default(),
+            data_index: FxHashMap::default(),
+            bases: Vec::new(),
+            masters: FxHashMap::default(),
+            db,
+            published: Vec::new(),
+            env,
+            mode,
+        }
+    }
+
+    pub fn base_by_id(&self, id: &str) -> Option<&StoredBase> {
+        self.bases.iter().find(|b| b.id == id)
+    }
+
+    pub fn bases_with_attrs(&self, key: &str) -> Vec<&StoredBase> {
+        self.bases.iter().filter(|b| b.attrs.key() == key).collect()
+    }
+
+    pub fn remove_base(&mut self, id: &str) -> Option<StoredBase> {
+        let pos = self.bases.iter().position(|b| b.id == id)?;
+        self.masters.remove(id);
+        Some(self.bases.remove(pos))
+    }
+
+    /// Repository footprint: package blobs + data blobs + base qcow2s +
+    /// metadata payload.
+    pub fn repo_bytes(&self) -> u64 {
+        self.packages.unique_bytes()
+            + self.data_store.unique_bytes()
+            + self.bases.iter().map(|b| b.qcow_bytes).sum::<u64>()
+            + self.db.payload_bytes()
+    }
+}
+
+/// The Expelliarmus repository (public API).
+pub struct ExpelliarmusRepo {
+    pub(crate) state: RepoState,
+}
+
+impl ExpelliarmusRepo {
+    /// Standard (similarity-aware) repository.
+    pub fn new(env: SimEnv) -> Self {
+        ExpelliarmusRepo { state: RepoState::new(env, PublishMode::Expelliarmus) }
+    }
+
+    /// Variant used in Figure 4b's "Semantic" series: decomposes but
+    /// exports every package regardless of repository contents.
+    pub fn with_mode(env: SimEnv, mode: PublishMode) -> Self {
+        ExpelliarmusRepo { state: RepoState::new(env, mode) }
+    }
+
+    pub fn base_count(&self) -> usize {
+        self.state.bases.len()
+    }
+
+    pub fn package_count(&self) -> usize {
+        self.state.package_index.len()
+    }
+
+    pub fn masters(&self) -> impl Iterator<Item = &MasterGraph> {
+        self.state.masters.values()
+    }
+
+    pub fn env(&self) -> &SimEnv {
+        &self.state.env
+    }
+
+    /// Repository invariants (exercised by integration tests):
+    /// 1. exactly one master graph per stored base;
+    /// 2. every master's members' packages are compatible with its base
+    ///    (compatibility = 1 by §III-H);
+    /// 3. no two stored bases share the same attribute quadruple *and*
+    ///    mutually compatible masters (the selection algorithm must have
+    ///    consolidated them).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.state.masters.len() != self.state.bases.len() {
+            return Err(format!(
+                "{} masters vs {} bases",
+                self.state.masters.len(),
+                self.state.bases.len()
+            ));
+        }
+        for base in &self.state.bases {
+            let master = self
+                .state
+                .masters
+                .get(&base.id)
+                .ok_or_else(|| format!("base {} has no master", base.id))?;
+            let mgraph = master.as_graph();
+            let comp = xpl_semgraph::compatibility(&base.base_graph, &mgraph);
+            if comp != 1.0 {
+                return Err(format!("master of {} incompatible with its base: {comp}", base.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ImageStore for ExpelliarmusRepo {
+    fn name(&self) -> &'static str {
+        "Expelliarmus"
+    }
+
+    fn publish(&mut self, catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        crate::publish::publish(&mut self.state, catalog, vmi)
+    }
+
+    fn retrieve(
+        &mut self,
+        catalog: &Catalog,
+        request: &RetrieveRequest,
+    ) -> Result<(Vmi, RetrieveReport), StoreError> {
+        crate::retrieve::retrieve(&mut self.state, catalog, request)
+    }
+
+    fn repo_bytes(&self) -> u64 {
+        self.state.repo_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpl_workloads::World;
+
+    #[test]
+    fn fresh_repo_is_empty() {
+        let w = World::small();
+        let repo = ExpelliarmusRepo::new(w.env());
+        assert_eq!(repo.repo_bytes(), 0);
+        assert_eq!(repo.base_count(), 0);
+        assert_eq!(repo.package_count(), 0);
+        repo.check_invariants().unwrap();
+    }
+}

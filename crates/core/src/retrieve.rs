@@ -1,0 +1,268 @@
+//! VMI retrieval — the assembler (Algorithm 3).
+//!
+//! Fetches the stored base image and the requested packages, then
+//! assembles a VMI: copy base (Fig. 5a band 1), create the guestfs handle
+//! (band 2), `virt-sysprep` reset (band 3), import data + install
+//! packages from the local repository (band 4).
+
+use crate::repo::RepoState;
+use xpl_guestfs::{GuestHandle, Vmi};
+use xpl_pkg::dpkgdb::InstallReason;
+use xpl_pkg::{Catalog, PackageId};
+use xpl_store::{RetrieveReport, RetrieveRequest, StoreError};
+use xpl_util::IStr;
+
+/// Labels of the four Figure 5a phases.
+pub const PHASES: [&str; 4] = [
+    "Base image copy",
+    "Libguestfs handler creation",
+    "VMI reset",
+    "Import",
+];
+
+/// Run Algorithm 3 for `request`.
+pub fn retrieve(
+    state: &mut RepoState,
+    catalog: &Catalog,
+    request: &RetrieveRequest,
+) -> Result<(Vmi, RetrieveReport), StoreError> {
+    let env = state.env.clone();
+    let t0 = env.clock.now();
+    let reads_before = env.repo.stats().bytes_read;
+    let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
+
+    // ---- Locate a base + master serving this request (line 1–2). -----
+    let key = request.base.key();
+    let base_idx = state
+        .bases
+        .iter()
+        .position(|b| b.attrs.key() == key)
+        .ok_or_else(|| StoreError::NotFound(format!("no base image for {key}")))?;
+    let base = &state.bases[base_idx];
+    let master = state
+        .masters
+        .get(&base.id)
+        .ok_or_else(|| StoreError::Corrupt(format!("master missing for {}", base.id)))?;
+
+    // Resolve requested primary packages against the master's package
+    // union (the repository's view of available software).
+    let mut roots: Vec<PackageId> = Vec::with_capacity(request.primary.len());
+    for name in &request.primary {
+        let iname = IStr::new(name);
+        if let Some(v) = master.packages.get(&iname) {
+            roots.push(v.pkg);
+        } else if base.pkgdb.is_installed(iname) {
+            // Provided by the base itself (Algorithm 3 line 7).
+            continue;
+        } else {
+            return Err(StoreError::NotFound(format!("package {name} not in repository")));
+        }
+    }
+    // Dependency closure; skip what the base provides.
+    let closure = catalog
+        .install_closure(&roots, request.base.arch)
+        .map_err(StoreError::Resolve)?;
+    let mut to_install: Vec<PackageId> = Vec::new();
+    for id in closure {
+        let meta = catalog.get(id);
+        if base.pkgdb.is_installed(meta.name) {
+            continue;
+        }
+        // Prefer the exact exported version; fall back to any exported
+        // version of the same package (semantically similar assembly).
+        if state.package_index.contains_key(&meta.identity()) {
+            to_install.push(id);
+        } else if let Some(alt) = state
+            .package_index
+            .values()
+            .find(|p| catalog.get(p.package).name == meta.name)
+        {
+            to_install.push(alt.package);
+        } else {
+            return Err(StoreError::NotFound(format!(
+                "package {} required but never published",
+                meta.identity()
+            )));
+        }
+    }
+
+    // ---- Phase 1: base image copy. ------------------------------------
+    let qcow_bytes = base.qcow_bytes;
+    report.breakdown.measure(&env.clock, PHASES[0], || {
+        env.repo.charge_open(qcow_bytes);
+        env.repo.charge_copy_to(&env.local, qcow_bytes);
+    });
+
+    // Reconstruct the working image from the stored semantic snapshot.
+    let mut vmi = Vmi {
+        name: request.name.clone(),
+        base: base.attrs.clone(),
+        fs: base.fs.clone(),
+        pkgdb: base.pkgdb.clone(),
+        primary: roots.clone(),
+        disk: xpl_vdisk::QcowImage::create(&request.name, 0),
+    };
+
+    // ---- Phase 2: guestfs handle. --------------------------------------
+    let mut handle = report
+        .breakdown
+        .measure(&env.clock, PHASES[1], || GuestHandle::launch(&env, &mut vmi));
+
+    // ---- Phase 3: reset. ------------------------------------------------
+    report.breakdown.measure(&env.clock, PHASES[2], || {
+        handle.sysprep_reset();
+    });
+
+    // ---- Phase 4: import (data + packages). -----------------------------
+    let data = state.data_index.get(&request.name).cloned();
+    report.breakdown.measure(&env.clock, PHASES[3], || -> Result<(), StoreError> {
+        // User data: prefer repository-stored data for this image name;
+        // otherwise import what the request carries.
+        let files = match &data {
+            Some(d) => {
+                for digest in &d.digests {
+                    state
+                        .data_store
+                        .get(digest)
+                        .map_err(|_| StoreError::Corrupt(format!("data blob {digest}")))?;
+                }
+                d.files.clone()
+            }
+            None => request.user_data.clone(),
+        };
+        for f in files {
+            env.local.charge_create(f.size as u64);
+            env.local.charge_write(f.size as u64);
+            handle.vmi_mut().fs.add_file(f);
+        }
+
+        // Packages: read the deb, register in the local repository, and
+        // install through the guest package manager.
+        for id in &to_install {
+            let meta = catalog.get(*id);
+            let indexed = state
+                .package_index
+                .get(&meta.identity())
+                .or_else(|| {
+                    state
+                        .package_index
+                        .values()
+                        .find(|p| catalog.get(p.package).name == meta.name)
+                })
+                .expect("checked during resolution");
+            state
+                .packages
+                .get(&indexed.digest)
+                .map_err(|_| StoreError::Corrupt(format!("package blob {}", meta.identity())))?;
+            env.local.charge_fixed(env.costs.repo_scan_per_pkg);
+            handle.install_package(catalog, indexed.package, InstallReason::Auto);
+        }
+        // Primary packages were installed as part of the loop; mark them.
+        for &root in &roots {
+            let name = catalog.get(root).name;
+            handle.vmi_mut().pkgdb.mark_manual(name);
+        }
+        handle.refresh_status(catalog);
+        Ok(())
+    })?;
+
+    // Materialize the delivered disk. No extra I/O charge: the assembled
+    // image *is* the copied base file, mutated in place by the package
+    // installs (whose costs were charged above); rebuild_disk is model
+    // bookkeeping.
+    vmi.rebuild_disk();
+
+    report.duration = env.clock.since(t0);
+    report.bytes_read = env.repo.stats().bytes_read - reads_before;
+    Ok((vmi, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::repo::ExpelliarmusRepo;
+    use xpl_store::{ImageStore, RetrieveRequest, StoreError};
+    use xpl_workloads::World;
+
+    #[test]
+    fn roundtrip_restores_package_set() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        let original = w.build_image("lamp");
+        repo.publish(&w.catalog, &original).unwrap();
+        let req = RetrieveRequest::for_image(&original, &w.catalog);
+        let (got, report) = repo.retrieve(&w.catalog, &req).unwrap();
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            original.installed_package_set(&w.catalog)
+        );
+        assert!(report.duration.as_secs_f64() > 14.0, "copy+launch+reset floor");
+        // User data restored.
+        assert_eq!(got.user_data_bytes(), original.user_data_bytes());
+    }
+
+    #[test]
+    fn retrieval_has_four_phases() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        let redis = w.build_image("redis");
+        repo.publish(&w.catalog, &redis).unwrap();
+        let (_vmi, report) = repo
+            .retrieve(&w.catalog, &RetrieveRequest::for_image(&redis, &w.catalog))
+            .unwrap();
+        for phase in crate::retrieve::PHASES {
+            assert!(
+                report.breakdown.get(phase).as_nanos() > 0,
+                "phase {phase} missing from {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn functional_retrieval_without_exact_upload() {
+        // Publish redis and nginx separately, then request an image with
+        // BOTH — never uploaded as such. Monolithic stores cannot do this.
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
+        repo.publish(&w.catalog, &w.build_image("nginx")).unwrap();
+        let req = RetrieveRequest {
+            name: "redis+nginx".into(),
+            base: w.template.attrs.clone(),
+            primary: vec!["redis-server".into(), "nginx".into()],
+            user_data: vec![],
+        };
+        let (vmi, _) = repo.retrieve(&w.catalog, &req).unwrap();
+        assert!(vmi.pkgdb.is_installed(xpl_util::IStr::new("redis-server")));
+        assert!(vmi.pkgdb.is_installed(xpl_util::IStr::new("nginx")));
+    }
+
+    #[test]
+    fn missing_package_is_clean_error() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
+        let req = RetrieveRequest {
+            name: "wants-redis".into(),
+            base: w.template.attrs.clone(),
+            primary: vec!["redis-server".into()],
+            user_data: vec![],
+        };
+        match repo.retrieve(&w.catalog, &req) {
+            Err(StoreError::NotFound(msg)) => assert!(msg.contains("redis"), "{msg}"),
+            other => panic!("expected NotFound, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn empty_repo_retrieval_fails() {
+        let w = World::small();
+        let mut repo = ExpelliarmusRepo::new(w.env());
+        let req = RetrieveRequest {
+            name: "x".into(),
+            base: w.template.attrs.clone(),
+            primary: vec![],
+            user_data: vec![],
+        };
+        assert!(matches!(repo.retrieve(&w.catalog, &req), Err(StoreError::NotFound(_))));
+    }
+}

@@ -1,0 +1,336 @@
+//! Layered guest file tree.
+//!
+//! An image's file population = shared base layers (Arc'd, typically the
+//! distribution's ~tens-of-thousands of OS files) + a per-image overlay +
+//! tombstones for deletions. File *content* is not stored here — every
+//! record carries a `(seed, size)` pair from which
+//! [`xpl_pkg::content::generate`] reproduces the bytes deterministically.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use xpl_pkg::PackageId;
+use xpl_util::{FxHashSet, IStr};
+
+/// Who put a file into the image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileOwner {
+    /// Installed by a package.
+    Package(PackageId),
+    /// User data (`Data` in the paper's model) — not known to dpkg.
+    UserData,
+    /// Base system plumbing not attributed to any package (boot files,
+    /// generated caches).
+    System,
+}
+
+/// One file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileRecord {
+    pub path: IStr,
+    /// Materialized size in bytes.
+    pub size: u32,
+    /// Content seed (identical (seed, size) ⇒ identical bytes).
+    pub seed: u64,
+    pub owner: FileOwner,
+}
+
+impl FileRecord {
+    /// The file's content bytes (generated on demand).
+    pub fn content(&self) -> Vec<u8> {
+        xpl_pkg::content::generate(self.seed, self.size as usize)
+    }
+
+    /// Content digest without materializing.
+    pub fn content_digest(&self) -> xpl_util::Digest {
+        xpl_pkg::content::content_digest(self.seed, self.size as usize)
+    }
+}
+
+/// A base layer: path-sorted, immutable, shared between images.
+pub type FsLayer = Arc<Vec<FileRecord>>;
+
+/// Build a layer from records (sorts by path string; panics on duplicate
+/// paths — base layers are authored, not accumulated).
+pub fn layer_from(mut records: Vec<FileRecord>) -> FsLayer {
+    records.sort_by_key(|r| r.path.as_str());
+    for w in records.windows(2) {
+        assert_ne!(w[0].path, w[1].path, "duplicate path in layer: {}", w[0].path);
+    }
+    Arc::new(records)
+}
+
+/// The layered tree.
+#[derive(Clone, Default)]
+pub struct FsTree {
+    layers: Vec<FsLayer>,
+    overlay: BTreeMap<&'static str, FileRecord>,
+    tombstones: FxHashSet<IStr>,
+}
+
+impl FsTree {
+    pub fn new() -> Self {
+        FsTree::default()
+    }
+
+    pub fn with_base(layer: FsLayer) -> Self {
+        FsTree { layers: vec![layer], overlay: BTreeMap::new(), tombstones: FxHashSet::default() }
+    }
+
+    pub fn push_layer(&mut self, layer: FsLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Add (or replace) a file.
+    pub fn add_file(&mut self, rec: FileRecord) {
+        self.tombstones.remove(&rec.path);
+        self.overlay.insert(rec.path.as_str(), rec);
+    }
+
+    /// Remove a path (tombstoning base-layer files).
+    pub fn remove_path(&mut self, path: IStr) -> bool {
+        let existed = self.get(path).is_some();
+        self.overlay.remove(path.as_str());
+        if self.layers.iter().any(|l| layer_contains(l, path)) {
+            self.tombstones.insert(path);
+        }
+        existed
+    }
+
+    /// Remove every file owned by `pkg`; returns bytes removed.
+    pub fn remove_owned_by(&mut self, pkg: PackageId) -> u64 {
+        let mut removed = 0u64;
+        let doomed: Vec<IStr> = self
+            .iter()
+            .filter(|r| r.owner == FileOwner::Package(pkg))
+            .map(|r| r.path)
+            .collect();
+        for path in doomed {
+            if let Some(r) = self.get(path) {
+                removed += r.size as u64;
+            }
+            self.remove_path(path);
+        }
+        removed
+    }
+
+    /// Path prefixes counted as junk (caches, logs, tmp) — content that
+    /// semantic publishing cleans up ("cleaning up the cached repository
+    /// files", §V-3) but that file-level stores faithfully keep.
+    pub const JUNK_PREFIXES: [&'static str; 3] = ["/var/cache/", "/var/log/", "/tmp/"];
+
+    /// Is this path junk?
+    pub fn is_junk_path(path: IStr) -> bool {
+        let s = path.as_str();
+        Self::JUNK_PREFIXES.iter().any(|p| s.starts_with(p))
+    }
+
+    /// Remove all junk files; returns bytes removed.
+    pub fn remove_junk(&mut self) -> u64 {
+        let mut removed = 0u64;
+        let doomed: Vec<IStr> = self
+            .iter()
+            .filter(|r| Self::is_junk_path(r.path))
+            .map(|r| r.path)
+            .collect();
+        for path in doomed {
+            if let Some(r) = self.get(path) {
+                removed += r.size as u64;
+            }
+            self.remove_path(path);
+        }
+        removed
+    }
+
+    /// Remove all user-data files; returns bytes removed.
+    pub fn remove_user_data(&mut self) -> u64 {
+        let mut removed = 0u64;
+        let doomed: Vec<IStr> = self
+            .iter()
+            .filter(|r| r.owner == FileOwner::UserData)
+            .map(|r| r.path)
+            .collect();
+        for path in doomed {
+            if let Some(r) = self.get(path) {
+                removed += r.size as u64;
+            }
+            self.remove_path(path);
+        }
+        removed
+    }
+
+    /// Effective lookup: overlay wins, then newest layer, unless
+    /// tombstoned.
+    pub fn get(&self, path: IStr) -> Option<FileRecord> {
+        if self.tombstones.contains(&path) {
+            return self.overlay.get(path.as_str()).copied();
+        }
+        if let Some(r) = self.overlay.get(path.as_str()) {
+            return Some(*r);
+        }
+        for layer in self.layers.iter().rev() {
+            if let Some(r) = layer_get(layer, path) {
+                return Some(*r);
+            }
+        }
+        None
+    }
+
+    /// Iterate effective files in deterministic (path) order.
+    pub fn iter(&self) -> impl Iterator<Item = FileRecord> + '_ {
+        self.effective().into_iter()
+    }
+
+    fn effective(&self) -> Vec<FileRecord> {
+        // Merge: paths from overlay + all layers, overlay shadowing,
+        // tombstones filtered.
+        let mut out: BTreeMap<&'static str, FileRecord> = BTreeMap::new();
+        for layer in &self.layers {
+            for r in layer.iter() {
+                out.insert(r.path.as_str(), *r);
+            }
+        }
+        for path in &self.tombstones {
+            out.remove(path.as_str());
+        }
+        for (k, r) in &self.overlay {
+            out.insert(k, *r);
+        }
+        out.into_values().collect()
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.effective().len()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.iter().map(|r| r.size as u64).sum()
+    }
+
+    /// Files owned by a specific package.
+    pub fn files_of(&self, pkg: PackageId) -> Vec<FileRecord> {
+        self.iter()
+            .filter(|r| r.owner == FileOwner::Package(pkg))
+            .collect()
+    }
+}
+
+fn layer_get(layer: &FsLayer, path: IStr) -> Option<&FileRecord> {
+    layer
+        .binary_search_by_key(&path.as_str(), |r| r.path.as_str())
+        .ok()
+        .map(|i| &layer[i])
+}
+
+fn layer_contains(layer: &FsLayer, path: IStr) -> bool {
+    layer_get(layer, path).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, size: u32, owner: FileOwner) -> FileRecord {
+        FileRecord { path: IStr::new(path), size, seed: size as u64 * 7 + 1, owner }
+    }
+
+    fn base_layer() -> FsLayer {
+        layer_from(vec![
+            rec("/bin/bash", 1000, FileOwner::Package(PackageId(0))),
+            rec("/etc/hostname", 10, FileOwner::System),
+            rec("/usr/lib/libc.so", 2000, FileOwner::Package(PackageId(1))),
+        ])
+    }
+
+    #[test]
+    fn base_files_visible() {
+        let fs = FsTree::with_base(base_layer());
+        assert_eq!(fs.file_count(), 3);
+        assert_eq!(fs.total_bytes(), 3010);
+        assert_eq!(fs.get(IStr::new("/bin/bash")).unwrap().size, 1000);
+    }
+
+    #[test]
+    fn overlay_shadows_base() {
+        let mut fs = FsTree::with_base(base_layer());
+        fs.add_file(rec("/etc/hostname", 25, FileOwner::UserData));
+        assert_eq!(fs.get(IStr::new("/etc/hostname")).unwrap().size, 25);
+        assert_eq!(fs.file_count(), 3, "replacement, not addition");
+    }
+
+    #[test]
+    fn tombstone_hides_base_file() {
+        let mut fs = FsTree::with_base(base_layer());
+        assert!(fs.remove_path(IStr::new("/bin/bash")));
+        assert!(fs.get(IStr::new("/bin/bash")).is_none());
+        assert_eq!(fs.file_count(), 2);
+        // Re-adding resurrects.
+        fs.add_file(rec("/bin/bash", 999, FileOwner::System));
+        assert_eq!(fs.get(IStr::new("/bin/bash")).unwrap().size, 999);
+    }
+
+    #[test]
+    fn remove_owned_by_package() {
+        let mut fs = FsTree::with_base(base_layer());
+        fs.add_file(rec("/opt/tool/bin", 500, FileOwner::Package(PackageId(9))));
+        fs.add_file(rec("/opt/tool/conf", 50, FileOwner::Package(PackageId(9))));
+        let removed = fs.remove_owned_by(PackageId(9));
+        assert_eq!(removed, 550);
+        assert_eq!(fs.file_count(), 3);
+        // Base-layer files of another package untouched.
+        assert!(fs.get(IStr::new("/usr/lib/libc.so")).is_some());
+    }
+
+    #[test]
+    fn remove_user_data() {
+        let mut fs = FsTree::with_base(base_layer());
+        fs.add_file(rec("/home/user/a.dat", 300, FileOwner::UserData));
+        fs.add_file(rec("/home/user/b.dat", 200, FileOwner::UserData));
+        assert_eq!(fs.remove_user_data(), 500);
+        assert_eq!(fs.file_count(), 3);
+    }
+
+    #[test]
+    fn shared_base_is_cheap() {
+        let base = base_layer();
+        let a = FsTree::with_base(Arc::clone(&base));
+        let b = FsTree::with_base(Arc::clone(&base));
+        assert_eq!(a.file_count(), b.file_count());
+        assert_eq!(Arc::strong_count(&base), 3);
+    }
+
+    #[test]
+    fn iteration_is_path_sorted() {
+        let mut fs = FsTree::with_base(base_layer());
+        fs.add_file(rec("/aaa", 1, FileOwner::System));
+        let paths: Vec<&str> = fs.iter().map(|r| r.path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+        assert_eq!(paths[0], "/aaa");
+    }
+
+    #[test]
+    fn content_is_deterministic_per_record() {
+        let r = rec("/bin/bash", 100, FileOwner::System);
+        assert_eq!(r.content(), r.content());
+        assert_eq!(r.content().len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate path")]
+    fn layer_rejects_duplicates() {
+        layer_from(vec![
+            rec("/x", 1, FileOwner::System),
+            rec("/x", 2, FileOwner::System),
+        ]);
+    }
+
+    #[test]
+    fn files_of_package() {
+        let fs = FsTree::with_base(base_layer());
+        let files = fs.files_of(PackageId(1));
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].path.as_str(), "/usr/lib/libc.so");
+    }
+}

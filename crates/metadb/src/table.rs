@@ -1,0 +1,310 @@
+//! Tables, schemas and secondary indexes.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Row identifier (monotonic per table, never reused).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RowId(pub u64);
+
+/// A column definition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    /// Maintain a secondary index on this column.
+    pub indexed: bool,
+}
+
+impl ColumnDef {
+    pub fn plain(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), indexed: false }
+    }
+
+    pub fn indexed(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), indexed: true }
+    }
+}
+
+/// Table schema.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(name: &str, columns: Vec<ColumnDef>) -> Self {
+        Schema { name: name.to_string(), columns }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// Table errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TableError {
+    WrongArity { expected: usize, got: usize },
+    NoSuchColumn(String),
+    NoSuchRow(RowId),
+    ColumnNotIndexed(String),
+}
+
+/// One table: rows + secondary indexes.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Table {
+    pub schema: Schema,
+    next_id: u64,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    /// column index → (value → row ids).
+    #[serde(skip)]
+    indexes: Vec<Option<BTreeMap<Value, Vec<RowId>>>>,
+}
+
+impl Table {
+    pub fn new(schema: Schema) -> Self {
+        let indexes = schema
+            .columns
+            .iter()
+            .map(|c| c.indexed.then(BTreeMap::new))
+            .collect();
+        Table { schema, next_id: 0, rows: BTreeMap::new(), indexes }
+    }
+
+    /// Rebuild indexes after deserialization (indexes are derived state).
+    pub fn rebuild_indexes(&mut self) {
+        self.indexes = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.indexed.then(BTreeMap::new))
+            .collect();
+        let rows: Vec<(RowId, Vec<Value>)> =
+            self.rows.iter().map(|(k, v)| (*k, v.clone())).collect();
+        for (id, row) in rows {
+            self.index_row(id, &row);
+        }
+    }
+
+    fn index_row(&mut self, id: RowId, row: &[Value]) {
+        for (col, ix) in self.indexes.iter_mut().enumerate() {
+            if let Some(ix) = ix {
+                ix.entry(row[col].clone()).or_default().push(id);
+            }
+        }
+    }
+
+    fn unindex_row(&mut self, id: RowId, row: &[Value]) {
+        for (col, ix) in self.indexes.iter_mut().enumerate() {
+            if let Some(ix) = ix {
+                if let Some(ids) = ix.get_mut(&row[col]) {
+                    ids.retain(|&r| r != id);
+                    if ids.is_empty() {
+                        ix.remove(&row[col]);
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId, TableError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(TableError::WrongArity {
+                expected: self.schema.columns.len(),
+                got: row.len(),
+            });
+        }
+        let id = RowId(self.next_id);
+        self.next_id += 1;
+        self.index_row(id, &row);
+        self.rows.insert(id, row);
+        Ok(id)
+    }
+
+    pub fn get(&self, id: RowId) -> Option<&[Value]> {
+        self.rows.get(&id).map(Vec::as_slice)
+    }
+
+    pub fn update(&mut self, id: RowId, row: Vec<Value>) -> Result<Vec<Value>, TableError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(TableError::WrongArity {
+                expected: self.schema.columns.len(),
+                got: row.len(),
+            });
+        }
+        let old = self.rows.get(&id).cloned().ok_or(TableError::NoSuchRow(id))?;
+        self.unindex_row(id, &old);
+        self.index_row(id, &row);
+        self.rows.insert(id, row);
+        Ok(old)
+    }
+
+    pub fn delete(&mut self, id: RowId) -> Result<Vec<Value>, TableError> {
+        let old = self.rows.remove(&id).ok_or(TableError::NoSuchRow(id))?;
+        self.unindex_row(id, &old);
+        Ok(old)
+    }
+
+    /// Exact-match lookup through a secondary index.
+    pub fn find_by(&self, column: &str, value: &Value) -> Result<Vec<RowId>, TableError> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| TableError::NoSuchColumn(column.to_string()))?;
+        match &self.indexes[col] {
+            Some(ix) => Ok(ix.get(value).cloned().unwrap_or_default()),
+            None => Err(TableError::ColumnNotIndexed(column.to_string())),
+        }
+    }
+
+    /// Full scan with a predicate (no index required).
+    pub fn scan(&self, mut pred: impl FnMut(&[Value]) -> bool) -> Vec<RowId> {
+        self.rows
+            .iter()
+            .filter(|(_, row)| pred(row))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows.iter().map(|(id, row)| (*id, row.as_slice()))
+    }
+
+    /// Total payload bytes across all rows (repository-size accounting for
+    /// Hemera's in-DB small files).
+    pub fn payload_bytes(&self) -> u64 {
+        self.rows
+            .values()
+            .map(|r| r.iter().map(Value::payload_len).sum::<u64>())
+            .sum()
+    }
+
+    /// Restore a row under a specific id (transaction rollback path).
+    pub(crate) fn restore(&mut self, id: RowId, row: Vec<Value>) {
+        self.index_row(id, &row);
+        self.rows.insert(id, row);
+        self.next_id = self.next_id.max(id.0 + 1);
+    }
+
+    /// Remove a row without returning it (rollback of an insert).
+    pub(crate) fn unput(&mut self, id: RowId) {
+        if let Some(old) = self.rows.remove(&id) {
+            self.unindex_row(id, &old);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files_table() -> Table {
+        Table::new(Schema::new(
+            "files",
+            vec![
+                ColumnDef::indexed("digest"),
+                ColumnDef::plain("size"),
+                ColumnDef::plain("content"),
+            ],
+        ))
+    }
+
+    #[test]
+    fn insert_get() {
+        let mut t = files_table();
+        let id = t
+            .insert(vec!["abc".into(), Value::Int(3), vec![1u8, 2, 3].into()])
+            .unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::Int(3));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut t = files_table();
+        assert_eq!(
+            t.insert(vec!["x".into()]),
+            Err(TableError::WrongArity { expected: 3, got: 1 })
+        );
+    }
+
+    #[test]
+    fn index_lookup() {
+        let mut t = files_table();
+        let a = t.insert(vec!["d1".into(), 1u64.into(), Value::Null]).unwrap();
+        let b = t.insert(vec!["d2".into(), 2u64.into(), Value::Null]).unwrap();
+        let c = t.insert(vec!["d1".into(), 3u64.into(), Value::Null]).unwrap();
+        assert_eq!(t.find_by("digest", &"d1".into()).unwrap(), vec![a, c]);
+        assert_eq!(t.find_by("digest", &"d2".into()).unwrap(), vec![b]);
+        assert!(t.find_by("digest", &"d9".into()).unwrap().is_empty());
+        assert!(matches!(
+            t.find_by("size", &Value::Int(1)),
+            Err(TableError::ColumnNotIndexed(_))
+        ));
+    }
+
+    #[test]
+    fn update_moves_index_entry() {
+        let mut t = files_table();
+        let id = t.insert(vec!["old".into(), 1u64.into(), Value::Null]).unwrap();
+        t.update(id, vec!["new".into(), 1u64.into(), Value::Null]).unwrap();
+        assert!(t.find_by("digest", &"old".into()).unwrap().is_empty());
+        assert_eq!(t.find_by("digest", &"new".into()).unwrap(), vec![id]);
+    }
+
+    #[test]
+    fn delete_cleans_index() {
+        let mut t = files_table();
+        let id = t.insert(vec!["d".into(), 1u64.into(), Value::Null]).unwrap();
+        t.delete(id).unwrap();
+        assert!(t.find_by("digest", &"d".into()).unwrap().is_empty());
+        assert_eq!(t.delete(id), Err(TableError::NoSuchRow(id)));
+    }
+
+    #[test]
+    fn scan_predicate() {
+        let mut t = files_table();
+        for i in 0..10i64 {
+            t.insert(vec![format!("d{i}").into(), i.into(), Value::Null]).unwrap();
+        }
+        let big = t.scan(|r| r[1].as_int().unwrap() >= 7);
+        assert_eq!(big.len(), 3);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut t = files_table();
+        t.insert(vec!["dd".into(), 1u64.into(), vec![0u8; 100].into()]).unwrap();
+        // 2 (text) + 8 (int) + 100 (blob).
+        assert_eq!(t.payload_bytes(), 110);
+    }
+
+    #[test]
+    fn rebuild_indexes_after_clearing() {
+        let mut t = files_table();
+        let id = t.insert(vec!["d".into(), 1u64.into(), Value::Null]).unwrap();
+        t.rebuild_indexes();
+        assert_eq!(t.find_by("digest", &"d".into()).unwrap(), vec![id]);
+    }
+
+    #[test]
+    fn row_ids_not_reused_after_delete() {
+        let mut t = files_table();
+        let a = t.insert(vec!["a".into(), 1u64.into(), Value::Null]).unwrap();
+        t.delete(a).unwrap();
+        let b = t.insert(vec!["b".into(), 2u64.into(), Value::Null]).unwrap();
+        assert!(b.0 > a.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Base-image attributes.
+//!
+//! §III-C: every base image carries a quadruple `(type, distro, ver,
+//! arch)` — guest OS type, distribution, distribution version, and
+//! architecture. Master graphs are keyed by this quadruple, and the
+//! base-image similarity `simBI` is defined over it.
+
+use crate::arch::Arch;
+use serde::{Deserialize, Serialize};
+
+/// Guest OS type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OsType {
+    Linux,
+    Windows,
+}
+
+impl OsType {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OsType::Linux => "linux",
+            OsType::Windows => "windows",
+        }
+    }
+}
+
+/// The `(type, distro, ver, arch)` quadruple of §III-C.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BaseImageAttrs {
+    pub os_type: OsType,
+    pub distro: String,
+    pub version: String,
+    pub arch: Arch,
+}
+
+impl BaseImageAttrs {
+    pub fn ubuntu(version: &str, arch: Arch) -> Self {
+        BaseImageAttrs {
+            os_type: OsType::Linux,
+            distro: "ubuntu".to_string(),
+            version: version.to_string(),
+            arch,
+        }
+    }
+
+    /// Master-graph key string `[T,D,V,A]`.
+    pub fn key(&self) -> String {
+        format!(
+            "[{},{},{},{}]",
+            self.os_type.as_str(),
+            self.distro,
+            self.version,
+            self.arch
+        )
+    }
+
+    /// Base-image similarity `simBI`: the product of per-attribute
+    /// indicator similarities. Identical quadruples give 1; any
+    /// differing attribute gives 0 (an `all`-arch base image does not
+    /// exist — architectures must match exactly at the image level).
+    pub fn similarity(&self, other: &BaseImageAttrs) -> f64 {
+        let mut s = 1.0;
+        if self.os_type != other.os_type {
+            s *= 0.0;
+        }
+        if self.distro != other.distro {
+            s *= 0.0;
+        }
+        if self.version != other.version {
+            s *= 0.0;
+        }
+        if self.arch != other.arch {
+            s *= 0.0;
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for BaseImageAttrs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} {} ({})",
+            self.os_type.as_str(),
+            self.distro,
+            self.version,
+            self.arch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_attrs_similarity_one() {
+        let a = BaseImageAttrs::ubuntu("16.04", Arch::Amd64);
+        let b = BaseImageAttrs::ubuntu("16.04", Arch::Amd64);
+        assert_eq!(a.similarity(&b), 1.0);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn any_difference_zeroes_similarity() {
+        let a = BaseImageAttrs::ubuntu("16.04", Arch::Amd64);
+        assert_eq!(a.similarity(&BaseImageAttrs::ubuntu("18.04", Arch::Amd64)), 0.0);
+        assert_eq!(a.similarity(&BaseImageAttrs::ubuntu("16.04", Arch::Arm64)), 0.0);
+        let mut debian = a.clone();
+        debian.distro = "debian".into();
+        assert_eq!(a.similarity(&debian), 0.0);
+    }
+
+    #[test]
+    fn key_format() {
+        let a = BaseImageAttrs::ubuntu("16.04", Arch::Amd64);
+        assert_eq!(a.key(), "[linux,ubuntu,16.04,amd64]");
+    }
+}

@@ -1,0 +1,35 @@
+//! `xpl-pkg` — the guest package-management substrate.
+//!
+//! Expelliarmus's whole premise is that a VMI decomposes into a base image
+//! plus *packages* whose identity, version, architecture, size and
+//! dependency closure are visible to the guest package manager. This crate
+//! models that world:
+//!
+//! * [`version`] — Debian-policy version strings with correct ordering
+//!   (epoch, `~` pre-releases, alternating digit/non-digit comparison).
+//! * [`arch`] — package architectures, including the portable `all`.
+//! * [`meta`] — package metadata, dependencies and file manifests.
+//! * [`catalog`] — the package universe with an install-closure resolver
+//!   (cycle-tolerant, version-constraint aware).
+//! * [`content`] — deterministic, compressible synthetic file content.
+//! * [`deb`] — `.deb`-like binary package construction (packed size is
+//!   smaller than installed size, a distinction the paper leans on).
+//! * [`dpkgdb`] — per-image installed-package database with
+//!   autoremove-style unused-dependency detection.
+
+pub mod arch;
+pub mod baseimg;
+pub mod catalog;
+pub mod content;
+pub mod deb;
+pub mod dpkgdb;
+pub mod meta;
+pub mod version;
+
+pub use arch::Arch;
+pub use baseimg::{BaseImageAttrs, OsType};
+pub use catalog::{Catalog, ResolveError};
+pub use deb::DebPackage;
+pub use dpkgdb::DpkgDb;
+pub use meta::{Dependency, FileManifest, PackageId, PackageMeta, PkgFile, Section, VersionReq};
+pub use version::Version;

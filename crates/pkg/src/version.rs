@@ -1,0 +1,248 @@
+//! Debian-policy package versions.
+//!
+//! A version is `[epoch:]upstream[-revision]`. Ordering follows Debian
+//! policy §5.6.12: numeric epoch first, then the upstream and revision
+//! parts compared by alternating runs of non-digits and digits, where `~`
+//! sorts before everything including the empty string (pre-releases).
+
+use std::cmp::Ordering;
+
+/// A parsed package version.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Version {
+    pub epoch: u32,
+    pub upstream: String,
+    pub revision: String,
+}
+
+impl Version {
+    /// Parse from the canonical string form.
+    pub fn parse(s: &str) -> Version {
+        let (epoch, rest) = match s.find(':') {
+            Some(i) if s[..i].chars().all(|c| c.is_ascii_digit()) && i > 0 => {
+                (s[..i].parse().unwrap_or(0), &s[i + 1..])
+            }
+            _ => (0, s),
+        };
+        let (upstream, revision) = match rest.rfind('-') {
+            Some(i) => (rest[..i].to_string(), rest[i + 1..].to_string()),
+            None => (rest.to_string(), String::new()),
+        };
+        Version { epoch, upstream, revision }
+    }
+
+    /// Convenience constructor for `x.y.z` style versions.
+    pub fn new(upstream: &str) -> Version {
+        Version::parse(upstream)
+    }
+
+    /// Bump the last numeric component of the upstream version — used by
+    /// the 40-successive-builds workload to model rebuilt packages.
+    pub fn bumped(&self, by: u32) -> Version {
+        // Find trailing digit run in upstream.
+        let bytes = self.upstream.as_bytes();
+        let mut end = bytes.len();
+        while end > 0 && !bytes[end - 1].is_ascii_digit() {
+            end -= 1;
+        }
+        let mut start = end;
+        while start > 0 && bytes[start - 1].is_ascii_digit() {
+            start -= 1;
+        }
+        if start == end {
+            // No numeric component: append one.
+            return Version {
+                epoch: self.epoch,
+                upstream: format!("{}.{by}", self.upstream),
+                revision: self.revision.clone(),
+            };
+        }
+        let num: u64 = self.upstream[start..end].parse().unwrap_or(0);
+        let mut up = String::with_capacity(self.upstream.len() + 2);
+        up.push_str(&self.upstream[..start]);
+        up.push_str(&(num + by as u64).to_string());
+        up.push_str(&self.upstream[end..]);
+        Version { epoch: self.epoch, upstream: up, revision: self.revision.clone() }
+    }
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.epoch > 0 {
+            write!(f, "{}:", self.epoch)?;
+        }
+        f.write_str(&self.upstream)?;
+        if !self.revision.is_empty() {
+            write!(f, "-{}", self.revision)?;
+        }
+        Ok(())
+    }
+}
+
+/// Debian character ordering: `~` < end-of-string < letters < non-letters
+/// (by ASCII among themselves).
+fn char_order(c: Option<u8>) -> i32 {
+    match c {
+        None => 0,
+        Some(b'~') => -1,
+        Some(c) if c.is_ascii_alphabetic() => c as i32,
+        Some(c) => c as i32 + 256,
+    }
+}
+
+/// Compare two version *parts* (upstream or revision) per Debian policy.
+fn cmp_part(a: &str, b: &str) -> Ordering {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        // Non-digit run.
+        loop {
+            let ca = a.get(i).copied().filter(|c| !c.is_ascii_digit());
+            let cb = b.get(j).copied().filter(|c| !c.is_ascii_digit());
+            if ca.is_none() && cb.is_none() {
+                break;
+            }
+            let o = char_order(ca).cmp(&char_order(cb));
+            if o != Ordering::Equal {
+                return o;
+            }
+            if ca.is_some() {
+                i += 1;
+            }
+            if cb.is_some() {
+                j += 1;
+            }
+        }
+        // Digit run: compare numerically (skip leading zeros via value).
+        let di = i;
+        while i < a.len() && a[i].is_ascii_digit() {
+            i += 1;
+        }
+        let dj = j;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+        let na = std::str::from_utf8(&a[di..i]).unwrap().trim_start_matches('0');
+        let nb = std::str::from_utf8(&b[dj..j]).unwrap().trim_start_matches('0');
+        let o = na
+            .len()
+            .cmp(&nb.len())
+            .then_with(|| na.cmp(nb));
+        if o != Ordering::Equal {
+            return o;
+        }
+        if i >= a.len() && j >= b.len() {
+            return Ordering::Equal;
+        }
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.epoch
+            .cmp(&other.epoch)
+            .then_with(|| cmp_part(&self.upstream, &other.upstream))
+            .then_with(|| cmp_part(&self.revision, &other.revision))
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s)
+    }
+
+    #[test]
+    fn parse_components() {
+        let x = v("2:1.18.4-2ubuntu1");
+        assert_eq!(x.epoch, 2);
+        assert_eq!(x.upstream, "1.18.4");
+        assert_eq!(x.revision, "2ubuntu1");
+        assert_eq!(x.to_string(), "2:1.18.4-2ubuntu1");
+    }
+
+    #[test]
+    fn parse_no_epoch_no_revision() {
+        let x = v("5.10");
+        assert_eq!((x.epoch, x.upstream.as_str(), x.revision.as_str()), (0, "5.10", ""));
+    }
+
+    #[test]
+    fn hyphen_in_upstream_keeps_last_as_revision() {
+        let x = v("1.0-rc1-3");
+        assert_eq!(x.upstream, "1.0-rc1");
+        assert_eq!(x.revision, "3");
+    }
+
+    #[test]
+    fn numeric_ordering() {
+        assert!(v("1.10") > v("1.9"), "numeric, not lexicographic");
+        assert!(v("1.2.3") < v("1.2.10"));
+        assert!(v("10.0") > v("9.9.9"));
+    }
+
+    #[test]
+    fn epoch_dominates() {
+        assert!(v("1:0.1") > v("9.9"));
+        assert!(v("2:0.1") > v("1:99"));
+    }
+
+    #[test]
+    fn tilde_sorts_before_release() {
+        assert!(v("1.0~rc1") < v("1.0"));
+        assert!(v("1.0~rc1") < v("1.0~rc2"));
+        assert!(v("1.0~~") < v("1.0~"));
+    }
+
+    #[test]
+    fn revision_breaks_ties() {
+        assert!(v("1.0-1") < v("1.0-2"));
+        assert!(v("1.0-2ubuntu1") > v("1.0-2"));
+        assert_eq!(v("1.0-1").cmp(&v("1.0-1")), Ordering::Equal);
+    }
+
+    #[test]
+    fn letters_before_non_letters() {
+        // Debian: letters sort before non-alphabetic characters.
+        assert!(v("1.0a") < v("1.0+"));
+        assert!(v("1.0+dfsg") > v("1.0"));
+    }
+
+    #[test]
+    fn leading_zeros_ignored() {
+        assert_eq!(v("1.02").cmp(&v("1.2")), Ordering::Equal);
+        assert!(v("1.02.1") > v("1.2"));
+    }
+
+    #[test]
+    fn bumped_increments_last_number() {
+        assert_eq!(v("5.4.0").bumped(1).to_string(), "5.4.1");
+        assert_eq!(v("2.31-0ubuntu9").bumped(2).upstream, "2.33");
+        assert_eq!(v("2.31-0ubuntu9").bumped(2).revision, "0ubuntu9");
+        assert!(v("5.4.0").bumped(1) > v("5.4.0"));
+        assert_eq!(v("abc").bumped(3).to_string(), "abc.3");
+    }
+
+    #[test]
+    fn ubuntu_style_chain_is_monotone() {
+        let chain = [
+            "2.27-3ubuntu1",
+            "2.27-3ubuntu1.2",
+            "2.27-3ubuntu1.4",
+            "2.28-0ubuntu1",
+            "2.31-0ubuntu9",
+            "2.31-0ubuntu9.9",
+        ];
+        for w in chain.windows(2) {
+            assert!(v(w[0]) < v(w[1]), "{} < {}", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The store interface all five evaluated systems implement, and the
+//! report types the experiment harness consumes.
+
+use xpl_guestfs::{FileRecord, Vmi};
+use xpl_pkg::{BaseImageAttrs, Catalog, ResolveError};
+use xpl_simio::{Breakdown, SimDuration};
+
+/// What a user asks the repository for.
+///
+/// Monolithic stores (Qcow2, Gzip, Mirage, Hemera) retrieve by `name`;
+/// Expelliarmus assembles from `base` + `primary` + `user_data` and also
+/// serves requests whose exact image was never uploaded (functional
+/// retrieval), which the monolithic stores cannot.
+#[derive(Clone)]
+pub struct RetrieveRequest {
+    pub name: String,
+    pub base: BaseImageAttrs,
+    /// Primary package names.
+    pub primary: Vec<String>,
+    /// User data to import.
+    pub user_data: Vec<FileRecord>,
+}
+
+impl RetrieveRequest {
+    /// The request that reproduces a previously published image.
+    pub fn for_image(vmi: &Vmi, catalog: &Catalog) -> RetrieveRequest {
+        RetrieveRequest {
+            name: vmi.name.clone(),
+            base: vmi.base.clone(),
+            primary: vmi
+                .primary
+                .iter()
+                .map(|&id| catalog.get(id).name.as_str().to_string())
+                .collect(),
+            user_data: vmi.user_data_files(),
+        }
+    }
+}
+
+/// Outcome of a publish.
+#[derive(Clone, Debug, Default)]
+pub struct PublishReport {
+    pub image: String,
+    /// Simulated wall time (Figure 4 series; Table II publish column).
+    pub duration: SimDuration,
+    pub breakdown: Breakdown,
+    /// Unique bytes this publish added to the repository (materialized).
+    pub bytes_added: u64,
+    /// Packages exported (Expelliarmus) or files newly stored (Mirage /
+    /// Hemera) — "units of new content".
+    pub units_stored: usize,
+    /// Semantic similarity against the master graph at upload time
+    /// (Table II's SimG column; 0 for non-semantic stores).
+    pub similarity: f64,
+}
+
+/// Outcome of a retrieval.
+#[derive(Clone, Debug, Default)]
+pub struct RetrieveReport {
+    pub image: String,
+    /// Simulated wall time (Figure 5 series; Table II retrieval column).
+    pub duration: SimDuration,
+    /// Figure 5a's four bands for Expelliarmus; analogous phases for the
+    /// baselines.
+    pub breakdown: Breakdown,
+    /// Bytes read from the repository (materialized).
+    pub bytes_read: u64,
+}
+
+/// Store errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// No such image / content in the repository.
+    NotFound(String),
+    /// Package resolution failed during assembly.
+    Resolve(ResolveError),
+    /// Integrity or format corruption.
+    Corrupt(String),
+    /// The request cannot be served by this store (e.g. functional
+    /// retrieval from a monolithic store).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(what) => write!(f, "not found: {what}"),
+            StoreError::Resolve(e) => write!(f, "resolve error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt: {what}"),
+            StoreError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ResolveError> for StoreError {
+    fn from(e: ResolveError) -> Self {
+        StoreError::Resolve(e)
+    }
+}
+
+/// The interface of every evaluated VMI repository system.
+pub trait ImageStore {
+    /// Display name ("Qcow2", "Mirage", "Expelliarmus", …).
+    fn name(&self) -> &'static str;
+
+    /// Publish an image into the repository.
+    fn publish(&mut self, catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError>;
+
+    /// Retrieve (reassemble) an image.
+    fn retrieve(
+        &mut self,
+        catalog: &Catalog,
+        request: &RetrieveRequest,
+    ) -> Result<(Vmi, RetrieveReport), StoreError>;
+
+    /// Current repository footprint in materialized bytes (×1024 =
+    /// nominal; the Figure 3 y-axis).
+    fn repo_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpl_guestfs::FsTree;
+    use xpl_pkg::{Arch, DpkgDb};
+
+    #[test]
+    fn request_for_image_captures_spec() {
+        let mut catalog = Catalog::new();
+        let redis = catalog.add(xpl_pkg::catalog::PackageSpec {
+            name: "redis".into(),
+            version: xpl_pkg::Version::parse("6.0"),
+            arch: Arch::Amd64,
+            section: xpl_pkg::meta::Section::Databases,
+            essential: false,
+            deb_size: 10,
+            installed_size: 30,
+            depends: vec![],
+            manifest: Default::default(),
+        });
+        let mut vmi = Vmi::assemble(
+            "img",
+            BaseImageAttrs::ubuntu("16.04", Arch::Amd64),
+            FsTree::new(),
+            DpkgDb::new(),
+            vec![redis],
+        );
+        vmi.fs.add_file(FileRecord {
+            path: xpl_util::IStr::new("/home/u/d"),
+            size: 5,
+            seed: 1,
+            owner: xpl_guestfs::FileOwner::UserData,
+        });
+        let req = RetrieveRequest::for_image(&vmi, &catalog);
+        assert_eq!(req.name, "img");
+        assert_eq!(req.primary, vec!["redis"]);
+        assert_eq!(req.user_data.len(), 1);
+        assert_eq!(req.base, vmi.base);
+    }
+}

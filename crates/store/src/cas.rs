@@ -1,0 +1,220 @@
+//! Charged content-addressed blob store.
+//!
+//! Blobs are keyed by SHA-256 digest and refcounted; `put` of an existing
+//! digest is a dedup hit (no bytes written). Every operation charges the
+//! owning [`SimDevice`].
+
+use std::sync::Arc;
+
+use xpl_simio::SimDevice;
+use xpl_util::{Digest, FxHashMap, Sha256};
+
+struct Blob {
+    bytes: Vec<u8>,
+    refs: u32,
+}
+
+/// The store.
+pub struct ContentStore {
+    device: Arc<SimDevice>,
+    blobs: FxHashMap<Digest, Blob>,
+    unique_bytes: u64,
+    dedup_hits: u64,
+}
+
+/// CAS errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CasError {
+    NotFound(Digest),
+    /// Stored bytes no longer match their digest (corruption detected).
+    DigestMismatch(Digest),
+}
+
+impl ContentStore {
+    pub fn new(device: Arc<SimDevice>) -> Self {
+        ContentStore {
+            device,
+            blobs: FxHashMap::default(),
+            unique_bytes: 0,
+            dedup_hits: 0,
+        }
+    }
+
+    /// Store bytes; returns `(digest, was_new)`. Dedup hits only charge a
+    /// metadata lookup.
+    pub fn put(&mut self, bytes: &[u8]) -> (Digest, bool) {
+        let digest = Sha256::digest(bytes);
+        (digest, self.put_with_digest(digest, bytes))
+    }
+
+    /// Store with a precomputed digest (hot path for generated content).
+    pub fn put_with_digest(&mut self, digest: Digest, bytes: &[u8]) -> bool {
+        if let Some(b) = self.blobs.get_mut(&digest) {
+            b.refs += 1;
+            self.dedup_hits += 1;
+            self.device.charge_db_read(1); // index hit
+            return false;
+        }
+        self.device.charge_create(bytes.len() as u64);
+        self.device.charge_write(bytes.len() as u64);
+        self.unique_bytes += bytes.len() as u64;
+        self.blobs.insert(digest, Blob { bytes: bytes.to_vec(), refs: 1 });
+        true
+    }
+
+    /// Record a reference to existing content without providing bytes
+    /// (used when the caller knows only the digest+size and the blob is
+    /// already present).
+    pub fn add_ref(&mut self, digest: Digest) -> Result<(), CasError> {
+        match self.blobs.get_mut(&digest) {
+            Some(b) => {
+                b.refs += 1;
+                self.dedup_hits += 1;
+                self.device.charge_db_read(1);
+                Ok(())
+            }
+            None => Err(CasError::NotFound(digest)),
+        }
+    }
+
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.blobs.contains_key(digest)
+    }
+
+    /// Read a blob back (charges open + read) and verify integrity.
+    pub fn get(&self, digest: &Digest) -> Result<&[u8], CasError> {
+        let b = self.blobs.get(digest).ok_or(CasError::NotFound(*digest))?;
+        self.device.charge_open(b.bytes.len() as u64);
+        self.device.charge_read(b.bytes.len() as u64);
+        if Sha256::digest(&b.bytes) != *digest {
+            return Err(CasError::DigestMismatch(*digest));
+        }
+        Ok(&b.bytes)
+    }
+
+    /// Size of a stored blob without reading it.
+    pub fn size_of(&self, digest: &Digest) -> Option<u64> {
+        self.blobs.get(digest).map(|b| b.bytes.len() as u64)
+    }
+
+    /// Drop one reference; frees the blob at zero. Returns freed bytes.
+    pub fn release(&mut self, digest: &Digest) -> Result<u64, CasError> {
+        let b = self.blobs.get_mut(digest).ok_or(CasError::NotFound(*digest))?;
+        b.refs -= 1;
+        if b.refs == 0 {
+            let freed = b.bytes.len() as u64;
+            self.blobs.remove(digest);
+            self.unique_bytes -= freed;
+            self.device.charge_db_write(1);
+            return Ok(freed);
+        }
+        Ok(0)
+    }
+
+    /// Unique stored payload bytes.
+    pub fn unique_bytes(&self) -> u64 {
+        self.unique_bytes
+    }
+
+    pub fn blob_count(&self) -> usize {
+        self.blobs.len()
+    }
+
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Test hook: corrupt a stored blob in place (failure injection).
+    pub fn corrupt_for_test(&mut self, digest: &Digest) -> bool {
+        if let Some(b) = self.blobs.get_mut(digest) {
+            if let Some(x) = b.bytes.first_mut() {
+                *x ^= 0xFF;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpl_simio::SimEnv;
+
+    fn store() -> (SimEnv, ContentStore) {
+        let env = SimEnv::testbed();
+        let cas = ContentStore::new(Arc::clone(&env.repo));
+        (env, cas)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (_e, mut cas) = store();
+        let (d, new) = cas.put(b"hello");
+        assert!(new);
+        assert_eq!(cas.get(&d).unwrap(), b"hello");
+        assert_eq!(cas.unique_bytes(), 5);
+    }
+
+    #[test]
+    fn duplicate_put_dedups() {
+        let (env, mut cas) = store();
+        cas.put(b"same-content");
+        let before = env.repo.stats().bytes_written;
+        let (_, new) = cas.put(b"same-content");
+        assert!(!new);
+        assert_eq!(env.repo.stats().bytes_written, before, "no bytes written on hit");
+        assert_eq!(cas.unique_bytes(), 12);
+        assert_eq!(cas.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn release_refcounts() {
+        let (_e, mut cas) = store();
+        let (d, _) = cas.put(b"refcounted");
+        cas.put(b"refcounted"); // refs = 2
+        assert_eq!(cas.release(&d).unwrap(), 0);
+        assert_eq!(cas.release(&d).unwrap(), 10);
+        assert!(!cas.contains(&d));
+        assert_eq!(cas.unique_bytes(), 0);
+        assert_eq!(cas.release(&d), Err(CasError::NotFound(d)));
+    }
+
+    #[test]
+    fn corruption_detected_on_read() {
+        let (_e, mut cas) = store();
+        let (d, _) = cas.put(b"important-bytes");
+        assert!(cas.corrupt_for_test(&d));
+        assert_eq!(cas.get(&d).err(), Some(CasError::DigestMismatch(d)));
+    }
+
+    #[test]
+    fn add_ref_requires_existing() {
+        let (_e, mut cas) = store();
+        let missing = Sha256::digest(b"nope");
+        assert!(matches!(cas.add_ref(missing), Err(CasError::NotFound(_))));
+        let (d, _) = cas.put(b"yes");
+        cas.add_ref(d).unwrap();
+        assert_eq!(cas.release(&d).unwrap(), 0); // still one ref left
+    }
+
+    #[test]
+    fn charges_time_for_stores_and_reads() {
+        let (env, mut cas) = store();
+        let t0 = env.clock.now();
+        let (d, _) = cas.put(&vec![7u8; 10_000]);
+        assert!(env.clock.since(t0).as_nanos() > 0);
+        let t1 = env.clock.now();
+        cas.get(&d).unwrap();
+        assert!(env.clock.since(t1).as_nanos() > 0);
+    }
+
+    #[test]
+    fn size_of_reports_without_charges() {
+        let (env, mut cas) = store();
+        let (d, _) = cas.put(b"sized");
+        let reads_before = env.repo.stats().bytes_read;
+        assert_eq!(cas.size_of(&d), Some(5));
+        assert_eq!(env.repo.stats().bytes_read, reads_before);
+    }
+}

@@ -1,0 +1,14 @@
+//! `xpl-store` — content-addressed storage and the store interface.
+//!
+//! * [`cas`] — a charged content-addressed blob store (digest → bytes)
+//!   with refcounts; the building block of Mirage, Hemera and the
+//!   Expelliarmus package/base-image repositories.
+//! * [`api`] — the [`ImageStore`] trait every evaluated system implements
+//!   (publish / retrieve / repository size), plus the report types whose
+//!   fields become Table II columns and Figure 4/5 series.
+
+pub mod api;
+pub mod cas;
+
+pub use api::{ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+pub use cas::ContentStore;

@@ -1,0 +1,69 @@
+//! Byte-size formatting, including the scale model used throughout the
+//! reproduction.
+//!
+//! The paper's images are ~2 GB each; we materialize content at 1/1024 of
+//! nominal size so the complete evaluation runs in seconds. "Nominal" sizes
+//! (what we report next to paper numbers) are real byte counts multiplied
+//! by [`SCALE_FACTOR`].
+
+/// 1 materialized byte represents this many nominal bytes (2^10).
+pub const SCALE_FACTOR: u64 = 1024;
+
+const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+
+/// Format a raw byte count with binary units, e.g. `3.42 GiB`.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+/// Format a *materialized* byte count in nominal (paper-scale) units.
+pub fn format_nominal(real_bytes: u64) -> String {
+    format_bytes(real_bytes.saturating_mul(SCALE_FACTOR))
+}
+
+/// Convert materialized bytes to nominal gigabytes (paper axis units).
+pub fn nominal_gb(real_bytes: u64) -> f64 {
+    (real_bytes.saturating_mul(SCALE_FACTOR)) as f64 / (1u64 << 30) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+    }
+
+    #[test]
+    fn unit_steps() {
+        assert_eq!(format_bytes(1024), "1.00 KiB");
+        assert_eq!(format_bytes(1536), "1.50 KiB");
+        assert_eq!(format_bytes(1024 * 1024), "1.00 MiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+    }
+
+    #[test]
+    fn nominal_scaling() {
+        // 1 MiB materialized == 1 GiB nominal.
+        assert_eq!(format_nominal(1024 * 1024), "1.00 GiB");
+        assert!((nominal_gb(1024 * 1024) - 1.0).abs() < 1e-9);
+        assert!((nominal_gb(2 * 1024 * 1024) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let s = format_bytes(u64::MAX);
+        assert!(s.ends_with("PiB"), "{s}");
+    }
+}

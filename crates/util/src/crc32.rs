@@ -1,0 +1,93 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Required by the gzip framing layer (RFC 1952 stores a CRC-32 of the
+//! uncompressed payload). Table-driven, one table generated at first use.
+
+/// Streaming CRC-32 state.
+#[derive(Clone)]
+pub struct Crc32 {
+    value: u32,
+}
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { value: 0xFFFF_FFFF }
+    }
+
+    /// One-shot CRC of a byte slice.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(data);
+        c.finalize()
+    }
+
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.value;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.value = c;
+    }
+
+    pub fn finalize(&self) -> u32 {
+        self.value ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::checksum(b""), 0);
+        assert_eq!(Crc32::checksum(b"a"), 0xE8B7_BE43);
+        assert_eq!(Crc32::checksum(b"abc"), 0x3524_41C2);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|x| (x * 31 % 256) as u8).collect();
+        let one = Crc32::checksum(&data);
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), one);
+    }
+
+    #[test]
+    fn differs_on_single_bit_flip() {
+        let mut data = vec![0u8; 64];
+        let base = Crc32::checksum(&data);
+        data[17] ^= 0x04;
+        assert_ne!(Crc32::checksum(&data), base);
+    }
+}

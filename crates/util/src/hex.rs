@@ -1,0 +1,53 @@
+//! Minimal hex encoding/decoding for digests and debugging output.
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode bytes as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0xF) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (upper- or lowercase). Returns `None` on odd length
+/// or non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0x00, 0xFF, 0x1a]), "00ff1a");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(decode("abc").is_none(), "odd length");
+        assert!(decode("zz").is_none(), "non-hex");
+        assert_eq!(decode("AbCd").unwrap(), vec![0xAB, 0xCD], "mixed case ok");
+    }
+}

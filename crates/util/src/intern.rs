@@ -1,0 +1,159 @@
+//! Thread-safe string interner.
+//!
+//! File paths and package names repeat massively across images (the base OS
+//! contributes ~70 k identical paths to every image); interning turns them
+//! into 4-byte ids with O(1) equality and hashing.
+//!
+//! A global interner instance is provided because path identity must be
+//! shared across crates; per-test isolation is unnecessary since interning
+//! is append-only and content-addressed.
+
+use std::sync::{Mutex, OnceLock, RwLock};
+
+/// An interned string: a dense index into the global interner.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IStr(pub u32);
+
+impl IStr {
+    /// Intern a string in the global interner.
+    pub fn new(s: &str) -> IStr {
+        global().intern(s)
+    }
+
+    /// Resolve to the underlying string (leaked storage, `'static`).
+    pub fn as_str(self) -> &'static str {
+        global().resolve(self)
+    }
+}
+
+impl std::fmt::Debug for IStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{:?}", self.as_str())
+    }
+}
+
+impl std::fmt::Display for IStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> Self {
+        IStr::new(s)
+    }
+}
+
+/// The interner itself. Strings are leaked into `'static` storage — the
+/// set of distinct paths/names in any run is bounded (a few hundred
+/// thousand) and the process is short-lived, so this is the standard,
+/// lock-cheap design.
+pub struct Interner {
+    /// Map from string to index. RwLock: reads (lookups of already-interned
+    /// strings) vastly dominate.
+    map: RwLock<crate::fxhash::FxHashMap<&'static str, u32>>,
+    /// Reverse table. Guarded separately so `resolve` never contends with
+    /// `intern`'s map write lock.
+    rev: RwLock<Vec<&'static str>>,
+    /// Serializes the insert slow path so two racing interns of the same
+    /// new string cannot both allocate an id.
+    insert: Mutex<()>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Interner {
+            map: RwLock::new(crate::fxhash::FxHashMap::default()),
+            rev: RwLock::new(Vec::new()),
+            insert: Mutex::new(()),
+        }
+    }
+
+    pub fn intern(&self, s: &str) -> IStr {
+        if let Some(&id) = self.map.read().unwrap().get(s) {
+            return IStr(id);
+        }
+        let _g = self.insert.lock().unwrap();
+        // Re-check under the insert lock.
+        if let Some(&id) = self.map.read().unwrap().get(s) {
+            return IStr(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let mut rev = self.rev.write().unwrap();
+        let id = rev.len() as u32;
+        rev.push(leaked);
+        drop(rev);
+        self.map.write().unwrap().insert(leaked, id);
+        IStr(id)
+    }
+
+    pub fn resolve(&self, i: IStr) -> &'static str {
+        self.rev.read().unwrap()[i.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.rev.read().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(Interner::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_string_same_id() {
+        let a = IStr::new("hello/world");
+        let b = IStr::new("hello/world");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello/world");
+    }
+
+    #[test]
+    fn different_strings_different_ids() {
+        assert_ne!(IStr::new("intern-a"), IStr::new("intern-b"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        use std::thread;
+        let names: Vec<String> = (0..64).map(|i| format!("conc-{}", i % 8)).collect();
+        let mut handles = vec![];
+        for chunk in names.chunks(8) {
+            let chunk = chunk.to_vec();
+            handles.push(thread::spawn(move || {
+                chunk.iter().map(|s| IStr::new(s)).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<IStr>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread interned the same 8 distinct strings; ids must agree.
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn local_interner_independent() {
+        let local = Interner::new();
+        let a = local.intern("x");
+        let b = local.intern("y");
+        assert_eq!(a, IStr(0));
+        assert_eq!(b, IStr(1));
+        assert_eq!(local.resolve(a), "x");
+        assert_eq!(local.len(), 2);
+    }
+}

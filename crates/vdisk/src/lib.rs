@@ -1,0 +1,20 @@
+//! `xpl-vdisk` — a qcow2-style virtual disk format.
+//!
+//! The paper's images are qcow2 files; their *allocated* size (clusters
+//! actually written) is what the Qcow2 baseline accumulates in Figure 3,
+//! and their serialized byte stream is what the Gzip baseline compresses.
+//! This crate reproduces the format's essential mechanics:
+//!
+//! * cluster-granular allocation with a two-level (L1 → L2) mapping table,
+//! * copy-on-write against a backing image (snapshot chains),
+//! * refcount tracking of physical clusters,
+//! * deterministic serialization / deserialization of the whole image.
+//!
+//! Sizes are materialized bytes (×1024 = nominal). The default cluster is
+//! 256 materialized bytes = 256 KiB nominal.
+
+pub mod qcow;
+pub mod raw;
+
+pub use qcow::{QcowError, QcowImage, DEFAULT_CLUSTER_BITS};
+pub use raw::RawImage;

@@ -1,0 +1,518 @@
+//! The qcow2-style copy-on-write image.
+//!
+//! Structure mirrors qcow2's essentials: a guest (virtual) address space
+//! mapped through an L1 table of L2 tables to physical clusters, with
+//! per-cluster refcounts and an optional backing image for COW chains.
+//! Unallocated guest ranges read as zeros (or fall through to the backing
+//! image).
+
+use std::sync::Arc;
+
+/// Default cluster size exponent: 2^8 = 256 materialized bytes
+/// (256 KiB nominal — qcow2's typical 64 KiB–1 MiB range).
+pub const DEFAULT_CLUSTER_BITS: u32 = 8;
+
+/// Entries per L2 table. qcow2 uses cluster_size/8; we keep that density
+/// scaled to our cluster size.
+const L2_ENTRIES_BITS: u32 = 9; // 512 entries per L2 table
+
+const MAGIC: &[u8; 4] = b"XQC\x02";
+
+/// Errors from image operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum QcowError {
+    /// Access beyond the virtual disk size.
+    OutOfBounds { offset: u64, len: usize, virtual_size: u64 },
+    /// Serialization payload malformed.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for QcowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QcowError::OutOfBounds { offset, len, virtual_size } => write!(
+                f,
+                "access [{offset}, +{len}) beyond virtual size {virtual_size}"
+            ),
+            QcowError::Corrupt(what) => write!(f, "corrupt image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QcowError {}
+
+/// An L2 table: guest-cluster → physical-cluster index (`u64::MAX` =
+/// unallocated).
+#[derive(Clone)]
+struct L2Table {
+    entries: Box<[u64]>,
+}
+
+impl L2Table {
+    fn new() -> Self {
+        L2Table { entries: vec![u64::MAX; 1 << L2_ENTRIES_BITS].into_boxed_slice() }
+    }
+}
+
+/// The copy-on-write disk image.
+#[derive(Clone)]
+pub struct QcowImage {
+    name: String,
+    virtual_size: u64,
+    cluster_bits: u32,
+    /// L1: guest L2-index → L2 table (lazy).
+    l1: Vec<Option<L2Table>>,
+    /// Physical cluster storage.
+    clusters: Vec<Box<[u8]>>,
+    /// Refcount per physical cluster (snapshots share clusters).
+    refcounts: Vec<u32>,
+    /// Optional backing image (read-through on unallocated clusters).
+    backing: Option<Arc<QcowImage>>,
+}
+
+impl QcowImage {
+    /// Create an empty image of `virtual_size` materialized bytes.
+    pub fn create(name: &str, virtual_size: u64) -> Self {
+        Self::create_with_cluster_bits(name, virtual_size, DEFAULT_CLUSTER_BITS)
+    }
+
+    pub fn create_with_cluster_bits(name: &str, virtual_size: u64, cluster_bits: u32) -> Self {
+        assert!((4..=20).contains(&cluster_bits), "cluster_bits out of range");
+        let cluster = 1u64 << cluster_bits;
+        let clusters_total = virtual_size.div_ceil(cluster);
+        let l2_span = 1u64 << L2_ENTRIES_BITS;
+        let l1_len = clusters_total.div_ceil(l2_span) as usize;
+        QcowImage {
+            name: name.to_string(),
+            virtual_size,
+            cluster_bits,
+            l1: (0..l1_len).map(|_| None).collect(),
+            clusters: Vec::new(),
+            refcounts: Vec::new(),
+            backing: None,
+        }
+    }
+
+    /// Create a COW overlay on top of `base` (same geometry).
+    pub fn overlay(name: &str, base: Arc<QcowImage>) -> Self {
+        let mut img =
+            Self::create_with_cluster_bits(name, base.virtual_size, base.cluster_bits);
+        img.backing = Some(base);
+        img
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn virtual_size(&self) -> u64 {
+        self.virtual_size
+    }
+
+    pub fn cluster_size(&self) -> u64 {
+        1 << self.cluster_bits
+    }
+
+    pub fn backing(&self) -> Option<&Arc<QcowImage>> {
+        self.backing.as_ref()
+    }
+
+    #[inline]
+    fn split(&self, guest_cluster: u64) -> (usize, usize) {
+        let l1 = (guest_cluster >> L2_ENTRIES_BITS) as usize;
+        let l2 = (guest_cluster & ((1 << L2_ENTRIES_BITS) - 1)) as usize;
+        (l1, l2)
+    }
+
+    fn lookup(&self, guest_cluster: u64) -> Option<u64> {
+        let (i1, i2) = self.split(guest_cluster);
+        match self.l1.get(i1)?.as_ref() {
+            Some(t) => {
+                let e = t.entries[i2];
+                (e != u64::MAX).then_some(e)
+            }
+            None => None,
+        }
+    }
+
+    /// Read `len` bytes at guest offset, COW-transparent.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, QcowError> {
+        if offset + len as u64 > self.virtual_size {
+            return Err(QcowError::OutOfBounds { offset, len, virtual_size: self.virtual_size });
+        }
+        let cs = self.cluster_size();
+        let mut out = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let pos = offset + done as u64;
+            let gc = pos / cs;
+            let within = (pos % cs) as usize;
+            let take = ((cs as usize) - within).min(len - done);
+            match self.lookup(gc) {
+                Some(pc) => {
+                    out[done..done + take]
+                        .copy_from_slice(&self.clusters[pc as usize][within..within + take]);
+                }
+                None => {
+                    if let Some(b) = &self.backing {
+                        let chunk = b.read_at(gc * cs + within as u64, take)?;
+                        out[done..done + take].copy_from_slice(&chunk);
+                    }
+                    // else: stays zero
+                }
+            }
+            done += take;
+        }
+        Ok(out)
+    }
+
+    fn allocate_cluster(&mut self) -> u64 {
+        let idx = self.clusters.len() as u64;
+        self.clusters.push(vec![0u8; self.cluster_size() as usize].into_boxed_slice());
+        self.refcounts.push(1);
+        idx
+    }
+
+    /// Ensure a guest cluster is locally allocated, copying from backing
+    /// (or zero-filling) as needed; returns the physical index.
+    fn ensure_cluster(&mut self, gc: u64) -> Result<u64, QcowError> {
+        if let Some(pc) = self.lookup(gc) {
+            return Ok(pc);
+        }
+        let cs = self.cluster_size();
+        let pc = self.allocate_cluster();
+        if let Some(b) = self.backing.clone() {
+            let base_off = gc * cs;
+            if base_off < b.virtual_size {
+                let take = cs.min(b.virtual_size - base_off) as usize;
+                let data = b.read_at(base_off, take)?;
+                self.clusters[pc as usize][..take].copy_from_slice(&data);
+            }
+        }
+        let (i1, i2) = self.split(gc);
+        if self.l1[i1].is_none() {
+            self.l1[i1] = Some(L2Table::new());
+        }
+        self.l1[i1].as_mut().unwrap().entries[i2] = pc;
+        Ok(pc)
+    }
+
+    /// Write bytes at a guest offset (allocating / COW-copying clusters).
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), QcowError> {
+        if offset + data.len() as u64 > self.virtual_size {
+            return Err(QcowError::OutOfBounds {
+                offset,
+                len: data.len(),
+                virtual_size: self.virtual_size,
+            });
+        }
+        let cs = self.cluster_size();
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let gc = pos / cs;
+            let within = (pos % cs) as usize;
+            let take = ((cs as usize) - within).min(data.len() - done);
+            let pc = self.ensure_cluster(gc)?;
+            self.clusters[pc as usize][within..within + take]
+                .copy_from_slice(&data[done..done + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Discard a guest range: deallocates whole clusters it covers
+    /// (modelling `virt-sysprep`-style cleanup and file deletion trims).
+    pub fn discard(&mut self, offset: u64, len: u64) -> Result<(), QcowError> {
+        if offset + len > self.virtual_size {
+            return Err(QcowError::OutOfBounds {
+                offset,
+                len: len as usize,
+                virtual_size: self.virtual_size,
+            });
+        }
+        let cs = self.cluster_size();
+        let first = offset.div_ceil(cs);
+        let last = (offset + len) / cs;
+        for gc in first..last {
+            let (i1, i2) = self.split(gc);
+            if let Some(t) = self.l1[i1].as_mut() {
+                let e = t.entries[i2];
+                if e != u64::MAX {
+                    t.entries[i2] = u64::MAX;
+                    let rc = &mut self.refcounts[e as usize];
+                    *rc = rc.saturating_sub(1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of locally allocated (live) clusters.
+    pub fn allocated_clusters(&self) -> usize {
+        self.refcounts.iter().filter(|&&rc| rc > 0).count()
+    }
+
+    /// Allocated payload bytes + metadata overhead (header, L1, live L2
+    /// tables, refcount table) — the image's on-disk footprint, which is
+    /// what the Qcow2 baseline accounts.
+    pub fn allocated_bytes(&self) -> u64 {
+        let payload = self.allocated_clusters() as u64 * self.cluster_size();
+        let l2_tables = self.l1.iter().filter(|t| t.is_some()).count() as u64;
+        let meta = 64 // header
+            + self.l1.len() as u64 * 8
+            + l2_tables * ((1 << L2_ENTRIES_BITS) * 8)
+            + self.refcounts.len() as u64 * 2;
+        payload + meta
+    }
+
+    /// Serialize the full image (header + mapping + live clusters). The
+    /// encoding is deterministic and content-only: images with equal
+    /// content serialize identically regardless of their names (real
+    /// qcow2 files carry no name either — dedup and compression baselines
+    /// depend on this).
+    pub fn serialize(&self) -> Vec<u8> {
+        let cs = self.cluster_size() as usize;
+        let mut out = Vec::with_capacity(self.allocated_bytes() as usize + 1024);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.virtual_size.to_le_bytes());
+        out.extend_from_slice(&(self.cluster_bits as u32).to_le_bytes());
+        // Mapping: (guest_cluster, cluster bytes) pairs in guest order.
+        let mut mapped: Vec<(u64, u64)> = Vec::new();
+        for (i1, t) in self.l1.iter().enumerate() {
+            if let Some(t) = t {
+                for (i2, &e) in t.entries.iter().enumerate() {
+                    if e != u64::MAX {
+                        let gc = ((i1 as u64) << L2_ENTRIES_BITS) | i2 as u64;
+                        mapped.push((gc, e));
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&(mapped.len() as u64).to_le_bytes());
+        for (gc, pc) in mapped {
+            out.extend_from_slice(&gc.to_le_bytes());
+            out.extend_from_slice(&self.clusters[pc as usize][..cs]);
+        }
+        out
+    }
+
+    /// Reconstruct an image from [`QcowImage::serialize`] output.
+    /// (Backing links are not serialized — images are flattened on
+    /// publish, like `qemu-img convert`.) The name is supplied by the
+    /// caller (it lives in repository metadata, not the stream).
+    pub fn deserialize(data: &[u8]) -> Result<QcowImage, QcowError> {
+        Self::deserialize_named("restored", data)
+    }
+
+    /// [`QcowImage::deserialize`] with an explicit name.
+    pub fn deserialize_named(name: &str, data: &[u8]) -> Result<QcowImage, QcowError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], QcowError> {
+            if *pos + n > data.len() {
+                return Err(QcowError::Corrupt("truncated"));
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(QcowError::Corrupt("bad magic"));
+        }
+        let virtual_size = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let cluster_bits = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if !(4..=20).contains(&cluster_bits) {
+            return Err(QcowError::Corrupt("bad cluster bits"));
+        }
+        let mut img = QcowImage::create_with_cluster_bits(name, virtual_size, cluster_bits);
+        let n = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let cs = img.cluster_size() as usize;
+        for _ in 0..n {
+            let gc = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let bytes = take(&mut pos, cs)?.to_vec();
+            if gc * cs as u64 >= virtual_size.div_ceil(cs as u64) * cs as u64 {
+                return Err(QcowError::Corrupt("cluster out of range"));
+            }
+            let pc = img.allocate_cluster();
+            img.clusters[pc as usize].copy_from_slice(&bytes);
+            let (i1, i2) = img.split(gc);
+            if i1 >= img.l1.len() {
+                return Err(QcowError::Corrupt("cluster out of range"));
+            }
+            if img.l1[i1].is_none() {
+                img.l1[i1] = Some(L2Table::new());
+            }
+            img.l1[i1].as_mut().unwrap().entries[i2] = pc;
+        }
+        if pos != data.len() {
+            return Err(QcowError::Corrupt("trailing bytes"));
+        }
+        Ok(img)
+    }
+
+    /// Flatten a COW chain into a standalone image (like
+    /// `qemu-img convert`): every cluster readable from the chain becomes
+    /// local.
+    pub fn flatten(&self, name: &str) -> Result<QcowImage, QcowError> {
+        let cs = self.cluster_size();
+        let mut out =
+            QcowImage::create_with_cluster_bits(name, self.virtual_size, self.cluster_bits);
+        let total = self.virtual_size.div_ceil(cs);
+        for gc in 0..total {
+            let off = gc * cs;
+            let take = cs.min(self.virtual_size - off) as usize;
+            let chunk = self.read_at(off, take)?;
+            // Skip all-zero clusters to keep the flattened image sparse.
+            if chunk.iter().any(|&b| b != 0) {
+                out.write_at(off, &chunk)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_image_reads_zero() {
+        let img = QcowImage::create("t", 10_000);
+        let data = img.read_at(0, 100).unwrap();
+        assert!(data.iter().all(|&b| b == 0));
+        assert_eq!(img.allocated_clusters(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut img = QcowImage::create("t", 100_000);
+        let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        img.write_at(12_345, &payload).unwrap();
+        assert_eq!(img.read_at(12_345, payload.len()).unwrap(), payload);
+        // Surrounding bytes untouched.
+        assert!(img.read_at(0, 100).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut img = QcowImage::create("t", 1000);
+        assert!(matches!(
+            img.write_at(990, &[0u8; 20]),
+            Err(QcowError::OutOfBounds { .. })
+        ));
+        assert!(img.read_at(1001, 1).is_err());
+    }
+
+    #[test]
+    fn allocation_is_cluster_granular() {
+        let mut img = QcowImage::create("t", 100_000);
+        img.write_at(0, &[1]).unwrap();
+        assert_eq!(img.allocated_clusters(), 1);
+        img.write_at(5, &[2]).unwrap(); // same cluster
+        assert_eq!(img.allocated_clusters(), 1);
+        img.write_at(img.cluster_size(), &[3]).unwrap(); // next cluster
+        assert_eq!(img.allocated_clusters(), 2);
+    }
+
+    #[test]
+    fn overlay_reads_through_and_cow_isolates() {
+        let mut base = QcowImage::create("base", 10_000);
+        base.write_at(100, b"base-data").unwrap();
+        let base = Arc::new(base);
+        let mut over = QcowImage::overlay("over", Arc::clone(&base));
+        assert_eq!(over.read_at(100, 9).unwrap(), b"base-data");
+        over.write_at(100, b"OVER").unwrap();
+        assert_eq!(over.read_at(100, 9).unwrap(), b"OVER-data");
+        // COW copied the rest of the cluster from the base.
+        assert_eq!(base.read_at(100, 9).unwrap(), b"base-data");
+    }
+
+    #[test]
+    fn discard_releases_clusters() {
+        let mut img = QcowImage::create("t", 100_000);
+        let cs = img.cluster_size();
+        img.write_at(0, &vec![7u8; (cs * 4) as usize]).unwrap();
+        assert_eq!(img.allocated_clusters(), 4);
+        img.discard(0, cs * 2).unwrap();
+        assert_eq!(img.allocated_clusters(), 2);
+        // Discarded range reads zero again.
+        assert!(img.read_at(0, cs as usize).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let mut img = QcowImage::create("serial-test", 50_000);
+        img.write_at(1000, b"hello qcow").unwrap();
+        img.write_at(30_000, &[0xAB; 600]).unwrap();
+        let bytes = img.serialize();
+        let back = QcowImage::deserialize_named("serial-test", &bytes).unwrap();
+        assert_eq!(back.name(), "serial-test");
+        assert_eq!(back.virtual_size(), 50_000);
+        assert_eq!(back.read_at(1000, 10).unwrap(), b"hello qcow");
+        assert_eq!(back.read_at(30_000, 600).unwrap(), vec![0xAB; 600]);
+        assert_eq!(back.allocated_clusters(), img.allocated_clusters());
+    }
+
+    #[test]
+    fn serialize_is_deterministic() {
+        let build = || {
+            let mut img = QcowImage::create("d", 20_000);
+            img.write_at(0, b"aaa").unwrap();
+            img.write_at(9_000, b"bbb").unwrap();
+            img.serialize()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        let mut img = QcowImage::create("c", 10_000);
+        img.write_at(0, b"x").unwrap();
+        let mut bytes = img.serialize();
+        bytes[0] ^= 0xFF;
+        assert!(QcowImage::deserialize(&bytes).is_err());
+        let ser = img.serialize();
+        assert!(QcowImage::deserialize(&ser[..ser.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn flatten_materializes_chain() {
+        let mut base = QcowImage::create("base", 20_000);
+        base.write_at(0, b"from-base").unwrap();
+        let base = Arc::new(base);
+        let mut over = QcowImage::overlay("over", Arc::clone(&base));
+        over.write_at(10_000, b"from-over").unwrap();
+        let flat = over.flatten("flat").unwrap();
+        assert!(flat.backing().is_none());
+        assert_eq!(flat.read_at(0, 9).unwrap(), b"from-base");
+        assert_eq!(flat.read_at(10_000, 9).unwrap(), b"from-over");
+    }
+
+    #[test]
+    fn flatten_skips_zero_clusters() {
+        let mut img = QcowImage::create("z", 100_000);
+        let cs = img.cluster_size() as usize;
+        img.write_at(0, &vec![0u8; cs]).unwrap(); // explicit zeros
+        img.write_at(cs as u64 * 3, &[1, 2, 3]).unwrap();
+        let flat = img.flatten("f").unwrap();
+        assert_eq!(flat.allocated_clusters(), 1, "zero cluster dropped");
+    }
+
+    #[test]
+    fn allocated_bytes_includes_metadata() {
+        let mut img = QcowImage::create("m", 1_000_000);
+        assert!(img.allocated_bytes() > 0, "metadata even when empty");
+        let before = img.allocated_bytes();
+        img.write_at(0, &[1u8; 300]).unwrap();
+        assert!(img.allocated_bytes() > before);
+    }
+
+    #[test]
+    fn cross_cluster_write() {
+        let mut img = QcowImage::create("x", 10_000);
+        let cs = img.cluster_size();
+        let data: Vec<u8> = (0..cs as usize * 2 + 37).map(|i| (i % 255) as u8).collect();
+        img.write_at(cs - 10, &data).unwrap();
+        assert_eq!(img.read_at(cs - 10, data.len()).unwrap(), data);
+    }
+}

@@ -1,0 +1,90 @@
+//! Raw (fully allocated) image format — the trivial counterpart used in
+//! tests and as the `qemu-img convert -O raw` analogue.
+
+use crate::qcow::{QcowError, QcowImage};
+
+/// A raw image: a flat, fully materialized byte buffer.
+#[derive(Clone)]
+pub struct RawImage {
+    name: String,
+    data: Vec<u8>,
+}
+
+impl RawImage {
+    pub fn create(name: &str, size: u64) -> Self {
+        RawImage { name: name.to_string(), data: vec![0u8; size as usize] }
+    }
+
+    /// Materialize a qcow image (or chain) into raw form.
+    pub fn from_qcow(img: &QcowImage) -> Result<Self, QcowError> {
+        let data = img.read_at(0, img.virtual_size() as usize)?;
+        Ok(RawImage { name: img.name().to_string(), data })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<&[u8], QcowError> {
+        let end = offset as usize + len;
+        if end > self.data.len() {
+            return Err(QcowError::OutOfBounds {
+                offset,
+                len,
+                virtual_size: self.data.len() as u64,
+            });
+        }
+        Ok(&self.data[offset as usize..end])
+    }
+
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), QcowError> {
+        let end = offset as usize + data.len();
+        if end > self.data.len() {
+            return Err(QcowError::OutOfBounds {
+                offset,
+                len: data.len(),
+                virtual_size: self.data.len() as u64,
+            });
+        }
+        self.data[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut r = RawImage::create("r", 1000);
+        r.write_at(10, b"raw").unwrap();
+        assert_eq!(r.read_at(10, 3).unwrap(), b"raw");
+        assert_eq!(r.size(), 1000);
+    }
+
+    #[test]
+    fn raw_bounds() {
+        let mut r = RawImage::create("r", 10);
+        assert!(r.write_at(8, b"xyz").is_err());
+        assert!(r.read_at(9, 2).is_err());
+    }
+
+    #[test]
+    fn from_qcow_materializes() {
+        let mut q = QcowImage::create("q", 5000);
+        q.write_at(100, b"content").unwrap();
+        let r = RawImage::from_qcow(&q).unwrap();
+        assert_eq!(r.size(), 5000);
+        assert_eq!(r.read_at(100, 7).unwrap(), b"content");
+        assert_eq!(r.read_at(0, 10).unwrap(), &[0u8; 10]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: publish two images into an Expelliarmus repository, watch
+//! the base image being shared, and retrieve one back.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use expelliarmus::prelude::*;
+
+fn main() {
+    // A small deterministic world: Ubuntu-like base + a handful of stacks.
+    let world = World::small();
+
+    let mini = world.build_image("mini");
+    let redis = world.build_image("redis");
+    println!(
+        "built {:<6} mounted={:>10}  files={:>3}",
+        mini.name,
+        format_nominal(mini.mounted_bytes()),
+        mini.file_count()
+    );
+    println!(
+        "built {:<6} mounted={:>10}  files={:>3}",
+        redis.name,
+        format_nominal(redis.mounted_bytes()),
+        redis.file_count()
+    );
+
+    // Publish both. The second publish finds the base already stored and
+    // only exports redis's packages.
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    for vmi in [&mini, &redis] {
+        let report = repo.publish(&world.catalog, vmi).expect("publish");
+        println!(
+            "published {:<6} in {:>8}  (similarity {:.2}, {} new packages, +{})",
+            report.image,
+            format!("{}", report.duration),
+            report.similarity,
+            report.units_stored,
+            format_nominal(report.bytes_added),
+        );
+    }
+    println!(
+        "repository: {} for {} of images ({} base image(s), {} packages)",
+        format_nominal(repo.repo_bytes()),
+        format_nominal(mini.disk_bytes() + redis.disk_bytes()),
+        repo.base_count(),
+        repo.package_count(),
+    );
+
+    // Retrieve redis back and verify functional equality.
+    let request = RetrieveRequest::for_image(&redis, &world.catalog);
+    let (got, report) = repo.retrieve(&world.catalog, &request).expect("retrieve");
+    println!("retrieved {} in {}", got.name, report.duration);
+    for (phase, t) in report.breakdown.segments() {
+        println!("  {phase:<28} {t}");
+    }
+    assert_eq!(
+        got.installed_package_set(&world.catalog),
+        redis.installed_package_set(&world.catalog)
+    );
+    println!("retrieved image is functionally identical to the published one ✓");
+}

@@ -1,0 +1,76 @@
+//! Semantic-graph playground: build the Figure 1 style graphs for a few
+//! images, print the pairwise SimG matrix, and show how a master graph
+//! collapses the comparisons.
+//!
+//! ```text
+//! cargo run --release --example semantic_similarity
+//! ```
+
+use expelliarmus::semgraph::{sim_g, MasterGraph, SemanticGraph};
+use expelliarmus::workloads::World;
+
+fn image_graph(world: &World, name: &str) -> SemanticGraph {
+    let vmi = world.build_image(name);
+    let installed = vmi.pkgdb.installed_ids();
+    let primary_set: std::collections::HashSet<_> = vmi.primary.iter().copied().collect();
+    let base_roots: Vec<_> = vmi
+        .pkgdb
+        .manual_ids()
+        .into_iter()
+        .filter(|id| !primary_set.contains(id))
+        .collect();
+    SemanticGraph::of_image(
+        &world.catalog,
+        name,
+        vmi.base.clone(),
+        &installed,
+        &vmi.primary,
+        &base_roots,
+    )
+}
+
+fn main() {
+    let world = World::small();
+    let names = world.image_names();
+    let graphs: Vec<SemanticGraph> = names.iter().map(|n| image_graph(&world, n)).collect();
+
+    for (name, g) in names.iter().zip(&graphs) {
+        println!(
+            "{name:<8} {:>3} vertices ({} primary-subgraph, {} base), cycle: {}",
+            g.package_count(),
+            g.primary_subgraph().package_count(),
+            g.base_subgraph().package_count(),
+            g.has_cycle(),
+        );
+    }
+
+    println!("\npairwise SimG:");
+    print!("{:<8}", "");
+    for n in &names {
+        print!(" {n:>7}");
+    }
+    println!();
+    for (i, a) in graphs.iter().enumerate() {
+        print!("{:<8}", names[i]);
+        for b in &graphs {
+            print!(" {:>7.3}", sim_g(a, b));
+        }
+        println!();
+    }
+
+    // Master graph: merge all images, then compare one new image against
+    // the single master instead of each stored graph.
+    let mut master = MasterGraph::create(&graphs[0]);
+    for g in &graphs[1..] {
+        master.absorb(g);
+    }
+    println!(
+        "\nmaster graph {}: {} union packages from {} member images",
+        master.key,
+        master.package_count(),
+        master.members.len()
+    );
+    for (name, g) in names.iter().zip(&graphs) {
+        println!("  SimG({name:<8} vs master) = {:.3}", master.similarity_to(g));
+    }
+}

@@ -1,0 +1,56 @@
+//! CI/CD image-versioning scenario (Figure 3c): the same IDE image is
+//! rebuilt many times with a few packages bumped per build; only a
+//! semantics-aware store keeps repository growth proportional to the
+//! *changed packages* instead of the whole image.
+//!
+//! ```text
+//! cargo run --release --example successive_builds [n_builds]
+//! ```
+
+use expelliarmus::prelude::*;
+use expelliarmus::util::bytesize::nominal_gb;
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    println!("building the standard world…");
+    let world = World::standard();
+
+    let mut qcow = QcowStore::new(world.env());
+    let mut mirage = MirageStore::new(world.env());
+    let mut xpl = ExpelliarmusRepo::new(world.env());
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>14} {:>12}",
+        "build", "Qcow2 GB", "Mirage GB", "Expelliarmus", "new pkgs"
+    );
+    for k in 0..n {
+        let vmi = world.ide_build(k);
+        qcow.publish(&world.catalog, &vmi).unwrap();
+        mirage.publish(&world.catalog, &vmi).unwrap();
+        let report = xpl.publish(&world.catalog, &vmi).unwrap();
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>14.2} {:>12}",
+            vmi.name,
+            nominal_gb(qcow.repo_bytes()),
+            nominal_gb(mirage.repo_bytes()),
+            nominal_gb(xpl.repo_bytes()),
+            report.units_stored,
+        );
+    }
+
+    let q = nominal_gb(qcow.repo_bytes());
+    let m = nominal_gb(mirage.repo_bytes());
+    let x = nominal_gb(xpl.repo_bytes());
+    println!(
+        "\nafter {n} builds: Expelliarmus stores {x:.2} GB — {:.1}× less than Mirage, {:.1}× less than raw qcow2",
+        m / x,
+        q / x
+    );
+    println!(
+        "(the paper reports 2.2× vs Mirage/Hemera and 16× vs gzip at 40 builds)"
+    );
+}

@@ -1,0 +1,131 @@
+//! Expelliarmus repository invariants (DESIGN.md §8): master-graph
+//! consistency, base-image uniqueness, replacement garbage collection and
+//! failure injection.
+
+use expelliarmus::core::PublishMode;
+use expelliarmus::prelude::*;
+
+#[test]
+fn one_master_per_base_and_all_compatible() {
+    let world = World::small();
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    for name in world.image_names() {
+        repo.publish(&world.catalog, &world.build_image(name)).unwrap();
+        repo.check_invariants().expect("invariants after every publish");
+    }
+    // All images share one attribute quadruple → exactly one base/master.
+    assert_eq!(repo.base_count(), 1);
+    let master = repo.masters().next().unwrap();
+    assert_eq!(master.members.len(), world.image_names().len());
+}
+
+#[test]
+fn no_duplicate_base_for_same_quadruple() {
+    let world = World::small();
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    // Publishing the same image set twice must not create extra bases.
+    for _ in 0..2 {
+        for name in world.image_names() {
+            repo.publish(&world.catalog, &world.build_image(name)).unwrap();
+        }
+    }
+    assert_eq!(repo.base_count(), 1, "base image stored exactly once");
+}
+
+#[test]
+fn repo_growth_is_package_bound_after_first_base() {
+    let world = World::small();
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    repo.publish(&world.catalog, &world.build_image("mini")).unwrap();
+    let base_size = repo.repo_bytes();
+    for name in ["redis", "nginx", "lamp"] {
+        let vmi = world.build_image(name);
+        let before = repo.repo_bytes();
+        repo.publish(&world.catalog, &vmi).unwrap();
+        let grew = repo.repo_bytes() - before;
+        // Growth bounded by the image's primary payload (deb-sized), far
+        // below the disk size.
+        assert!(
+            grew < vmi.disk_bytes() / 3,
+            "{name}: grew {grew} vs disk {}",
+            vmi.disk_bytes()
+        );
+    }
+    assert!(repo.repo_bytes() < base_size * 2);
+}
+
+#[test]
+fn semantic_mode_same_storage_more_time() {
+    let world = World::small();
+    let mut aware = ExpelliarmusRepo::new(world.env());
+    let mut naive = ExpelliarmusRepo::with_mode(world.env(), PublishMode::SemanticDecomposition);
+    let mut aware_total = 0.0;
+    let mut naive_total = 0.0;
+    for name in world.image_names() {
+        let vmi = world.build_image(name);
+        aware_total += aware.publish(&world.catalog, &vmi).unwrap().duration.as_secs_f64();
+        naive_total += naive.publish(&world.catalog, &vmi).unwrap().duration.as_secs_f64();
+    }
+    assert!(
+        naive_total > aware_total,
+        "variant {naive_total} must cost more than similarity-aware {aware_total}"
+    );
+    // Figure 3 storage identical: the CAS dedups rebuilt packages.
+    let ratio = aware.repo_bytes() as f64 / naive.repo_bytes() as f64;
+    assert!((0.95..1.05).contains(&ratio), "storage should match: {ratio}");
+}
+
+#[test]
+fn retrieval_phases_are_ordered_like_fig5a() {
+    let world = World::small();
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    let lamp = world.build_image("lamp");
+    repo.publish(&world.catalog, &lamp).unwrap();
+    let (_vmi, report) = repo
+        .retrieve(&world.catalog, &RetrieveRequest::for_image(&lamp, &world.catalog))
+        .unwrap();
+    let copy = report.breakdown.get("Base image copy");
+    let handle = report.breakdown.get("Libguestfs handler creation");
+    let reset = report.breakdown.get("VMI reset");
+    // Fig 5a: the first three phases are in the same band for every image.
+    let s = |d: expelliarmus::simio::SimDuration| d.as_secs_f64();
+    assert!((s(copy) - s(handle)).abs() < 10.0);
+    assert!((s(handle) - s(reset)).abs() < 2.0);
+    assert_eq!(
+        report.breakdown.total().as_nanos(),
+        report.duration.as_nanos(),
+        "phases partition the retrieval time"
+    );
+}
+
+#[test]
+fn similarity_column_shape() {
+    // First image similarity 0; a near-duplicate scores near 1.
+    let world = World::small();
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    let first = repo.publish(&world.catalog, &world.build_image("redis")).unwrap();
+    assert_eq!(first.similarity, 0.0);
+    let again = repo.publish(&world.catalog, &world.build_image("redis")).unwrap();
+    assert!(again.similarity > 0.95, "duplicate similarity {}", again.similarity);
+}
+
+#[test]
+fn functional_assembly_combines_repositories_packages() {
+    let world = World::small();
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    repo.publish(&world.catalog, &world.build_image("redis")).unwrap();
+    repo.publish(&world.catalog, &world.build_image("lamp")).unwrap();
+    let request = RetrieveRequest {
+        name: "composite".into(),
+        base: world.template.attrs.clone(),
+        primary: vec!["redis-server".into(), "apache2".into(), "php7.0".into()],
+        user_data: vec![],
+    };
+    let (vmi, _) = repo.retrieve(&world.catalog, &request).unwrap();
+    for pkg in ["redis-server", "apache2", "php7.0"] {
+        assert!(
+            vmi.pkgdb.is_installed(expelliarmus::util::IStr::new(pkg)),
+            "{pkg} missing from composite image"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-store integration tests: every store must round-trip images with
+//! functional equality, and the storage hierarchy of Figure 3 must hold.
+
+use expelliarmus::prelude::*;
+use expelliarmus::store::StoreError;
+
+fn all_stores(world: &World) -> Vec<Box<dyn ImageStore>> {
+    vec![
+        Box::new(QcowStore::new(world.env())),
+        Box::new(GzipStore::new(world.env())),
+        Box::new(MirageStore::new(world.env())),
+        Box::new(HemeraStore::new(world.env())),
+        Box::new(ExpelliarmusRepo::new(world.env())),
+        Box::new(FixedBlockDedupStore::new(world.env(), 256)),
+        Box::new(CdcDedupStore::new(world.env(), 512)),
+    ]
+}
+
+#[test]
+fn every_store_roundtrips_every_image() {
+    let world = World::small();
+    for mut store in all_stores(&world) {
+        for name in world.image_names() {
+            let vmi = world.build_image(name);
+            store
+                .publish(&world.catalog, &vmi)
+                .unwrap_or_else(|e| panic!("{}: publish {name}: {e}", store.name()));
+            let req = RetrieveRequest::for_image(&vmi, &world.catalog);
+            let (got, report) = store
+                .retrieve(&world.catalog, &req)
+                .unwrap_or_else(|e| panic!("{}: retrieve {name}: {e}", store.name()));
+            assert_eq!(
+                got.installed_package_set(&world.catalog),
+                vmi.installed_package_set(&world.catalog),
+                "{}: package set mismatch for {name}",
+                store.name()
+            );
+            assert_eq!(
+                got.user_data_bytes(),
+                vmi.user_data_bytes(),
+                "{}: user data mismatch for {name}",
+                store.name()
+            );
+            assert!(report.duration.as_nanos() > 0, "{}: zero-cost retrieve", store.name());
+        }
+    }
+}
+
+#[test]
+fn storage_hierarchy_matches_figure3() {
+    let world = World::small();
+    let mut qcow = QcowStore::new(world.env());
+    let mut gzip = GzipStore::new(world.env());
+    let mut mirage = MirageStore::new(world.env());
+    let mut hemera = HemeraStore::new(world.env());
+    let mut xpl = ExpelliarmusRepo::new(world.env());
+    for name in world.image_names() {
+        let vmi = world.build_image(name);
+        qcow.publish(&world.catalog, &vmi).unwrap();
+        gzip.publish(&world.catalog, &vmi).unwrap();
+        mirage.publish(&world.catalog, &vmi).unwrap();
+        hemera.publish(&world.catalog, &vmi).unwrap();
+        xpl.publish(&world.catalog, &vmi).unwrap();
+    }
+    let (q, g, m, h, x) = (
+        qcow.repo_bytes(),
+        gzip.repo_bytes(),
+        mirage.repo_bytes(),
+        hemera.repo_bytes(),
+        xpl.repo_bytes(),
+    );
+    // Figure 3's ordering at scale: Expelliarmus < Mirage ≈ Hemera < Qcow2,
+    // gzip between dedup stores and raw.
+    assert!(x < m, "Expelliarmus {x} must beat Mirage {m}");
+    assert!(m < q && h < q && g < q, "every scheme beats raw qcow2");
+    let ratio = (h as f64) / (m as f64);
+    assert!((0.7..1.4).contains(&ratio), "Mirage {m} vs Hemera {h} should be close");
+}
+
+#[test]
+fn monolithic_stores_cannot_serve_unknown_images() {
+    let world = World::small();
+    let vmi = world.build_image("redis");
+    for mut store in all_stores(&world) {
+        store.publish(&world.catalog, &vmi).unwrap();
+        let req = RetrieveRequest {
+            name: "never-published".into(),
+            base: vmi.base.clone(),
+            primary: vec!["redis-server".into()],
+            user_data: vec![],
+        };
+        let result = store.retrieve(&world.catalog, &req);
+        if store.name() == "Expelliarmus" {
+            // The semantic store assembles it from parts.
+            assert!(result.is_ok(), "Expelliarmus should assemble from parts");
+        } else {
+            assert!(
+                matches!(result, Err(StoreError::NotFound(_))),
+                "{} should not find an unpublished image",
+                store.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_publish_is_idempotent_for_dedup_stores() {
+    let world = World::small();
+    let vmi = world.build_image("lamp");
+    for mut store in all_stores(&world) {
+        store.publish(&world.catalog, &vmi).unwrap();
+        let size1 = store.repo_bytes();
+        store.publish(&world.catalog, &vmi).unwrap();
+        let size2 = store.repo_bytes();
+        let grew = size2.saturating_sub(size1);
+        match store.name() {
+            // Monolithic stores replace the entry by name: no growth.
+            "Qcow2" | "Qcow2+Gzip" => assert!(grew <= size1 / 100, "{}: grew {grew}", store.name()),
+            // Dedup stores add at most metadata.
+            _ => assert!(
+                grew < size1 / 20,
+                "{}: republish grew {grew} of {size1}",
+                store.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn publish_reports_are_consistent() {
+    let world = World::small();
+    for mut store in all_stores(&world) {
+        let vmi = world.build_image("nginx");
+        let report = store.publish(&world.catalog, &vmi).unwrap();
+        assert_eq!(report.image, "nginx");
+        assert!(report.duration.as_nanos() > 0);
+        assert!(
+            report.breakdown.total() <= report.duration,
+            "{}: breakdown {} exceeds duration {}",
+            store.name(),
+            report.breakdown.total(),
+            report.duration
+        );
+    }
+}
