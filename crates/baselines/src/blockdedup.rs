@@ -11,7 +11,9 @@ use xpl_chunking::{fixed::chunk_fixed, rabin, ChunkSpan};
 use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
-use xpl_store::{ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_store::{
+    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+};
 use xpl_util::{Digest, FxHashMap};
 
 enum Chunker {
@@ -73,7 +75,9 @@ impl CdcDedupStore {
         CdcDedupStore(BlockDedupStore {
             env,
             label: "BlockDedup(cdc)",
-            chunker: Chunker::Cdc { params: rabin::CdcParams::with_avg(avg_real) },
+            chunker: Chunker::Cdc {
+                params: rabin::CdcParams::with_avg(avg_real),
+            },
             cas,
             recipes: FxHashMap::default(),
         })
@@ -97,7 +101,10 @@ impl BlockDedupStore {
     fn publish(&mut self, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         let t0 = self.env.clock.now();
         let bytes_before = self.cas.unique_bytes();
-        let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+        let mut report = PublishReport {
+            image: vmi.name.clone(),
+            ..Default::default()
+        };
         // Block dedup reads the *device address space* (unallocated ranges
         // read as zeros and dedup to a single zero block), not a
         // serialized file format — allocation-stable offsets are what make
@@ -121,7 +128,11 @@ impl BlockDedupStore {
         report.bytes_added = self.cas.unique_bytes() - bytes_before;
         self.recipes.insert(
             vmi.name.clone(),
-            Recipe { chunks, total_len: data.len() as u64, snapshot: VmiSnapshot::of(vmi) },
+            Recipe {
+                chunks,
+                total_len: data.len() as u64,
+                snapshot: VmiSnapshot::of(vmi),
+            },
         );
         report.duration = self.env.clock.since(t0);
         Ok(report)
@@ -133,7 +144,10 @@ impl BlockDedupStore {
             .recipes
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
-        let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
+        let mut report = RetrieveReport {
+            image: request.name.clone(),
+            ..Default::default()
+        };
         let reads_before = self.env.repo.stats().bytes_read;
         let mut reassembled = Vec::with_capacity(recipe.total_len as usize);
         for digest in &recipe.chunks {
@@ -166,7 +180,11 @@ macro_rules! delegate_store {
             fn name(&self) -> &'static str {
                 self.0.label
             }
-            fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+            fn publish(
+                &mut self,
+                _catalog: &Catalog,
+                vmi: &Vmi,
+            ) -> Result<PublishReport, StoreError> {
                 self.0.publish(vmi)
             }
             fn retrieve(
@@ -230,7 +248,10 @@ mod tests {
         store.publish(&w.catalog, &lamp).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&lamp, &w.catalog);
         let (got, _) = store.retrieve(&w.catalog, &req).unwrap();
-        assert_eq!(got.installed_package_set(&w.catalog), lamp.installed_package_set(&w.catalog));
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            lamp.installed_package_set(&w.catalog)
+        );
     }
 
     #[test]

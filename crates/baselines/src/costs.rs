@@ -44,7 +44,11 @@ pub fn gzip_decompress_per_byte() -> SimDuration {
 
 /// Charge `per_byte` cost scaled to nominal for `real_bytes`.
 pub fn scaled(per_byte: SimDuration, real_bytes: u64) -> SimDuration {
-    SimDuration(per_byte.0.saturating_mul(real_bytes.saturating_mul(xpl_util::SCALE_FACTOR)))
+    SimDuration(
+        per_byte
+            .0
+            .saturating_mul(real_bytes.saturating_mul(xpl_util::SCALE_FACTOR)),
+    )
 }
 
 /// Transfer duration for `real_bytes` at a nominal-bytes/second rate.

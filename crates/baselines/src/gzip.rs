@@ -25,7 +25,10 @@ pub struct GzipStore {
 
 impl GzipStore {
     pub fn new(env: SimEnv) -> Self {
-        GzipStore { env, images: FxHashMap::default() }
+        GzipStore {
+            env,
+            images: FxHashMap::default(),
+        }
     }
 
     /// Mean compression ratio across stored images (compressed/original).
@@ -33,10 +36,9 @@ impl GzipStore {
         if self.images.is_empty() {
             return 1.0;
         }
-        let (c, r) = self
-            .images
-            .values()
-            .fold((0u64, 0u64), |(c, r), e| (c + e.compressed.len() as u64, r + e.raw_len));
+        let (c, r) = self.images.values().fold((0u64, 0u64), |(c, r), e| {
+            (c + e.compressed.len() as u64, r + e.raw_len)
+        });
         c as f64 / r as f64
     }
 }
@@ -48,23 +50,33 @@ impl ImageStore for GzipStore {
 
     fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         let t0 = self.env.clock.now();
-        let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+        let mut report = PublishReport {
+            image: vmi.name.clone(),
+            ..Default::default()
+        };
         let raw = vmi.disk.serialize();
         let compressed = report.breakdown.measure(&self.env.clock, "compress", || {
             self.env.local.charge_read(raw.len() as u64);
-            self.env
-                .local
-                .charge_fixed(costs::scaled(costs::gzip_compress_per_byte(), raw.len() as u64));
+            self.env.local.charge_fixed(costs::scaled(
+                costs::gzip_compress_per_byte(),
+                raw.len() as u64,
+            ));
             xpl_compress::gzip_compress_parallel(&raw)
         });
         report.breakdown.measure(&self.env.clock, "upload", || {
-            self.env.local.charge_copy_to(&self.env.repo, compressed.len() as u64);
+            self.env
+                .local
+                .charge_copy_to(&self.env.repo, compressed.len() as u64);
         });
         report.bytes_added = compressed.len() as u64;
         report.units_stored = 1;
         self.images.insert(
             vmi.name.clone(),
-            Entry { compressed, raw_len: raw.len() as u64, snapshot: VmiSnapshot::of(vmi) },
+            Entry {
+                compressed,
+                raw_len: raw.len() as u64,
+                snapshot: VmiSnapshot::of(vmi),
+            },
         );
         report.duration = self.env.clock.since(t0);
         Ok(report)
@@ -80,18 +92,24 @@ impl ImageStore for GzipStore {
             .images
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
-        let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
-        let raw = report.breakdown.measure(&self.env.clock, "download+gunzip", || {
-            self.env.repo.charge_open(entry.compressed.len() as u64);
-            self.env
-                .repo
-                .charge_copy_to(&self.env.local, entry.compressed.len() as u64);
-            self.env
-                .local
-                .charge_fixed(costs::scaled(costs::gzip_decompress_per_byte(), entry.raw_len));
-            xpl_compress::gzip_decompress(&entry.compressed)
-                .map_err(|e| StoreError::Corrupt(format!("gzip: {e:?}")))
-        })?;
+        let mut report = RetrieveReport {
+            image: request.name.clone(),
+            ..Default::default()
+        };
+        let raw = report
+            .breakdown
+            .measure(&self.env.clock, "download+gunzip", || {
+                self.env.repo.charge_open(entry.compressed.len() as u64);
+                self.env
+                    .repo
+                    .charge_copy_to(&self.env.local, entry.compressed.len() as u64);
+                self.env.local.charge_fixed(costs::scaled(
+                    costs::gzip_decompress_per_byte(),
+                    entry.raw_len,
+                ));
+                xpl_compress::gzip_decompress(&entry.compressed)
+                    .map_err(|e| StoreError::Corrupt(format!("gzip: {e:?}")))
+            })?;
         // Verify the decompressed stream is the image we stored.
         if raw.len() as u64 != entry.raw_len {
             return Err(StoreError::Corrupt("length mismatch after gunzip".into()));
@@ -104,7 +122,10 @@ impl ImageStore for GzipStore {
     }
 
     fn repo_bytes(&self) -> u64 {
-        self.images.values().map(|e| e.compressed.len() as u64).sum()
+        self.images
+            .values()
+            .map(|e| e.compressed.len() as u64)
+            .sum()
     }
 }
 
@@ -136,7 +157,10 @@ mod tests {
         gz.publish(&w.catalog, &redis).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
         let (got, _) = gz.retrieve(&w.catalog, &req).unwrap();
-        assert_eq!(got.installed_package_set(&w.catalog), redis.installed_package_set(&w.catalog));
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            redis.installed_package_set(&w.catalog)
+        );
     }
 
     #[test]
@@ -150,6 +174,9 @@ mod tests {
         let mid = entry.compressed.len() / 2;
         entry.compressed[mid] ^= 0x40;
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
-        assert!(matches!(gz.retrieve(&w.catalog, &req), Err(StoreError::Corrupt(_))));
+        assert!(matches!(
+            gz.retrieve(&w.catalog, &req),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 }

@@ -13,7 +13,9 @@ use xpl_guestfs::{FileRecord, Vmi};
 use xpl_metadb::{ColumnDef, Database, RowId, Schema, Value};
 use xpl_pkg::Catalog;
 use xpl_simio::{SimDuration, SimEnv};
-use xpl_store::{ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_store::{
+    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+};
 use xpl_util::{Digest, FxHashMap};
 
 /// Where one file's content lives.
@@ -81,7 +83,10 @@ impl ImageStore for HemeraStore {
     fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         let t0 = self.env.clock.now();
         let bytes_before = self.repo_bytes();
-        let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+        let mut report = PublishReport {
+            image: vmi.name.clone(),
+            ..Default::default()
+        };
 
         let hashed: Vec<(FileRecord, Digest, Vec<u8>)> =
             report.breakdown.measure(&self.env.clock, "scan+hash", || {
@@ -103,46 +108,55 @@ impl ImageStore for HemeraStore {
         let threshold = Self::threshold_real();
         let mut new_units = 0usize;
         let mut files = Vec::with_capacity(hashed.len());
-        report.breakdown.measure(&self.env.clock, "match+store", || -> Result<(), StoreError> {
-            self.env
-                .local
-                .charge_fixed(SimDuration(costs::file_match().0 * hashed.len() as u64));
-            for (record, digest, content) in hashed {
-                let placement = if (record.size as u64) <= threshold {
-                    match self.db_index.get(&digest) {
-                        Some(&row) => Placement::Db(row),
-                        None => {
-                            let len = content.len() as u64;
-                            let row = self
-                                .db
-                                .insert(
-                                    "small_files",
-                                    vec![
-                                        Value::Int(digest.prefix64() as i64),
-                                        Value::from(content),
-                                    ],
-                                )
-                                .map_err(|e| StoreError::Corrupt(e.to_string()))?;
-                            self.db_index.insert(digest, row);
-                            self.db_content_bytes += len;
-                            new_units += 1;
-                            Placement::Db(row)
+        report.breakdown.measure(
+            &self.env.clock,
+            "match+store",
+            || -> Result<(), StoreError> {
+                self.env
+                    .local
+                    .charge_fixed(SimDuration(costs::file_match().0 * hashed.len() as u64));
+                for (record, digest, content) in hashed {
+                    let placement = if (record.size as u64) <= threshold {
+                        match self.db_index.get(&digest) {
+                            Some(&row) => Placement::Db(row),
+                            None => {
+                                let len = content.len() as u64;
+                                let row = self
+                                    .db
+                                    .insert(
+                                        "small_files",
+                                        vec![
+                                            Value::Int(digest.prefix64() as i64),
+                                            Value::from(content),
+                                        ],
+                                    )
+                                    .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+                                self.db_index.insert(digest, row);
+                                self.db_content_bytes += len;
+                                new_units += 1;
+                                Placement::Db(row)
+                            }
                         }
-                    }
-                } else {
-                    if self.cas.put_with_digest(digest, &content) {
-                        new_units += 1;
-                    }
-                    Placement::Fs(digest)
-                };
-                files.push((record, placement));
-            }
-            Ok(())
-        })?;
+                    } else {
+                        if self.cas.put_with_digest(digest, &content) {
+                            new_units += 1;
+                        }
+                        Placement::Fs(digest)
+                    };
+                    files.push((record, placement));
+                }
+                Ok(())
+            },
+        )?;
 
         report.units_stored = new_units;
-        self.manifests
-            .insert(vmi.name.clone(), Manifest { files, snapshot: VmiSnapshot::of(vmi) });
+        self.manifests.insert(
+            vmi.name.clone(),
+            Manifest {
+                files,
+                snapshot: VmiSnapshot::of(vmi),
+            },
+        );
         report.bytes_added = self.repo_bytes().saturating_sub(bytes_before);
         report.duration = self.env.clock.since(t0);
         Ok(report)
@@ -158,33 +172,43 @@ impl ImageStore for HemeraStore {
             .manifests
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
-        let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
+        let mut report = RetrieveReport {
+            image: request.name.clone(),
+            ..Default::default()
+        };
         let reads_before = self.env.repo.stats().bytes_read;
 
-        report.breakdown.measure(&self.env.clock, "read files", || -> Result<(), StoreError> {
-            for (record, placement) in &manifest.files {
-                match placement {
-                    Placement::Db(row) => {
-                        // Row fetch: base row cost (charged by db.get) +
-                        // Hemera's page-walk surcharge.
-                        self.env.repo.charge_fixed(costs::hemera_row_fetch_extra());
-                        let got = self
-                            .db
-                            .get("small_files", *row)
-                            .map_err(|e| StoreError::Corrupt(e.to_string()))?;
-                        if got.is_none() {
-                            return Err(StoreError::Corrupt(format!("row for {}", record.path)));
+        report.breakdown.measure(
+            &self.env.clock,
+            "read files",
+            || -> Result<(), StoreError> {
+                for (record, placement) in &manifest.files {
+                    match placement {
+                        Placement::Db(row) => {
+                            // Row fetch: base row cost (charged by db.get) +
+                            // Hemera's page-walk surcharge.
+                            self.env.repo.charge_fixed(costs::hemera_row_fetch_extra());
+                            let got = self
+                                .db
+                                .get("small_files", *row)
+                                .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+                            if got.is_none() {
+                                return Err(StoreError::Corrupt(format!(
+                                    "row for {}",
+                                    record.path
+                                )));
+                            }
+                        }
+                        Placement::Fs(digest) => {
+                            self.cas.get(digest).map_err(|_| {
+                                StoreError::Corrupt(format!("file {}", record.path))
+                            })?;
                         }
                     }
-                    Placement::Fs(digest) => {
-                        self.cas
-                            .get(digest)
-                            .map_err(|_| StoreError::Corrupt(format!("file {}", record.path)))?;
-                    }
                 }
-            }
-            Ok(())
-        })?;
+                Ok(())
+            },
+        )?;
 
         let vmi = report.breakdown.measure(&self.env.clock, "assemble", || {
             let vmi = manifest.snapshot.restore();
@@ -241,7 +265,7 @@ mod tests {
     }
 
     #[test]
-    fn storage_equals_mirage_class(){
+    fn storage_equals_mirage_class() {
         // Paper: Mirage and Hemera repository sizes are nearly identical.
         let w = World::small();
         let mut hemera = HemeraStore::new(w.env());
@@ -264,6 +288,9 @@ mod tests {
         store.publish(&w.catalog, &lamp).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&lamp, &w.catalog);
         let (got, _) = store.retrieve(&w.catalog, &req).unwrap();
-        assert_eq!(got.installed_package_set(&w.catalog), lamp.installed_package_set(&w.catalog));
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            lamp.installed_package_set(&w.catalog)
+        );
     }
 }

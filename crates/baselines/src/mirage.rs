@@ -13,7 +13,9 @@ use rayon::prelude::*;
 use xpl_guestfs::{FileRecord, Vmi};
 use xpl_pkg::Catalog;
 use xpl_simio::{SimDuration, SimEnv};
-use xpl_store::{ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_store::{
+    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+};
 use xpl_util::{Digest, FxHashMap};
 
 struct Manifest {
@@ -31,7 +33,11 @@ pub struct MirageStore {
 impl MirageStore {
     pub fn new(env: SimEnv) -> Self {
         let cas = ContentStore::new(std::sync::Arc::clone(&env.repo));
-        MirageStore { env, cas, manifests: FxHashMap::default() }
+        MirageStore {
+            env,
+            cas,
+            manifests: FxHashMap::default(),
+        }
     }
 
     pub fn unique_files(&self) -> usize {
@@ -50,7 +56,10 @@ impl ImageStore for MirageStore {
 
     fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         let t0 = self.env.clock.now();
-        let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+        let mut report = PublishReport {
+            image: vmi.name.clone(),
+            ..Default::default()
+        };
 
         // Mount + full content scan (hashing every file through the
         // mounted guest filesystem).
@@ -75,21 +84,28 @@ impl ImageStore for MirageStore {
         let unique_before = self.cas.unique_bytes();
         let mut new_files = 0usize;
         let mut files = Vec::with_capacity(hashed.len());
-        report.breakdown.measure(&self.env.clock, "match+store", || {
-            self.env
-                .local
-                .charge_fixed(SimDuration(costs::file_match().0 * hashed.len() as u64));
-            for (record, digest, content) in hashed {
-                if self.cas.put_with_digest(digest, &content) {
-                    new_files += 1;
+        report
+            .breakdown
+            .measure(&self.env.clock, "match+store", || {
+                self.env
+                    .local
+                    .charge_fixed(SimDuration(costs::file_match().0 * hashed.len() as u64));
+                for (record, digest, content) in hashed {
+                    if self.cas.put_with_digest(digest, &content) {
+                        new_files += 1;
+                    }
+                    files.push((record, digest));
                 }
-                files.push((record, digest));
-            }
-        });
+            });
         report.units_stored = new_files;
         report.bytes_added = self.cas.unique_bytes() - unique_before;
-        self.manifests
-            .insert(vmi.name.clone(), Manifest { files, snapshot: VmiSnapshot::of(vmi) });
+        self.manifests.insert(
+            vmi.name.clone(),
+            Manifest {
+                files,
+                snapshot: VmiSnapshot::of(vmi),
+            },
+        );
         report.duration = self.env.clock.since(t0);
         Ok(report)
     }
@@ -104,18 +120,25 @@ impl ImageStore for MirageStore {
             .manifests
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
-        let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
+        let mut report = RetrieveReport {
+            image: request.name.clone(),
+            ..Default::default()
+        };
         let reads_before = self.env.repo.stats().bytes_read;
 
         // Read every file from the store — the per-file penalty path.
-        report.breakdown.measure(&self.env.clock, "read files", || -> Result<(), StoreError> {
-            for (record, digest) in &manifest.files {
-                self.cas
-                    .get(digest)
-                    .map_err(|_| StoreError::Corrupt(format!("file {}", record.path)))?;
-            }
-            Ok(())
-        })?;
+        report.breakdown.measure(
+            &self.env.clock,
+            "read files",
+            || -> Result<(), StoreError> {
+                for (record, digest) in &manifest.files {
+                    self.cas
+                        .get(digest)
+                        .map_err(|_| StoreError::Corrupt(format!("file {}", record.path)))?;
+                }
+                Ok(())
+            },
+        )?;
 
         // Reassemble the image locally.
         let vmi = report.breakdown.measure(&self.env.clock, "assemble", || {
@@ -183,7 +206,10 @@ mod tests {
         store.publish(&w.catalog, &redis).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
         let (got, report) = store.retrieve(&w.catalog, &req).unwrap();
-        assert_eq!(got.installed_package_set(&w.catalog), redis.installed_package_set(&w.catalog));
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            redis.installed_package_set(&w.catalog)
+        );
         // Per-file costs dominate: reading N small files must cost more
         // than the raw bytes would at sequential speed.
         let seq = costs::xfer(report.bytes_read, 250 * 1024 * 1024);
@@ -200,6 +226,9 @@ mod tests {
         let digest = store.manifests["redis"].files[0].1;
         assert!(store.cas.corrupt_for_test(&digest));
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
-        assert!(matches!(store.retrieve(&w.catalog, &req), Err(StoreError::Corrupt(_))));
+        assert!(matches!(
+            store.retrieve(&w.catalog, &req),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 }

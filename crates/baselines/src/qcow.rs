@@ -21,7 +21,11 @@ pub struct QcowStore {
 
 impl QcowStore {
     pub fn new(env: SimEnv) -> Self {
-        QcowStore { env, images: FxHashMap::default(), order: Vec::new() }
+        QcowStore {
+            env,
+            images: FxHashMap::default(),
+            order: Vec::new(),
+        }
     }
 
     pub fn image_count(&self) -> usize {
@@ -36,18 +40,33 @@ impl ImageStore for QcowStore {
 
     fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         let t0 = self.env.clock.now();
-        let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+        let mut report = PublishReport {
+            image: vmi.name.clone(),
+            ..Default::default()
+        };
         let bytes = report.breakdown.measure(&self.env.clock, "serialize", || {
             let b = vmi.disk.serialize();
             self.env.local.charge_read(b.len() as u64);
             b
         });
         report.breakdown.measure(&self.env.clock, "upload", || {
-            self.env.local.charge_copy_to(&self.env.repo, bytes.len() as u64);
+            self.env
+                .local
+                .charge_copy_to(&self.env.repo, bytes.len() as u64);
         });
         report.bytes_added = bytes.len() as u64;
         report.units_stored = 1;
-        if self.images.insert(vmi.name.clone(), Entry { bytes, snapshot: VmiSnapshot::of(vmi) }).is_none() {
+        if self
+            .images
+            .insert(
+                vmi.name.clone(),
+                Entry {
+                    bytes,
+                    snapshot: VmiSnapshot::of(vmi),
+                },
+            )
+            .is_none()
+        {
             self.order.push(vmi.name.clone());
         }
         report.duration = self.env.clock.since(t0);
@@ -64,10 +83,15 @@ impl ImageStore for QcowStore {
             .images
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
-        let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
+        let mut report = RetrieveReport {
+            image: request.name.clone(),
+            ..Default::default()
+        };
         let vmi = report.breakdown.measure(&self.env.clock, "download", || {
             self.env.repo.charge_open(entry.bytes.len() as u64);
-            self.env.repo.charge_copy_to(&self.env.local, entry.bytes.len() as u64);
+            self.env
+                .repo
+                .charge_copy_to(&self.env.local, entry.bytes.len() as u64);
             // Integrity: the stored stream must still parse.
             xpl_vdisk::QcowImage::deserialize(&entry.bytes)
                 .map(|_| entry.snapshot.restore())
@@ -110,7 +134,10 @@ mod tests {
         store.publish(&w.catalog, &redis).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
         let (got, report) = store.retrieve(&w.catalog, &req).unwrap();
-        assert_eq!(got.installed_package_set(&w.catalog), redis.installed_package_set(&w.catalog));
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            redis.installed_package_set(&w.catalog)
+        );
         assert_eq!(got.mounted_bytes(), redis.mounted_bytes());
         assert!(report.duration.as_nanos() > 0);
     }
@@ -125,6 +152,9 @@ mod tests {
             primary: vec![],
             user_data: vec![],
         };
-        assert!(matches!(store.retrieve(&w.catalog, &req), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            store.retrieve(&w.catalog, &req),
+            Err(StoreError::NotFound(_))
+        ));
     }
 }

@@ -47,5 +47,10 @@ fn bench_publish_retrieve(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(experiments, bench_table2_pipeline, bench_fig3_pipeline, bench_publish_retrieve);
+criterion_group!(
+    experiments,
+    bench_table2_pipeline,
+    bench_fig3_pipeline,
+    bench_publish_retrieve
+);
 criterion_main!(experiments);

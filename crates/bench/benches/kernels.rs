@@ -80,7 +80,9 @@ fn bench_similarity(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("similarity");
     g.bench_function("sim-g-pair", |b| b.iter(|| sim_g(&graphs[0], &graphs[1])));
-    g.bench_function("sim-g-master", |b| b.iter(|| master.similarity_to(&graphs[0])));
+    g.bench_function("sim-g-master", |b| {
+        b.iter(|| master.similarity_to(&graphs[0]))
+    });
     g.finish();
 }
 

@@ -25,7 +25,11 @@ pub struct ChunkSweepRow {
 }
 
 /// Sweep block sizes over a set of images.
-pub fn chunk_size_sweep(world: &World, image_names: &[&str], blocks_real: &[usize]) -> Vec<ChunkSweepRow> {
+pub fn chunk_size_sweep(
+    world: &World,
+    image_names: &[&str],
+    blocks_real: &[usize],
+) -> Vec<ChunkSweepRow> {
     let mut rows = Vec::new();
     for &block in blocks_real {
         let mut fixed = FixedBlockDedupStore::new(world.env(), block);
@@ -89,7 +93,11 @@ pub fn master_graph_speedup(world: &World, n: usize) -> MasterSpeedup {
         stored_images: n,
         pairwise_ms,
         master_ms,
-        speedup: if master_ms > 0.0 { pairwise_ms / master_ms } else { f64::INFINITY },
+        speedup: if master_ms > 0.0 {
+            pairwise_ms / master_ms
+        } else {
+            f64::INFINITY
+        },
     }
 }
 

@@ -110,7 +110,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|all]");
+            eprintln!(
+                "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|all]"
+            );
             std::process::exit(2);
         }
     }
@@ -131,12 +133,19 @@ fn run_ablations(world: &World) {
     for r in &rows {
         println!(
             "{:<14} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
-            r.block_nominal_kb, r.fixed_dedup_factor, r.cdc_dedup_factor, r.fixed_repo_gb, r.cdc_repo_gb
+            r.block_nominal_kb,
+            r.fixed_dedup_factor,
+            r.cdc_dedup_factor,
+            r.fixed_repo_gb,
+            r.cdc_repo_gb
         );
     }
     println!();
     println!("ABLATION: master graph vs pairwise similarity (real CPU time)");
-    println!("{:<14} {:>14} {:>14} {:>10}", "stored", "pairwise ms", "master ms", "speedup");
+    println!(
+        "{:<14} {:>14} {:>14} {:>10}",
+        "stored", "pairwise ms", "master ms", "speedup"
+    );
     for n in [5usize, 10, 19] {
         let s = ablations::master_graph_speedup(world, n);
         println!(

@@ -98,8 +98,12 @@ pub fn fig3_sizes(world: &World, scenario: Fig3Scenario) -> Fig3Result {
         };
         qcow.publish(&world.catalog, &vmi).expect("qcow publish");
         gzip.publish(&world.catalog, &vmi).expect("gzip publish");
-        mirage.publish(&world.catalog, &vmi).expect("mirage publish");
-        hemera.publish(&world.catalog, &vmi).expect("hemera publish");
+        mirage
+            .publish(&world.catalog, &vmi)
+            .expect("mirage publish");
+        hemera
+            .publish(&world.catalog, &vmi)
+            .expect("hemera publish");
         xpl.publish(&world.catalog, &vmi).expect("xpl publish");
         curves[0].push(nominal_gb(qcow.repo_bytes()));
         curves[1].push(nominal_gb(gzip.repo_bytes()));
@@ -152,12 +156,34 @@ fn publish_times(world: &World, names: &[&str], with_semantic: bool) -> PublishT
     let mut hem_s = Vec::new();
     for name in names {
         let vmi = world.build_image(name);
-        xpl_s.push(xpl.publish(&world.catalog, &vmi).expect("xpl").duration.as_secs_f64());
+        xpl_s.push(
+            xpl.publish(&world.catalog, &vmi)
+                .expect("xpl")
+                .duration
+                .as_secs_f64(),
+        );
         if let Some(sem) = sem.as_mut() {
-            sem_s.push(sem.publish(&world.catalog, &vmi).expect("sem").duration.as_secs_f64());
+            sem_s.push(
+                sem.publish(&world.catalog, &vmi)
+                    .expect("sem")
+                    .duration
+                    .as_secs_f64(),
+            );
         }
-        mir_s.push(mirage.publish(&world.catalog, &vmi).expect("mirage").duration.as_secs_f64());
-        hem_s.push(hemera.publish(&world.catalog, &vmi).expect("hemera").duration.as_secs_f64());
+        mir_s.push(
+            mirage
+                .publish(&world.catalog, &vmi)
+                .expect("mirage")
+                .duration
+                .as_secs_f64(),
+        );
+        hem_s.push(
+            hemera
+                .publish(&world.catalog, &vmi)
+                .expect("hemera")
+                .duration
+                .as_secs_f64(),
+        );
     }
     let mut series = vec![("Expelliarmus".to_string(), xpl_s)];
     if with_semantic {
@@ -185,11 +211,16 @@ pub fn fig5a_breakdown(world: &World) -> Fig5aResult {
     for name in world.image_names() {
         let vmi = world.build_image(name);
         repo.publish(&world.catalog, &vmi).expect("publish");
-        reqs.push((name.to_string(), RetrieveRequest::for_image(&vmi, &world.catalog)));
+        reqs.push((
+            name.to_string(),
+            RetrieveRequest::for_image(&vmi, &world.catalog),
+        ));
     }
     let phase_names = xpl_core::retrieve::PHASES;
-    let mut phases: Vec<(String, Vec<f64>)> =
-        phase_names.iter().map(|p| (p.to_string(), Vec::new())).collect();
+    let mut phases: Vec<(String, Vec<f64>)> = phase_names
+        .iter()
+        .map(|p| (p.to_string(), Vec::new()))
+        .collect();
     let mut images = Vec::new();
     for (name, req) in reqs {
         let (_vmi, report) = repo.retrieve(&world.catalog, &req).expect("retrieve");
@@ -219,16 +250,39 @@ pub fn fig5b_retrieval(world: &World) -> Fig5bResult {
         mirage.publish(&world.catalog, &vmi).expect("mirage");
         hemera.publish(&world.catalog, &vmi).expect("hemera");
         xpl.publish(&world.catalog, &vmi).expect("xpl");
-        reqs.push((name.to_string(), RetrieveRequest::for_image(&vmi, &world.catalog)));
+        reqs.push((
+            name.to_string(),
+            RetrieveRequest::for_image(&vmi, &world.catalog),
+        ));
     }
     let mut images = Vec::new();
     let mut mir_s = Vec::new();
     let mut hem_s = Vec::new();
     let mut xpl_s = Vec::new();
     for (name, req) in reqs {
-        mir_s.push(mirage.retrieve(&world.catalog, &req).expect("mirage").1.duration.as_secs_f64());
-        hem_s.push(hemera.retrieve(&world.catalog, &req).expect("hemera").1.duration.as_secs_f64());
-        xpl_s.push(xpl.retrieve(&world.catalog, &req).expect("xpl").1.duration.as_secs_f64());
+        mir_s.push(
+            mirage
+                .retrieve(&world.catalog, &req)
+                .expect("mirage")
+                .1
+                .duration
+                .as_secs_f64(),
+        );
+        hem_s.push(
+            hemera
+                .retrieve(&world.catalog, &req)
+                .expect("hemera")
+                .1
+                .duration
+                .as_secs_f64(),
+        );
+        xpl_s.push(
+            xpl.retrieve(&world.catalog, &req)
+                .expect("xpl")
+                .1
+                .duration
+                .as_secs_f64(),
+        );
         images.push(name);
     }
     Fig5bResult {
@@ -259,7 +313,10 @@ mod tests {
                 .and_then(|(_, v)| v.last().copied())
                 .unwrap()
         };
-        assert!(last("Expelliarmus") < last("Qcow2"), "semantic must beat raw");
+        assert!(
+            last("Expelliarmus") < last("Qcow2"),
+            "semantic must beat raw"
+        );
         assert!(last("Mirage") < last("Qcow2"));
     }
 }

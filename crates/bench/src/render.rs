@@ -14,7 +14,17 @@ pub fn render_table2(r: &Table2Result) -> String {
     out.push_str("TABLE II: Experimental VMI characteristics (measured vs. paper)\n");
     out.push_str(&format!(
         "{:<14} {:>8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
-        "VMI", "mntGB", "mntGB*", "files", "files*", "SimG", "SimG*", "pub s", "pub s*", "ret s", "ret s*"
+        "VMI",
+        "mntGB",
+        "mntGB*",
+        "files",
+        "files*",
+        "SimG",
+        "SimG*",
+        "pub s",
+        "pub s*",
+        "ret s",
+        "ret s*"
     ));
     out.push_str(&hr(116));
     out.push('\n');

@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn spans_cover_checks() {
-        let spans = [ChunkSpan { offset: 0, len: 4 }, ChunkSpan { offset: 4, len: 2 }];
+        let spans = [
+            ChunkSpan { offset: 0, len: 4 },
+            ChunkSpan { offset: 4, len: 2 },
+        ];
         assert!(spans_cover(&spans, 6));
         assert!(!spans_cover(&spans, 7));
         assert!(!spans_cover(&spans[1..], 2));

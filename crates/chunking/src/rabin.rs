@@ -16,7 +16,7 @@ use crate::ChunkSpan;
 pub const WINDOW: usize = 48;
 
 /// Irreducible polynomial of degree 53 (same class as LBFS's choice).
-const POLY: u64 = 0x3DA3_358B_4DC1_73;
+const POLY: u64 = 0x003D_A335_8B4D_C173;
 
 /// Precomputed tables for O(1) rolling.
 pub struct RabinTables {
@@ -47,7 +47,10 @@ impl RabinTables {
             // A byte leaving the window was multiplied by x^(8*(WINDOW-1)).
             out_table[b as usize] = poly_mod_shift(b, (8 * (WINDOW - 1)) as u32);
         }
-        RabinTables { mod_table, out_table }
+        RabinTables {
+            mod_table,
+            out_table,
+        }
     }
 }
 
@@ -79,7 +82,12 @@ impl Default for RollingHash {
 
 impl RollingHash {
     pub fn new() -> Self {
-        RollingHash { window: [0; WINDOW], pos: 0, filled: 0, fp: 0 }
+        RollingHash {
+            window: [0; WINDOW],
+            pos: 0,
+            filled: 0,
+            fp: 0,
+        }
     }
 
     /// Push one byte; returns the fingerprint after the push.
@@ -124,8 +132,15 @@ pub struct CdcParams {
 impl CdcParams {
     /// The classic 2/8/16 KiB configuration scaled by `avg`.
     pub fn with_avg(avg_size: usize) -> Self {
-        assert!(avg_size.is_power_of_two(), "average size must be a power of two");
-        CdcParams { min_size: avg_size / 4, avg_size, max_size: avg_size * 4 }
+        assert!(
+            avg_size.is_power_of_two(),
+            "average size must be a power of two"
+        );
+        CdcParams {
+            min_size: avg_size / 4,
+            avg_size,
+            max_size: avg_size * 4,
+        }
     }
 }
 
@@ -146,8 +161,8 @@ pub fn chunk_cdc(data: &[u8], params: CdcParams) -> Vec<ChunkSpan> {
     while i < data.len() {
         let fp = hash.push(data[i]);
         let len = i - start + 1;
-        let boundary = (len >= params.min_size && (fp & mask) == (magic & mask))
-            || len >= params.max_size;
+        let boundary =
+            (len >= params.min_size && (fp & mask) == (magic & mask)) || len >= params.max_size;
         if boundary {
             spans.push(ChunkSpan { offset: start, len });
             start = i + 1;
@@ -156,7 +171,10 @@ pub fn chunk_cdc(data: &[u8], params: CdcParams) -> Vec<ChunkSpan> {
         i += 1;
     }
     if start < data.len() {
-        spans.push(ChunkSpan { offset: start, len: data.len() - start });
+        spans.push(ChunkSpan {
+            offset: start,
+            len: data.len() - start,
+        });
     }
     spans
 }

@@ -22,7 +22,11 @@ impl Default for BitWriter {
 
 impl BitWriter {
     pub fn new() -> Self {
-        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Write `n` bits of `value` (LSB of `value` emitted first). Used for
@@ -100,7 +104,12 @@ pub enum BitError {
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     #[inline]

@@ -11,23 +11,75 @@ use crate::lz77::{self, Token};
 
 /// Length-code table: `(code, extra_bits, base_length)` for codes 257–285.
 const LENGTH_CODES: [(u16, u8, u16); 29] = [
-    (257, 0, 3), (258, 0, 4), (259, 0, 5), (260, 0, 6), (261, 0, 7), (262, 0, 8),
-    (263, 0, 9), (264, 0, 10), (265, 1, 11), (266, 1, 13), (267, 1, 15), (268, 1, 17),
-    (269, 2, 19), (270, 2, 23), (271, 2, 27), (272, 2, 31), (273, 3, 35), (274, 3, 43),
-    (275, 3, 51), (276, 3, 59), (277, 4, 67), (278, 4, 83), (279, 4, 99), (280, 4, 115),
-    (281, 5, 131), (282, 5, 163), (283, 5, 195), (284, 5, 227), (285, 0, 258),
+    (257, 0, 3),
+    (258, 0, 4),
+    (259, 0, 5),
+    (260, 0, 6),
+    (261, 0, 7),
+    (262, 0, 8),
+    (263, 0, 9),
+    (264, 0, 10),
+    (265, 1, 11),
+    (266, 1, 13),
+    (267, 1, 15),
+    (268, 1, 17),
+    (269, 2, 19),
+    (270, 2, 23),
+    (271, 2, 27),
+    (272, 2, 31),
+    (273, 3, 35),
+    (274, 3, 43),
+    (275, 3, 51),
+    (276, 3, 59),
+    (277, 4, 67),
+    (278, 4, 83),
+    (279, 4, 99),
+    (280, 4, 115),
+    (281, 5, 131),
+    (282, 5, 163),
+    (283, 5, 195),
+    (284, 5, 227),
+    (285, 0, 258),
 ];
 
 /// Distance-code table: `(extra_bits, base_distance)` for codes 0–29.
 const DIST_CODES: [(u8, u16); 30] = [
-    (0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (1, 7), (2, 9), (2, 13), (3, 17), (3, 25),
-    (4, 33), (4, 49), (5, 65), (5, 97), (6, 129), (6, 193), (7, 257), (7, 385),
-    (8, 513), (8, 769), (9, 1025), (9, 1537), (10, 2049), (10, 3073), (11, 4097),
-    (11, 6145), (12, 8193), (12, 12289), (13, 16385), (13, 24577),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 5),
+    (1, 7),
+    (2, 9),
+    (2, 13),
+    (3, 17),
+    (3, 25),
+    (4, 33),
+    (4, 49),
+    (5, 65),
+    (5, 97),
+    (6, 129),
+    (6, 193),
+    (7, 257),
+    (7, 385),
+    (8, 513),
+    (8, 769),
+    (9, 1025),
+    (9, 1537),
+    (10, 2049),
+    (10, 3073),
+    (11, 4097),
+    (11, 6145),
+    (12, 8193),
+    (12, 12289),
+    (13, 16385),
+    (13, 24577),
 ];
 
 /// Transmission order of code-length-code lengths (RFC 1951 §3.2.7).
-const CL_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+const CL_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 const EOB: usize = 256;
 
@@ -199,8 +251,14 @@ fn emit_block(w: &mut BitWriter, data: &[u8], tokens: &[Token], bfinal: bool) {
     dist_len.resize(30, 0);
 
     // Dynamic header cost.
-    let hlit = (257..=286).rev().find(|&n| n == 257 || lit_len[n - 1] > 0).unwrap_or(257);
-    let hdist = (1..=30).rev().find(|&n| n == 1 || dist_len[n - 1] > 0).unwrap_or(1);
+    let hlit = (257..=286)
+        .rev()
+        .find(|&n| n == 257 || lit_len[n - 1] > 0)
+        .unwrap_or(257);
+    let hdist = (1..=30)
+        .rev()
+        .find(|&n| n == 1 || dist_len[n - 1] > 0)
+        .unwrap_or(1);
     let mut combined: Vec<u32> = Vec::with_capacity(hlit + hdist);
     combined.extend_from_slice(&lit_len[..hlit]);
     combined.extend_from_slice(&dist_len[..hdist]);
@@ -243,7 +301,12 @@ fn emit_block(w: &mut BitWriter, data: &[u8], tokens: &[Token], bfinal: bool) {
     } else if fixed_bits <= dyn_bits {
         w.write_bits(bfinal as u32, 1);
         w.write_bits(1, 2); // fixed Huffman
-        emit_tokens(w, tokens, &canonical_codes(&fixed_lit), &canonical_codes(&fixed_dist));
+        emit_tokens(
+            w,
+            tokens,
+            &canonical_codes(&fixed_lit),
+            &canonical_codes(&fixed_dist),
+        );
     } else {
         w.write_bits(bfinal as u32, 1);
         w.write_bits(2, 2); // dynamic Huffman
@@ -277,7 +340,12 @@ fn emit_block(w: &mut BitWriter, data: &[u8], tokens: &[Token], bfinal: bool) {
                 }
             }
         }
-        emit_tokens(w, tokens, &canonical_codes(&lit_len), &canonical_codes(&dist_len));
+        emit_tokens(
+            w,
+            tokens,
+            &canonical_codes(&lit_len),
+            &canonical_codes(&dist_len),
+        );
     }
 }
 
@@ -381,15 +449,11 @@ pub fn inflate_from(r: &mut BitReader<'_>) -> Result<Vec<u8>, InflateError> {
                         }
                         17 => {
                             let n = r.read_bits(3)? + 3;
-                            for _ in 0..n {
-                                lengths.push(0);
-                            }
+                            lengths.resize(lengths.len() + n as usize, 0);
                         }
                         18 => {
                             let n = r.read_bits(7)? + 11;
-                            for _ in 0..n {
-                                lengths.push(0);
-                            }
+                            lengths.resize(lengths.len() + n as usize, 0);
                         }
                         _ => return Err(InflateError::BadSymbol),
                     }

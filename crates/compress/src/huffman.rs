@@ -30,7 +30,7 @@ pub fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
         // frequency distribution, shrinking maximum depth.
         for x in f.iter_mut() {
             if *x > 0 {
-                *x = (*x + 1) / 2;
+                *x = (*x).div_ceil(2);
             }
         }
     }
@@ -68,20 +68,29 @@ fn huffman_lengths_once(freqs: &[u64]) -> Vec<u32> {
 
     let mut arena: Vec<Node> = live
         .iter()
-        .map(|&s| Node { freq: freqs[s], kind: NodeKind::Leaf(s) })
+        .map(|&s| Node {
+            freq: freqs[s],
+            kind: NodeKind::Leaf(s),
+        })
         .collect();
 
     // Min-heap of (freq, arena index); tie-break on index for determinism.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-        arena.iter().enumerate().map(|(i, n)| Reverse((n.freq, i))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = arena
+        .iter()
+        .enumerate()
+        .map(|(i, n)| Reverse((n.freq, i)))
+        .collect();
 
     while heap.len() > 1 {
         let Reverse((fa, a)) = heap.pop().unwrap();
         let Reverse((fb, b)) = heap.pop().unwrap();
         let idx = arena.len();
-        arena.push(Node { freq: fa + fb, kind: NodeKind::Internal(a, b) });
+        arena.push(Node {
+            freq: fa + fb,
+            kind: NodeKind::Internal(a, b),
+        });
         heap.push(Reverse((fa + fb, idx)));
     }
 
@@ -200,7 +209,11 @@ impl HuffmanDecoder {
                 next[l as usize] += 1;
             }
         }
-        Ok(HuffmanDecoder { count, symbols, max_len })
+        Ok(HuffmanDecoder {
+            count,
+            symbols,
+            max_len,
+        })
     }
 
     /// Decode one symbol from the reader.
@@ -284,7 +297,10 @@ mod tests {
     #[test]
     fn decoder_rejects_oversubscribed() {
         // Three 1-bit codes: impossible.
-        assert_eq!(HuffmanDecoder::new(&[1, 1, 1]).err(), Some(HuffError::InvalidTable));
+        assert_eq!(
+            HuffmanDecoder::new(&[1, 1, 1]).err(),
+            Some(HuffError::InvalidTable)
+        );
     }
 
     #[test]

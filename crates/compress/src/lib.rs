@@ -90,7 +90,9 @@ mod tests {
         // OS-image content. Mixed text + sparse binary stands in for that.
         let mut data = Vec::new();
         let mut rng = xpl_util::SplitMix64::new(5);
-        let words = ["lib", "usr", "share", "config", "version", "depends", "package"];
+        let words = [
+            "lib", "usr", "share", "config", "version", "depends", "package",
+        ];
         for i in 0..20_000 {
             let w = words[(rng.next_u64() % words.len() as u64) as usize];
             data.extend_from_slice(w.as_bytes());

@@ -20,7 +20,10 @@ const GOOD_MATCH: usize = 64;
 pub enum Token {
     Literal(u8),
     /// Back-reference: copy `len` bytes from `dist` bytes back.
-    Match { len: u16, dist: u16 },
+    Match {
+        len: u16,
+        dist: u16,
+    },
 }
 
 #[inline]
@@ -119,19 +122,20 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
                 // One-step lazy matching: if the next position has a
                 // strictly better match, emit a literal instead.
                 insert(&mut head, &mut prev, data, i);
-                let take_lazy = if len < GOOD_MATCH && i + 1 + MIN_MATCH <= n {
-                    match best_match(&head, &prev, data, i + 1, len) {
-                        Some((nl, _)) if nl > len => true,
-                        _ => false,
-                    }
-                } else {
-                    false
-                };
+                let take_lazy = len < GOOD_MATCH
+                    && i + 1 + MIN_MATCH <= n
+                    && matches!(
+                        best_match(&head, &prev, data, i + 1, len),
+                        Some((nl, _)) if nl > len
+                    );
                 if take_lazy {
                     tokens.push(Token::Literal(data[i]));
                     i += 1;
                 } else {
-                    tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
                     // Index the skipped positions so future matches can
                     // reference into this region.
                     let end = (i + len).min(n.saturating_sub(MIN_MATCH - 1));
@@ -201,7 +205,11 @@ mod tests {
         let data = vec![b'a'; 1000];
         let tokens = tokenize(&data);
         assert_eq!(detokenize(&tokens), data);
-        assert!(tokens.len() < 20, "run should collapse, got {} tokens", tokens.len());
+        assert!(
+            tokens.len() < 20,
+            "run should collapse, got {} tokens",
+            tokens.len()
+        );
     }
 
     #[test]
@@ -220,8 +228,8 @@ mod tests {
     fn distances_within_window() {
         // Repetition separated by more than the window cannot be matched.
         let mut data = vec![b'q'; 100];
-        data.extend(std::iter::repeat(0u8).take(WINDOW_SIZE + 10));
-        data.extend(std::iter::repeat(b'q').take(100));
+        data.extend(std::iter::repeat_n(0u8, WINDOW_SIZE + 10));
+        data.extend(std::iter::repeat_n(b'q', 100));
         let tokens = tokenize(&data);
         for t in &tokens {
             if let Token::Match { dist, .. } = t {
@@ -237,6 +245,11 @@ mod tests {
         let tokens = tokenize(text.as_bytes());
         assert_eq!(detokenize(&tokens), text.as_bytes());
         // Token count should be far below input length.
-        assert!(tokens.len() < text.len() / 4, "{} tokens for {} bytes", tokens.len(), text.len());
+        assert!(
+            tokens.len() < text.len() / 4,
+            "{} tokens for {} bytes",
+            tokens.len(),
+            text.len()
+        );
     }
 }

@@ -56,7 +56,8 @@ pub fn analyze(
     let mut best: Option<(String, f64)> = None;
     for base in state.bases_with_attrs(&key) {
         if let Some(master) = state.masters.get(&base.id) {
-            let compared = graph.package_count() + master.package_count() + master.base_vertices.len();
+            let compared =
+                graph.package_count() + master.package_count() + master.base_vertices.len();
             state.env.local.charge_fixed(SimDuration(
                 state.env.costs.sim_per_vertex.0 * compared as u64,
             ));
@@ -70,7 +71,11 @@ pub fn analyze(
         Some((id, s)) => (Some(id), s),
         None => (None, 0.0),
     };
-    Analysis { graph, similarity, best_master }
+    Analysis {
+        graph,
+        similarity,
+        best_master,
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +111,11 @@ mod tests {
         let handle = GuestHandle::launch(&env, &mut redis);
         let vmi_copy = handle.vmi().clone();
         let a = analyze(&repo.state, &w.catalog, &handle, &vmi_copy);
-        assert!(a.similarity > 0.5, "redis vs mini-master similarity {}", a.similarity);
+        assert!(
+            a.similarity > 0.5,
+            "redis vs mini-master similarity {}",
+            a.similarity
+        );
         assert!(a.best_master.is_some());
     }
 

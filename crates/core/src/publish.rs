@@ -38,13 +38,16 @@ pub fn publish(
     let env = state.env.clone();
     let t0 = env.clock.now();
     let bytes_before = state.repo_bytes();
-    let mut report = PublishReport { image: vmi.name.clone(), ..Default::default() };
+    let mut report = PublishReport {
+        image: vmi.name.clone(),
+        ..Default::default()
+    };
 
     // Work on a private copy: decomposition is destructive.
     let mut work = vmi.clone();
-    let mut handle = report
-        .breakdown
-        .measure(&env.clock, "handle", || GuestHandle::launch(&env, &mut work));
+    let mut handle = report.breakdown.measure(&env.clock, "handle", || {
+        GuestHandle::launch(&env, &mut work)
+    });
 
     // ---- Semantic analysis (§IV-B). --------------------------------
     let vmi_snapshot = handle.vmi().clone();
@@ -111,8 +114,12 @@ pub fn publish(
 
     // ---- Strip the image down to the base (lines 7–11). --------------
     report.breakdown.measure(&env.clock, "strip", || {
-        let primary_names: Vec<IStr> =
-            handle.vmi().primary.iter().map(|&id| catalog.get(id).name).collect();
+        let primary_names: Vec<IStr> = handle
+            .vmi()
+            .primary
+            .iter()
+            .map(|&id| catalog.get(id).name)
+            .collect();
         for name in primary_names {
             handle.remove_package(catalog, name);
         }
@@ -164,7 +171,9 @@ pub fn publish(
                     qcow_bytes,
                     base_graph: base_graph.clone(),
                 });
-                state.masters.insert(id.clone(), MasterGraph::create(&graph));
+                state
+                    .masters
+                    .insert(id.clone(), MasterGraph::create(&graph));
             });
             id
         }
@@ -225,7 +234,10 @@ mod tests {
         let report = repo.publish(&w.catalog, &redis).unwrap();
         assert_eq!(repo.base_count(), 1);
         assert!(repo.package_count() >= 1, "redis package exported");
-        assert!(report.duration.as_secs_f64() > 7.0, "at least the launch cost");
+        assert!(
+            report.duration.as_secs_f64() > 7.0,
+            "at least the launch cost"
+        );
         assert_eq!(report.similarity, 0.0);
         repo.check_invariants().unwrap();
     }

@@ -10,7 +10,9 @@ use xpl_metadb::{ColumnDef, Database, Schema};
 use xpl_pkg::{BaseImageAttrs, Catalog, DpkgDb, PackageId};
 use xpl_semgraph::{MasterGraph, SemanticGraph};
 use xpl_simio::SimEnv;
-use xpl_store::{ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_store::{
+    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+};
 use xpl_util::{Digest, FxHashMap};
 
 use crate::publish::PublishMode;
@@ -71,17 +73,29 @@ impl RepoState {
         let mut db = Database::on_device(std::sync::Arc::clone(&env.repo));
         db.create_table(Schema::new(
             "packages",
-            vec![ColumnDef::indexed("identity"), ColumnDef::plain("digest"), ColumnDef::plain("deb_size")],
+            vec![
+                ColumnDef::indexed("identity"),
+                ColumnDef::plain("digest"),
+                ColumnDef::plain("deb_size"),
+            ],
         ))
         .expect("fresh db");
         db.create_table(Schema::new(
             "bases",
-            vec![ColumnDef::indexed("id"), ColumnDef::plain("attrs"), ColumnDef::plain("qcow_bytes")],
+            vec![
+                ColumnDef::indexed("id"),
+                ColumnDef::plain("attrs"),
+                ColumnDef::plain("qcow_bytes"),
+            ],
         ))
         .expect("fresh db");
         db.create_table(Schema::new(
             "images",
-            vec![ColumnDef::indexed("name"), ColumnDef::plain("base_id"), ColumnDef::plain("similarity")],
+            vec![
+                ColumnDef::indexed("name"),
+                ColumnDef::plain("base_id"),
+                ColumnDef::plain("similarity"),
+            ],
         ))
         .expect("fresh db");
         RepoState {
@@ -130,13 +144,17 @@ pub struct ExpelliarmusRepo {
 impl ExpelliarmusRepo {
     /// Standard (similarity-aware) repository.
     pub fn new(env: SimEnv) -> Self {
-        ExpelliarmusRepo { state: RepoState::new(env, PublishMode::Expelliarmus) }
+        ExpelliarmusRepo {
+            state: RepoState::new(env, PublishMode::Expelliarmus),
+        }
     }
 
     /// Variant used in Figure 4b's "Semantic" series: decomposes but
     /// exports every package regardless of repository contents.
     pub fn with_mode(env: SimEnv, mode: PublishMode) -> Self {
-        ExpelliarmusRepo { state: RepoState::new(env, mode) }
+        ExpelliarmusRepo {
+            state: RepoState::new(env, mode),
+        }
     }
 
     pub fn base_count(&self) -> usize {
@@ -179,7 +197,10 @@ impl ExpelliarmusRepo {
             let mgraph = master.as_graph();
             let comp = xpl_semgraph::compatibility(&base.base_graph, &mgraph);
             if comp != 1.0 {
-                return Err(format!("master of {} incompatible with its base: {comp}", base.id));
+                return Err(format!(
+                    "master of {} incompatible with its base: {comp}",
+                    base.id
+                ));
             }
         }
         Ok(())

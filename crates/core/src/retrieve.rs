@@ -29,7 +29,10 @@ pub fn retrieve(
     let env = state.env.clone();
     let t0 = env.clock.now();
     let reads_before = env.repo.stats().bytes_read;
-    let mut report = RetrieveReport { image: request.name.clone(), ..Default::default() };
+    let mut report = RetrieveReport {
+        image: request.name.clone(),
+        ..Default::default()
+    };
 
     // ---- Locate a base + master serving this request (line 1–2). -----
     let key = request.base.key();
@@ -55,7 +58,9 @@ pub fn retrieve(
             // Provided by the base itself (Algorithm 3 line 7).
             continue;
         } else {
-            return Err(StoreError::NotFound(format!("package {name} not in repository")));
+            return Err(StoreError::NotFound(format!(
+                "package {name} not in repository"
+            )));
         }
     }
     // Dependency closure; skip what the base provides.
@@ -104,9 +109,9 @@ pub fn retrieve(
     };
 
     // ---- Phase 2: guestfs handle. --------------------------------------
-    let mut handle = report
-        .breakdown
-        .measure(&env.clock, PHASES[1], || GuestHandle::launch(&env, &mut vmi));
+    let mut handle = report.breakdown.measure(&env.clock, PHASES[1], || {
+        GuestHandle::launch(&env, &mut vmi)
+    });
 
     // ---- Phase 3: reset. ------------------------------------------------
     report.breakdown.measure(&env.clock, PHASES[2], || {
@@ -115,56 +120,57 @@ pub fn retrieve(
 
     // ---- Phase 4: import (data + packages). -----------------------------
     let data = state.data_index.get(&request.name).cloned();
-    report.breakdown.measure(&env.clock, PHASES[3], || -> Result<(), StoreError> {
-        // User data: prefer repository-stored data for this image name;
-        // otherwise import what the request carries.
-        let files = match &data {
-            Some(d) => {
-                for digest in &d.digests {
-                    state
-                        .data_store
-                        .get(digest)
-                        .map_err(|_| StoreError::Corrupt(format!("data blob {digest}")))?;
+    report
+        .breakdown
+        .measure(&env.clock, PHASES[3], || -> Result<(), StoreError> {
+            // User data: prefer repository-stored data for this image name;
+            // otherwise import what the request carries.
+            let files = match &data {
+                Some(d) => {
+                    for digest in &d.digests {
+                        state
+                            .data_store
+                            .get(digest)
+                            .map_err(|_| StoreError::Corrupt(format!("data blob {digest}")))?;
+                    }
+                    d.files.clone()
                 }
-                d.files.clone()
+                None => request.user_data.clone(),
+            };
+            for f in files {
+                env.local.charge_create(f.size as u64);
+                env.local.charge_write(f.size as u64);
+                handle.vmi_mut().fs.add_file(f);
             }
-            None => request.user_data.clone(),
-        };
-        for f in files {
-            env.local.charge_create(f.size as u64);
-            env.local.charge_write(f.size as u64);
-            handle.vmi_mut().fs.add_file(f);
-        }
 
-        // Packages: read the deb, register in the local repository, and
-        // install through the guest package manager.
-        for id in &to_install {
-            let meta = catalog.get(*id);
-            let indexed = state
-                .package_index
-                .get(&meta.identity())
-                .or_else(|| {
-                    state
-                        .package_index
-                        .values()
-                        .find(|p| catalog.get(p.package).name == meta.name)
-                })
-                .expect("checked during resolution");
-            state
-                .packages
-                .get(&indexed.digest)
-                .map_err(|_| StoreError::Corrupt(format!("package blob {}", meta.identity())))?;
-            env.local.charge_fixed(env.costs.repo_scan_per_pkg);
-            handle.install_package(catalog, indexed.package, InstallReason::Auto);
-        }
-        // Primary packages were installed as part of the loop; mark them.
-        for &root in &roots {
-            let name = catalog.get(root).name;
-            handle.vmi_mut().pkgdb.mark_manual(name);
-        }
-        handle.refresh_status(catalog);
-        Ok(())
-    })?;
+            // Packages: read the deb, register in the local repository, and
+            // install through the guest package manager.
+            for id in &to_install {
+                let meta = catalog.get(*id);
+                let indexed = state
+                    .package_index
+                    .get(&meta.identity())
+                    .or_else(|| {
+                        state
+                            .package_index
+                            .values()
+                            .find(|p| catalog.get(p.package).name == meta.name)
+                    })
+                    .expect("checked during resolution");
+                state.packages.get(&indexed.digest).map_err(|_| {
+                    StoreError::Corrupt(format!("package blob {}", meta.identity()))
+                })?;
+                env.local.charge_fixed(env.costs.repo_scan_per_pkg);
+                handle.install_package(catalog, indexed.package, InstallReason::Auto);
+            }
+            // Primary packages were installed as part of the loop; mark them.
+            for &root in &roots {
+                let name = catalog.get(root).name;
+                handle.vmi_mut().pkgdb.mark_manual(name);
+            }
+            handle.refresh_status(catalog);
+            Ok(())
+        })?;
 
     // Materialize the delivered disk. No extra I/O charge: the assembled
     // image *is* the copied base file, mutated in place by the package
@@ -195,7 +201,10 @@ mod tests {
             got.installed_package_set(&w.catalog),
             original.installed_package_set(&w.catalog)
         );
-        assert!(report.duration.as_secs_f64() > 14.0, "copy+launch+reset floor");
+        assert!(
+            report.duration.as_secs_f64() > 14.0,
+            "copy+launch+reset floor"
+        );
         // User data restored.
         assert_eq!(got.user_data_bytes(), original.user_data_bytes());
     }
@@ -263,6 +272,9 @@ mod tests {
             primary: vec![],
             user_data: vec![],
         };
-        assert!(matches!(repo.retrieve(&w.catalog, &req), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            repo.retrieve(&w.catalog, &req),
+            Err(StoreError::NotFound(_))
+        ));
     }
 }

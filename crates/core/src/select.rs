@@ -117,7 +117,10 @@ pub fn select_base_image(
         let cand = &candidates[i];
         match &cand.id {
             None => {
-                return Selection { chosen_existing: None, replace: cand.replace.clone() };
+                return Selection {
+                    chosen_existing: None,
+                    replace: cand.replace.clone(),
+                };
             }
             Some(id) => {
                 if can_host_incoming[i] {
@@ -130,7 +133,10 @@ pub fn select_base_image(
         }
     }
     // Line 33: fall back to storing the incoming base.
-    Selection { chosen_existing: None, replace: Vec::new() }
+    Selection {
+        chosen_existing: None,
+        replace: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +156,14 @@ mod tests {
             .into_iter()
             .filter(|id| !primary_set.contains(id))
             .collect();
-        let g = SemanticGraph::of_image(&w.catalog, name, vmi.base.clone(), &installed, &vmi.primary, &base_roots);
+        let g = SemanticGraph::of_image(
+            &w.catalog,
+            name,
+            vmi.base.clone(),
+            &installed,
+            &vmi.primary,
+            &base_roots,
+        );
         (g.base_subgraph(), g.primary_subgraph())
     }
 
@@ -175,7 +188,10 @@ mod tests {
         let (base_g, prim_g) = graph_of(&w, "redis");
         let attrs = w.template.attrs.clone();
         let sel = select_base_image(&repo.state, &attrs, &base_g, &prim_g);
-        assert!(sel.chosen_existing.is_some(), "should reuse the stored base");
+        assert!(
+            sel.chosen_existing.is_some(),
+            "should reuse the stored base"
+        );
     }
 
     #[test]
@@ -189,7 +205,10 @@ mod tests {
         attrs.version = "18.04".into();
         base_g.base = attrs.clone();
         let sel = select_base_image(&repo.state, &attrs, &base_g, &prim_g);
-        assert_eq!(sel.chosen_existing, None, "different quadruple must store new base");
+        assert_eq!(
+            sel.chosen_existing, None,
+            "different quadruple must store new base"
+        );
     }
 }
 
@@ -245,8 +264,7 @@ mod replacement_tests {
     /// (bypasses publish, to construct multi-base scenarios that the
     /// single-flavour worlds cannot reach).
     fn inject_base(repo: &mut ExpelliarmusRepo, id: &str, bg: SemanticGraph, ps: SemanticGraph) {
-        let mut full =
-            SemanticGraph::from_parts(id, bg.base.clone(), bg.vertices.clone(), vec![]);
+        let mut full = SemanticGraph::from_parts(id, bg.base.clone(), bg.vertices.clone(), vec![]);
         full.vertices.extend(ps.vertices.iter().cloned());
         let full = SemanticGraph::from_parts(id, bg.base.clone(), full.vertices, vec![]);
         let master = xpl_semgraph::MasterGraph::create(&full);
@@ -268,8 +286,18 @@ mod replacement_tests {
         // existing base and report the other as replaceable.
         let world = xpl_workloads::World::small();
         let mut repo = ExpelliarmusRepo::new(world.env());
-        inject_base(&mut repo, "base:a", base_graph(&[]), prim_graph(&[("redis", "6.0")]));
-        inject_base(&mut repo, "base:b", base_graph(&[]), prim_graph(&[("nginx", "1.18")]));
+        inject_base(
+            &mut repo,
+            "base:a",
+            base_graph(&[]),
+            prim_graph(&[("redis", "6.0")]),
+        );
+        inject_base(
+            &mut repo,
+            "base:b",
+            base_graph(&[]),
+            prim_graph(&[("nginx", "1.18")]),
+        );
 
         let incoming_bg = base_graph(&[]);
         let incoming_ps = prim_graph(&[("postgres", "9.5")]);
@@ -334,9 +362,12 @@ mod replacement_tests {
         let world = xpl_workloads::World::small();
         let mut repo = ExpelliarmusRepo::new(world.env());
         use xpl_store::ImageStore;
-        repo.publish(&world.catalog, &world.build_image("mini")).unwrap();
-        repo.publish(&world.catalog, &world.build_image("redis")).unwrap();
-        repo.publish(&world.catalog, &world.build_image("lamp")).unwrap();
+        repo.publish(&world.catalog, &world.build_image("mini"))
+            .unwrap();
+        repo.publish(&world.catalog, &world.build_image("redis"))
+            .unwrap();
+        repo.publish(&world.catalog, &world.build_image("lamp"))
+            .unwrap();
         repo.check_invariants().unwrap();
         assert_eq!(repo.base_count(), 1, "one quadruple → one base");
     }

@@ -186,8 +186,12 @@ impl<'a> ImageBuilder<'a> {
         }
 
         // 3. Install the primary closure (skipping what the base supplies).
-        let installed_names: FxHashSet<IStr> =
-            self.template.base_packages.iter().map(|&id| catalog.get(id).name).collect();
+        let installed_names: FxHashSet<IStr> = self
+            .template
+            .base_packages
+            .iter()
+            .map(|&id| catalog.get(id).name)
+            .collect();
         let closure = catalog.install_closure(&primary_ids, host)?;
         let primary_set: FxHashSet<PackageId> = primary_ids.iter().copied().collect();
         let mut vmi = Vmi {
@@ -207,7 +211,11 @@ impl<'a> ImageBuilder<'a> {
                 // Dependency already satisfied by the base install.
                 continue;
             }
-            let reason = if is_primary { InstallReason::Manual } else { InstallReason::Auto };
+            let reason = if is_primary {
+                InstallReason::Manual
+            } else {
+                InstallReason::Auto
+            };
             vmi.install_package_raw(catalog, id, reason);
         }
 
@@ -217,7 +225,7 @@ impl<'a> ImageBuilder<'a> {
             let mut remaining = recipe.user_data_bytes;
             let mut i = 0;
             while remaining > 0 {
-                let size = remaining.min(2048).max(1) as u32;
+                let size = remaining.clamp(1, 2048) as u32;
                 let mut frng = rng.derive(&format!("user-{i}"));
                 vmi.fs.add_file(FileRecord {
                     path: IStr::new(&format!("/home/user/data/{}-{i}.bin", recipe.name)),
@@ -294,12 +302,22 @@ mod tests {
     }
 
     fn pf(path: &str, size: u32, seed: u64) -> PkgFile {
-        PkgFile { path: IStr::new(path), size, seed }
+        PkgFile {
+            path: IStr::new(path),
+            size,
+            seed,
+        }
     }
 
     fn world() -> (Catalog, BaseTemplate) {
         let mut c = Catalog::new();
-        c.add(spec("libc6", "2.23", true, vec![pf("/lib/libc.so", 1800, 1)], vec![]));
+        c.add(spec(
+            "libc6",
+            "2.23",
+            true,
+            vec![pf("/lib/libc.so", 1800, 1)],
+            vec![],
+        ));
         c.add(spec(
             "coreutils",
             "8.25",
@@ -344,7 +362,9 @@ mod tests {
     #[test]
     fn build_minimal_image() {
         let (c, t) = world();
-        let vmi = ImageBuilder::new(&c, &t).build(&ImageRecipe::new("mini", &[])).unwrap();
+        let vmi = ImageBuilder::new(&c, &t)
+            .build(&ImageRecipe::new("mini", &[]))
+            .unwrap();
         assert_eq!(vmi.primary.len(), 0);
         assert_eq!(vmi.pkgdb.len(), 2);
         // files: 4 base + status file.
@@ -355,7 +375,9 @@ mod tests {
     #[test]
     fn build_with_primary_installs_closure() {
         let (c, t) = world();
-        let vmi = ImageBuilder::new(&c, &t).build(&ImageRecipe::new("redis", &["redis"])).unwrap();
+        let vmi = ImageBuilder::new(&c, &t)
+            .build(&ImageRecipe::new("redis", &["redis"]))
+            .unwrap();
         assert!(vmi.pkgdb.is_installed(IStr::new("redis")));
         assert!(vmi.pkgdb.is_installed(IStr::new("libssl")));
         assert_eq!(
@@ -382,7 +404,13 @@ mod tests {
     #[test]
     fn pinned_version_respected() {
         let (mut c, _) = world();
-        c.add(spec("redis", "4.0.1", false, vec![pf("/usr/bin/redis-server", 750, 6)], vec![]));
+        c.add(spec(
+            "redis",
+            "4.0.1",
+            false,
+            vec![pf("/usr/bin/redis-server", 750, 6)],
+            vec![],
+        ));
         let t = BaseTemplate::build(
             &c,
             BaseImageAttrs::ubuntu("16.04", Arch::Amd64),
@@ -391,13 +419,14 @@ mod tests {
             77,
         )
         .unwrap();
-        let pinned =
-            ImageRecipe::new("r3", &["redis"]).with_pin("redis", Version::parse("3.0.6"));
+        let pinned = ImageRecipe::new("r3", &["redis"]).with_pin("redis", Version::parse("3.0.6"));
         let vmi = ImageBuilder::new(&c, &t).build(&pinned).unwrap();
         let set = vmi.installed_package_set(&c);
         assert!(set.iter().any(|s| s.starts_with("redis=3.0.6")), "{set:?}");
 
-        let latest = ImageBuilder::new(&c, &t).build(&ImageRecipe::new("r4", &["redis"])).unwrap();
+        let latest = ImageBuilder::new(&c, &t)
+            .build(&ImageRecipe::new("r4", &["redis"]))
+            .unwrap();
         let set = latest.installed_package_set(&c);
         assert!(set.iter().any(|s| s.starts_with("redis=4.0.1")), "{set:?}");
     }

@@ -55,7 +55,11 @@ pub type FsLayer = Arc<Vec<FileRecord>>;
 pub fn layer_from(mut records: Vec<FileRecord>) -> FsLayer {
     records.sort_by_key(|r| r.path.as_str());
     for w in records.windows(2) {
-        assert_ne!(w[0].path, w[1].path, "duplicate path in layer: {}", w[0].path);
+        assert_ne!(
+            w[0].path, w[1].path,
+            "duplicate path in layer: {}",
+            w[0].path
+        );
     }
     Arc::new(records)
 }
@@ -74,7 +78,11 @@ impl FsTree {
     }
 
     pub fn with_base(layer: FsLayer) -> Self {
-        FsTree { layers: vec![layer], overlay: BTreeMap::new(), tombstones: FxHashSet::default() }
+        FsTree {
+            layers: vec![layer],
+            overlay: BTreeMap::new(),
+            tombstones: FxHashSet::default(),
+        }
     }
 
     pub fn push_layer(&mut self, layer: FsLayer) {
@@ -231,7 +239,12 @@ mod tests {
     use super::*;
 
     fn rec(path: &str, size: u32, owner: FileOwner) -> FileRecord {
-        FileRecord { path: IStr::new(path), size, seed: size as u64 * 7 + 1, owner }
+        FileRecord {
+            path: IStr::new(path),
+            size,
+            seed: size as u64 * 7 + 1,
+            owner,
+        }
     }
 
     fn base_layer() -> FsLayer {

@@ -22,7 +22,10 @@ impl<'a> GuestHandle<'a> {
     /// Configure + launch (charges `guestfs_launch`).
     pub fn launch(env: &SimEnv, vmi: &'a mut Vmi) -> Self {
         env.local.charge_fixed(env.costs.guestfs_launch);
-        GuestHandle { vmi, env: env.clone() }
+        GuestHandle {
+            vmi,
+            env: env.clone(),
+        }
     }
 
     pub fn vmi(&self) -> &Vmi {
@@ -71,11 +74,11 @@ impl<'a> GuestHandle<'a> {
     pub fn autoremove(&mut self, catalog: &Catalog) -> Vec<PackageId> {
         let mut all_removed = Vec::new();
         // Iterate to a fixed point: removing one package can orphan others.
-        loop {
-            let unused = match self.vmi.pkgdb.unused_dependencies(catalog, self.vmi.base.arch) {
-                Ok(u) => u,
-                Err(_) => break,
-            };
+        while let Ok(unused) = self
+            .vmi
+            .pkgdb
+            .unused_dependencies(catalog, self.vmi.base.arch)
+        {
             if unused.is_empty() {
                 break;
             }
@@ -93,7 +96,9 @@ impl<'a> GuestHandle<'a> {
     /// identifies as the dominant publish cost.
     pub fn export_deb(&self, catalog: &Catalog, id: PackageId) -> DebPackage {
         let installed = catalog.get(id).installed_size;
-        self.env.local.charge_fixed(self.env.costs.deb_build(installed));
+        self.env
+            .local
+            .charge_fixed(self.env.costs.deb_build(installed));
         xpl_pkg::deb::build_deb(catalog, id)
     }
 
@@ -130,7 +135,11 @@ mod tests {
             installed_size: 120,
             depends: vec![],
             manifest: FileManifest {
-                files: vec![PkgFile { path: IStr::new("/usr/lib/libhiredis.so"), size: 120, seed: 1 }],
+                files: vec![PkgFile {
+                    path: IStr::new("/usr/lib/libhiredis.so"),
+                    size: 120,
+                    seed: 1,
+                }],
             },
         });
         c.add(PackageSpec {
@@ -143,7 +152,11 @@ mod tests {
             installed_size: 400,
             depends: vec![Dependency::any("libhiredis")],
             manifest: FileManifest {
-                files: vec![PkgFile { path: IStr::new("/usr/bin/redis"), size: 400, seed: 2 }],
+                files: vec![PkgFile {
+                    path: IStr::new("/usr/bin/redis"),
+                    size: 400,
+                    seed: 2,
+                }],
             },
         });
         c

@@ -90,7 +90,15 @@ fn geometry(fs: &FsTree) -> (Geometry, Vec<Vec<FileRecord>>, Vec<FileRecord>) {
     let spill_span: u64 = spill.iter().map(file_span).sum();
     let groups_end = SUPERBLOCK_BYTES + NGROUPS * group_capacity;
     let disk_size = align_up(groups_end + spill_span + 4096, 4096);
-    (Geometry { group_capacity, groups_end, disk_size }, groups, spill)
+    (
+        Geometry {
+            group_capacity,
+            groups_end,
+            disk_size,
+        },
+        groups,
+        spill,
+    )
 }
 
 /// Size the virtual disk for a tree.
@@ -118,7 +126,8 @@ pub fn mkfs(name: &str, fs: &FsTree) -> QcowImage {
         let marker = (rec.seed as u16).to_le_bytes();
         img.write_at(cursor, &marker).expect("inode fits");
         let content = rec.content();
-        img.write_at(cursor + INODE_BYTES, &content).expect("content fits");
+        img.write_at(cursor + INODE_BYTES, &content)
+            .expect("content fits");
         align_up(cursor + INODE_BYTES + content.len() as u64, ALIGN)
     };
 
@@ -143,8 +152,18 @@ mod tests {
 
     fn tree() -> FsTree {
         FsTree::with_base(layer_from(vec![
-            FileRecord { path: IStr::new("/bin/a"), size: 500, seed: 1, owner: FileOwner::System },
-            FileRecord { path: IStr::new("/bin/b"), size: 300, seed: 2, owner: FileOwner::System },
+            FileRecord {
+                path: IStr::new("/bin/a"),
+                size: 500,
+                seed: 1,
+                owner: FileOwner::System,
+            },
+            FileRecord {
+                path: IStr::new("/bin/b"),
+                size: 300,
+                seed: 2,
+                owner: FileOwner::System,
+            },
         ]))
     }
 
@@ -209,7 +228,10 @@ mod tests {
             }
         }
         let frac = differing as f64 / clusters as f64;
-        assert!(frac < 0.05, "{differing}/{clusters} clusters differ ({frac:.3})");
+        assert!(
+            frac < 0.05,
+            "{differing}/{clusters} clusters differ ({frac:.3})"
+        );
     }
 
     #[test]
@@ -258,6 +280,6 @@ mod tests {
         });
         let img = mkfs("img", &fs);
         // Must still hold all content.
-        assert!(img.allocated_bytes() as u64 >= fs.total_bytes());
+        assert!(img.allocated_bytes() >= fs.total_bytes());
     }
 }

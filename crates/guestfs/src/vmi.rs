@@ -40,7 +40,14 @@ impl Vmi {
         primary: Vec<PackageId>,
     ) -> Vmi {
         let disk = mkfs::mkfs(name, &fs);
-        Vmi { name: name.to_string(), base, fs, pkgdb, primary, disk }
+        Vmi {
+            name: name.to_string(),
+            base,
+            fs,
+            pkgdb,
+            primary,
+            disk,
+        }
     }
 
     /// Re-materialize the disk from the current tree.
@@ -108,12 +115,7 @@ impl Vmi {
 
     /// Install a package's files + DB record (no cost charging — the
     /// charged path is [`crate::GuestHandle::install_package`]).
-    pub fn install_package_raw(
-        &mut self,
-        catalog: &Catalog,
-        id: PackageId,
-        reason: InstallReason,
-    ) {
+    pub fn install_package_raw(&mut self, catalog: &Catalog, id: PackageId, reason: InstallReason) {
         let meta = catalog.get(id);
         for f in &meta.manifest.files {
             self.fs.add_file(FileRecord {
@@ -155,8 +157,16 @@ mod tests {
             depends: vec![],
             manifest: FileManifest {
                 files: vec![
-                    PkgFile { path: IStr::new("/usr/bin/redis"), size: 300, seed: 70 },
-                    PkgFile { path: IStr::new("/etc/redis.conf"), size: 50, seed: 71 },
+                    PkgFile {
+                        path: IStr::new("/usr/bin/redis"),
+                        size: 300,
+                        seed: 70,
+                    },
+                    PkgFile {
+                        path: IStr::new("/etc/redis.conf"),
+                        size: 50,
+                        seed: 71,
+                    },
                 ],
             },
         });
@@ -182,7 +192,9 @@ mod tests {
         assert_eq!(vmi.mounted_bytes(), 350);
         assert!(vmi.pkgdb.is_installed(IStr::new("redis")));
         assert_eq!(
-            vmi.installed_package_set(&c).into_iter().collect::<Vec<_>>(),
+            vmi.installed_package_set(&c)
+                .into_iter()
+                .collect::<Vec<_>>(),
             vec!["redis=6.0/amd64"]
         );
     }

@@ -39,9 +39,20 @@ impl std::error::Error for DbError {}
 
 /// Undo-log entries for rollback.
 enum Undo {
-    Insert { table: String, id: RowId },
-    Update { table: String, id: RowId, old: Vec<Value> },
-    Delete { table: String, id: RowId, old: Vec<Value> },
+    Insert {
+        table: String,
+        id: RowId,
+    },
+    Update {
+        table: String,
+        id: RowId,
+        old: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        id: RowId,
+        old: Vec<Value>,
+    },
 }
 
 /// Serializable snapshot of the database (persistence format).
@@ -61,7 +72,12 @@ pub struct Database {
 impl Database {
     /// In-memory database without cost charging (tests, tooling).
     pub fn new() -> Self {
-        Database { tables: BTreeMap::new(), device: None, undo: Vec::new(), in_tx: false }
+        Database {
+            tables: BTreeMap::new(),
+            device: None,
+            undo: Vec::new(),
+            in_tx: false,
+        }
     }
 
     /// Database whose row/blob traffic is charged to `device`.
@@ -120,7 +136,10 @@ impl Database {
         let in_tx = self.in_tx;
         let id = self.table_mut(table)?.insert(row)?;
         if in_tx {
-            self.undo.push(Undo::Insert { table: table.to_string(), id });
+            self.undo.push(Undo::Insert {
+                table: table.to_string(),
+                id,
+            });
         }
         Ok(id)
     }
@@ -141,7 +160,11 @@ impl Database {
         let in_tx = self.in_tx;
         let old = self.table_mut(table)?.update(id, row)?;
         if in_tx {
-            self.undo.push(Undo::Update { table: table.to_string(), id, old });
+            self.undo.push(Undo::Update {
+                table: table.to_string(),
+                id,
+                old,
+            });
         }
         Ok(())
     }
@@ -153,7 +176,11 @@ impl Database {
         let in_tx = self.in_tx;
         let old = self.table_mut(table)?.delete(id)?;
         if in_tx {
-            self.undo.push(Undo::Delete { table: table.to_string(), id, old });
+            self.undo.push(Undo::Delete {
+                table: table.to_string(),
+                id,
+                old,
+            });
         }
         Ok(())
     }
@@ -228,7 +255,9 @@ impl Database {
 
     /// Persist to a deterministic byte image.
     pub fn dump(&self) -> Vec<u8> {
-        let image = DbImage { tables: self.tables.clone() };
+        let image = DbImage {
+            tables: self.tables.clone(),
+        };
         // serde_json would be simpler but this is a binary format crate-
         // internally; use a compact hand-rolled encoding via serde +
         // JSON-in-bytes for robustness and determinism.
@@ -243,7 +272,12 @@ impl Database {
         for t in tables.values_mut() {
             t.rebuild_indexes();
         }
-        Ok(Database { tables, device, undo: Vec::new(), in_tx: false })
+        Ok(Database {
+            tables,
+            device,
+            undo: Vec::new(),
+            in_tx: false,
+        })
     }
 }
 
@@ -282,9 +316,12 @@ mod tests {
     #[test]
     fn crud_cycle() {
         let mut db = db_with_table();
-        let id = db.insert("pkg", vec!["redis".into(), 100u64.into()]).unwrap();
+        let id = db
+            .insert("pkg", vec!["redis".into(), 100u64.into()])
+            .unwrap();
         assert_eq!(db.get("pkg", id).unwrap().unwrap()[0], "redis".into());
-        db.update("pkg", id, vec!["redis".into(), 200u64.into()]).unwrap();
+        db.update("pkg", id, vec!["redis".into(), 200u64.into()])
+            .unwrap();
         assert_eq!(db.get("pkg", id).unwrap().unwrap()[1], Value::Int(200));
         db.delete("pkg", id).unwrap();
         assert_eq!(db.get("pkg", id).unwrap(), None);
@@ -296,7 +333,8 @@ mod tests {
         let keep = db.insert("pkg", vec!["keep".into(), 1u64.into()]).unwrap();
         db.begin();
         let tmp = db.insert("pkg", vec!["tmp".into(), 2u64.into()]).unwrap();
-        db.update("pkg", keep, vec!["keep".into(), 99u64.into()]).unwrap();
+        db.update("pkg", keep, vec!["keep".into(), 99u64.into()])
+            .unwrap();
         db.delete("pkg", keep).unwrap();
         db.rollback().unwrap();
         // Insert rolled back.
@@ -305,7 +343,10 @@ mod tests {
         let row = db.get("pkg", keep).unwrap().unwrap();
         assert_eq!(row[1], Value::Int(1));
         // Index consistent after rollback.
-        assert_eq!(db.find_by("pkg", "name", &"keep".into()).unwrap(), vec![keep]);
+        assert_eq!(
+            db.find_by("pkg", "name", &"keep".into()).unwrap(),
+            vec![keep]
+        );
         assert!(db.find_by("pkg", "name", &"tmp".into()).unwrap().is_empty());
     }
 
@@ -329,12 +370,17 @@ mod tests {
     #[test]
     fn persistence_roundtrip() {
         let mut db = db_with_table();
-        let id = db.insert("pkg", vec!["redis".into(), 42u64.into()]).unwrap();
+        let id = db
+            .insert("pkg", vec!["redis".into(), 42u64.into()])
+            .unwrap();
         let bytes = db.dump();
         let back = Database::load(&bytes, None).unwrap();
         assert_eq!(back.get("pkg", id).unwrap().unwrap()[1], Value::Int(42));
         // Indexes rebuilt.
-        assert_eq!(back.find_by("pkg", "name", &"redis".into()).unwrap(), vec![id]);
+        assert_eq!(
+            back.find_by("pkg", "name", &"redis".into()).unwrap(),
+            vec![id]
+        );
     }
 
     #[test]
@@ -355,8 +401,12 @@ mod tests {
         ))
         .unwrap();
         let t0 = env.clock.now();
-        db.insert("files", vec!["d".into(), vec![0u8; 4096].into()]).unwrap();
-        assert!(env.clock.since(t0).as_nanos() > 0, "insert must charge time");
+        db.insert("files", vec!["d".into(), vec![0u8; 4096].into()])
+            .unwrap();
+        assert!(
+            env.clock.since(t0).as_nanos() > 0,
+            "insert must charge time"
+        );
         let t1 = env.clock.now();
         let ids = db.find_by("files", "digest", &"d".into()).unwrap();
         db.get("files", ids[0]).unwrap();

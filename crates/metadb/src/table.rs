@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Row identifier (monotonic per table, never reused).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RowId(pub u64);
 
 /// A column definition.
@@ -20,11 +18,17 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn plain(name: &str) -> Self {
-        ColumnDef { name: name.to_string(), indexed: false }
+        ColumnDef {
+            name: name.to_string(),
+            indexed: false,
+        }
     }
 
     pub fn indexed(name: &str) -> Self {
-        ColumnDef { name: name.to_string(), indexed: true }
+        ColumnDef {
+            name: name.to_string(),
+            indexed: true,
+        }
     }
 }
 
@@ -37,7 +41,10 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(name: &str, columns: Vec<ColumnDef>) -> Self {
-        Schema { name: name.to_string(), columns }
+        Schema {
+            name: name.to_string(),
+            columns,
+        }
     }
 
     pub fn column_index(&self, name: &str) -> Option<usize> {
@@ -72,7 +79,12 @@ impl Table {
             .iter()
             .map(|c| c.indexed.then(BTreeMap::new))
             .collect();
-        Table { schema, next_id: 0, rows: BTreeMap::new(), indexes }
+        Table {
+            schema,
+            next_id: 0,
+            rows: BTreeMap::new(),
+            indexes,
+        }
     }
 
     /// Rebuild indexes after deserialization (indexes are derived state).
@@ -136,7 +148,11 @@ impl Table {
                 got: row.len(),
             });
         }
-        let old = self.rows.get(&id).cloned().ok_or(TableError::NoSuchRow(id))?;
+        let old = self
+            .rows
+            .get(&id)
+            .cloned()
+            .ok_or(TableError::NoSuchRow(id))?;
         self.unindex_row(id, &old);
         self.index_row(id, &row);
         self.rows.insert(id, row);
@@ -236,16 +252,25 @@ mod tests {
         let mut t = files_table();
         assert_eq!(
             t.insert(vec!["x".into()]),
-            Err(TableError::WrongArity { expected: 3, got: 1 })
+            Err(TableError::WrongArity {
+                expected: 3,
+                got: 1
+            })
         );
     }
 
     #[test]
     fn index_lookup() {
         let mut t = files_table();
-        let a = t.insert(vec!["d1".into(), 1u64.into(), Value::Null]).unwrap();
-        let b = t.insert(vec!["d2".into(), 2u64.into(), Value::Null]).unwrap();
-        let c = t.insert(vec!["d1".into(), 3u64.into(), Value::Null]).unwrap();
+        let a = t
+            .insert(vec!["d1".into(), 1u64.into(), Value::Null])
+            .unwrap();
+        let b = t
+            .insert(vec!["d2".into(), 2u64.into(), Value::Null])
+            .unwrap();
+        let c = t
+            .insert(vec!["d1".into(), 3u64.into(), Value::Null])
+            .unwrap();
         assert_eq!(t.find_by("digest", &"d1".into()).unwrap(), vec![a, c]);
         assert_eq!(t.find_by("digest", &"d2".into()).unwrap(), vec![b]);
         assert!(t.find_by("digest", &"d9".into()).unwrap().is_empty());
@@ -258,8 +283,11 @@ mod tests {
     #[test]
     fn update_moves_index_entry() {
         let mut t = files_table();
-        let id = t.insert(vec!["old".into(), 1u64.into(), Value::Null]).unwrap();
-        t.update(id, vec!["new".into(), 1u64.into(), Value::Null]).unwrap();
+        let id = t
+            .insert(vec!["old".into(), 1u64.into(), Value::Null])
+            .unwrap();
+        t.update(id, vec!["new".into(), 1u64.into(), Value::Null])
+            .unwrap();
         assert!(t.find_by("digest", &"old".into()).unwrap().is_empty());
         assert_eq!(t.find_by("digest", &"new".into()).unwrap(), vec![id]);
     }
@@ -267,7 +295,9 @@ mod tests {
     #[test]
     fn delete_cleans_index() {
         let mut t = files_table();
-        let id = t.insert(vec!["d".into(), 1u64.into(), Value::Null]).unwrap();
+        let id = t
+            .insert(vec!["d".into(), 1u64.into(), Value::Null])
+            .unwrap();
         t.delete(id).unwrap();
         assert!(t.find_by("digest", &"d".into()).unwrap().is_empty());
         assert_eq!(t.delete(id), Err(TableError::NoSuchRow(id)));
@@ -277,7 +307,8 @@ mod tests {
     fn scan_predicate() {
         let mut t = files_table();
         for i in 0..10i64 {
-            t.insert(vec![format!("d{i}").into(), i.into(), Value::Null]).unwrap();
+            t.insert(vec![format!("d{i}").into(), i.into(), Value::Null])
+                .unwrap();
         }
         let big = t.scan(|r| r[1].as_int().unwrap() >= 7);
         assert_eq!(big.len(), 3);
@@ -286,7 +317,8 @@ mod tests {
     #[test]
     fn payload_accounting() {
         let mut t = files_table();
-        t.insert(vec!["dd".into(), 1u64.into(), vec![0u8; 100].into()]).unwrap();
+        t.insert(vec!["dd".into(), 1u64.into(), vec![0u8; 100].into()])
+            .unwrap();
         // 2 (text) + 8 (int) + 100 (blob).
         assert_eq!(t.payload_bytes(), 110);
     }
@@ -294,7 +326,9 @@ mod tests {
     #[test]
     fn rebuild_indexes_after_clearing() {
         let mut t = files_table();
-        let id = t.insert(vec!["d".into(), 1u64.into(), Value::Null]).unwrap();
+        let id = t
+            .insert(vec!["d".into(), 1u64.into(), Value::Null])
+            .unwrap();
         t.rebuild_indexes();
         assert_eq!(t.find_by("digest", &"d".into()).unwrap(), vec![id]);
     }
@@ -302,9 +336,13 @@ mod tests {
     #[test]
     fn row_ids_not_reused_after_delete() {
         let mut t = files_table();
-        let a = t.insert(vec!["a".into(), 1u64.into(), Value::Null]).unwrap();
+        let a = t
+            .insert(vec!["a".into(), 1u64.into(), Value::Null])
+            .unwrap();
         t.delete(a).unwrap();
-        let b = t.insert(vec!["b".into(), 2u64.into(), Value::Null]).unwrap();
+        let b = t
+            .insert(vec!["b".into(), 2u64.into(), Value::Null])
+            .unwrap();
         assert!(b.0 > a.0);
     }
 }

@@ -104,8 +104,14 @@ mod tests {
     #[test]
     fn any_difference_zeroes_similarity() {
         let a = BaseImageAttrs::ubuntu("16.04", Arch::Amd64);
-        assert_eq!(a.similarity(&BaseImageAttrs::ubuntu("18.04", Arch::Amd64)), 0.0);
-        assert_eq!(a.similarity(&BaseImageAttrs::ubuntu("16.04", Arch::Arm64)), 0.0);
+        assert_eq!(
+            a.similarity(&BaseImageAttrs::ubuntu("18.04", Arch::Amd64)),
+            0.0
+        );
+        assert_eq!(
+            a.similarity(&BaseImageAttrs::ubuntu("16.04", Arch::Arm64)),
+            0.0
+        );
         let mut debian = a.clone();
         debian.distro = "debian".into();
         assert_eq!(a.similarity(&debian), 0.0);

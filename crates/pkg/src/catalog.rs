@@ -117,7 +117,9 @@ impl Catalog {
 
     /// Newest version of a package by name.
     pub fn newest(&self, name: &str) -> Option<PackageId> {
-        self.by_name.get(&IStr::new(name)).and_then(|v| v.last().copied())
+        self.by_name
+            .get(&IStr::new(name))
+            .and_then(|v| v.last().copied())
     }
 
     /// Newest version satisfying `req` and installable on `host`.
@@ -142,7 +144,10 @@ impl Catalog {
             }
         }
         if arch_ok {
-            Err(ResolveError::NoMatchingVersion { name, req: req.to_string() })
+            Err(ResolveError::NoMatchingVersion {
+                name,
+                req: req.to_string(),
+            })
         } else {
             Err(ResolveError::ArchMismatch { name, host })
         }
@@ -243,9 +248,16 @@ mod tests {
         let v4 = c.add(spec("redis", "4.0", &[]));
         assert_eq!(c.newest("redis"), Some(v6));
         let req = VersionReq::AtLeast(Version::parse("4.5"));
-        assert_eq!(c.best_match(IStr::new("redis"), &req, Arch::Amd64).unwrap(), v6);
+        assert_eq!(
+            c.best_match(IStr::new("redis"), &req, Arch::Amd64).unwrap(),
+            v6
+        );
         let exact = VersionReq::Exact(Version::parse("4.0"));
-        assert_eq!(c.best_match(IStr::new("redis"), &exact, Arch::Amd64).unwrap(), v4);
+        assert_eq!(
+            c.best_match(IStr::new("redis"), &exact, Arch::Amd64)
+                .unwrap(),
+            v4
+        );
     }
 
     #[test]
@@ -278,7 +290,11 @@ mod tests {
         let mut s = spec("docs", "1.0", &[]);
         s.arch = Arch::All;
         let id = c.add(s);
-        assert_eq!(c.best_match(IStr::new("docs"), &VersionReq::Any, Arch::Arm64).unwrap(), id);
+        assert_eq!(
+            c.best_match(IStr::new("docs"), &VersionReq::Any, Arch::Arm64)
+                .unwrap(),
+            id
+        );
     }
 
     #[test]
@@ -311,7 +327,11 @@ mod tests {
         let mut c = Catalog::new();
         c.add(spec("z", "1.0", &[]));
         c.add(spec("a", "1.0", &[Dependency::any("z")]));
-        let root = c.add(spec("m", "1.0", &[Dependency::any("a"), Dependency::any("z")]));
+        let root = c.add(spec(
+            "m",
+            "1.0",
+            &[Dependency::any("a"), Dependency::any("z")],
+        ));
         let c1 = c.install_closure(&[root], Arch::Amd64).unwrap();
         let c2 = c.install_closure(&[root], Arch::Amd64).unwrap();
         assert_eq!(c1, c2);

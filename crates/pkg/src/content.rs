@@ -13,11 +13,43 @@ use xpl_util::SplitMix64;
 /// Vocabulary for text-like regions (ELF section names, config keys,
 /// dpkg fields… the stuff OS files are actually full of).
 const WORDS: &[&str] = &[
-    "version", "depends", "package", "description", "architecture", "maintainer",
-    "usr", "lib", "share", "local", "etc", "config", "daemon", "service",
-    "libc", "GLIBC_2", "symtab", "strtab", "rodata", "dynsym", "init", "fini",
-    "error", "cannot", "failed", "warning", "missing", "required", "default",
-    "true", "false", "null", "none", "enable", "disable", "static", "dynamic",
+    "version",
+    "depends",
+    "package",
+    "description",
+    "architecture",
+    "maintainer",
+    "usr",
+    "lib",
+    "share",
+    "local",
+    "etc",
+    "config",
+    "daemon",
+    "service",
+    "libc",
+    "GLIBC_2",
+    "symtab",
+    "strtab",
+    "rodata",
+    "dynsym",
+    "init",
+    "fini",
+    "error",
+    "cannot",
+    "failed",
+    "warning",
+    "missing",
+    "required",
+    "default",
+    "true",
+    "false",
+    "null",
+    "none",
+    "enable",
+    "disable",
+    "static",
+    "dynamic",
 ];
 
 /// Fraction splits for the three content classes, calibrated so that
@@ -38,7 +70,7 @@ pub fn generate(seed: u64, size: usize) -> Vec<u8> {
             fill_text(&mut rng, &mut out, run);
         } else if class < TEXT_WEIGHT + SPARSE_WEIGHT {
             // Sparse/zero region (padding, .bss-like, alignment).
-            out.extend(std::iter::repeat(0u8).take(run));
+            out.extend(std::iter::repeat_n(0u8, run));
         } else {
             // Incompressible (compiled code, compressed payloads).
             let start = out.len();
@@ -55,11 +87,11 @@ fn fill_text(rng: &mut SplitMix64, out: &mut Vec<u8>, run: usize) {
     while out.len() < end {
         let w = WORDS[rng.next_below(WORDS.len() as u64) as usize];
         let left = end - out.len();
-        if w.len() + 1 <= left {
+        if w.len() < left {
             out.extend_from_slice(w.as_bytes());
             out.push(if rng.chance(0.2) { b'\n' } else { b' ' });
         } else {
-            out.extend(std::iter::repeat(b' ').take(left));
+            out.extend(std::iter::repeat_n(b' ', left));
         }
     }
 }

@@ -82,7 +82,12 @@ pub fn build_deb(catalog: &Catalog, id: PackageId) -> DebPackage {
     }
 
     let digest = Sha256::digest(&bytes);
-    DebPackage { package: id, identity, bytes, digest }
+    DebPackage {
+        package: id,
+        identity,
+        bytes,
+        digest,
+    }
 }
 
 #[cfg(test)]
@@ -117,8 +122,16 @@ mod tests {
             depends: vec![Dependency::at_least("libc6", "2.27")],
             manifest: FileManifest {
                 files: vec![
-                    PkgFile { path: IStr::new("/usr/bin/redis-server"), size: 1800, seed: 11 },
-                    PkgFile { path: IStr::new("/etc/redis/redis.conf"), size: 800, seed: 12 },
+                    PkgFile {
+                        path: IStr::new("/usr/bin/redis-server"),
+                        size: 1800,
+                        seed: 11,
+                    },
+                    PkgFile {
+                        path: IStr::new("/etc/redis/redis.conf"),
+                        size: 800,
+                        seed: 12,
+                    },
                 ],
             },
         });

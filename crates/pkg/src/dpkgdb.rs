@@ -103,13 +103,14 @@ impl DpkgDb {
         host: Arch,
     ) -> Result<Vec<PackageId>, ResolveError> {
         let manual = self.manual_ids();
-        let needed: FxHashSet<PackageId> =
-            catalog.install_closure(&manual, host)?.into_iter().collect();
+        let needed: FxHashSet<PackageId> = catalog
+            .install_closure(&manual, host)?
+            .into_iter()
+            .collect();
         // A package participates by identity of its installed version; an
         // auto package whose *name* is required but at a different version
         // is still "used" (the dependency is satisfied by what's there).
-        let needed_names: FxHashSet<IStr> =
-            needed.iter().map(|&id| catalog.get(id).name).collect();
+        let needed_names: FxHashSet<IStr> = needed.iter().map(|&id| catalog.get(id).name).collect();
         let mut out: Vec<PackageId> = self
             .installed
             .values()
@@ -187,7 +188,10 @@ mod tests {
         let mut db = DpkgDb::new();
         db.install(&c, libc, InstallReason::Manual);
         db.install(&c, libc, InstallReason::Auto);
-        assert_eq!(db.reason_of(IStr::new("libc6")), Some(InstallReason::Manual));
+        assert_eq!(
+            db.reason_of(IStr::new("libc6")),
+            Some(InstallReason::Manual)
+        );
     }
 
     #[test]

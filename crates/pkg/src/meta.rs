@@ -89,11 +89,17 @@ pub struct Dependency {
 
 impl Dependency {
     pub fn any(name: &str) -> Dependency {
-        Dependency { name: IStr::new(name), req: VersionReq::Any }
+        Dependency {
+            name: IStr::new(name),
+            req: VersionReq::Any,
+        }
     }
 
     pub fn at_least(name: &str, v: &str) -> Dependency {
-        Dependency { name: IStr::new(name), req: VersionReq::AtLeast(Version::parse(v)) }
+        Dependency {
+            name: IStr::new(name),
+            req: VersionReq::AtLeast(Version::parse(v)),
+        }
     }
 }
 
@@ -169,8 +175,16 @@ mod tests {
     fn manifest_totals() {
         let m = FileManifest {
             files: vec![
-                PkgFile { path: IStr::new("/usr/bin/tool"), size: 100, seed: 1 },
-                PkgFile { path: IStr::new("/usr/share/doc/tool"), size: 50, seed: 2 },
+                PkgFile {
+                    path: IStr::new("/usr/bin/tool"),
+                    size: 100,
+                    seed: 1,
+                },
+                PkgFile {
+                    path: IStr::new("/usr/share/doc/tool"),
+                    size: 50,
+                    seed: 2,
+                },
             ],
         };
         assert_eq!(m.total_bytes(), 150);

@@ -28,7 +28,11 @@ impl Version {
             Some(i) => (rest[..i].to_string(), rest[i + 1..].to_string()),
             None => (rest.to_string(), String::new()),
         };
-        Version { epoch, upstream, revision }
+        Version {
+            epoch,
+            upstream,
+            revision,
+        }
     }
 
     /// Convenience constructor for `x.y.z` style versions.
@@ -62,7 +66,11 @@ impl Version {
         up.push_str(&self.upstream[..start]);
         up.push_str(&(num + by as u64).to_string());
         up.push_str(&self.upstream[end..]);
-        Version { epoch: self.epoch, upstream: up, revision: self.revision.clone() }
+        Version {
+            epoch: self.epoch,
+            upstream: up,
+            revision: self.revision.clone(),
+        }
     }
 }
 
@@ -122,12 +130,13 @@ fn cmp_part(a: &str, b: &str) -> Ordering {
         while j < b.len() && b[j].is_ascii_digit() {
             j += 1;
         }
-        let na = std::str::from_utf8(&a[di..i]).unwrap().trim_start_matches('0');
-        let nb = std::str::from_utf8(&b[dj..j]).unwrap().trim_start_matches('0');
-        let o = na
-            .len()
-            .cmp(&nb.len())
-            .then_with(|| na.cmp(nb));
+        let na = std::str::from_utf8(&a[di..i])
+            .unwrap()
+            .trim_start_matches('0');
+        let nb = std::str::from_utf8(&b[dj..j])
+            .unwrap()
+            .trim_start_matches('0');
+        let o = na.len().cmp(&nb.len()).then_with(|| na.cmp(nb));
         if o != Ordering::Equal {
             return o;
         }
@@ -172,7 +181,10 @@ mod tests {
     #[test]
     fn parse_no_epoch_no_revision() {
         let x = v("5.10");
-        assert_eq!((x.epoch, x.upstream.as_str(), x.revision.as_str()), (0, "5.10", ""));
+        assert_eq!(
+            (x.epoch, x.upstream.as_str(), x.revision.as_str()),
+            (0, "5.10", "")
+        );
     }
 
     #[test]

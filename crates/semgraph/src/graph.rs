@@ -73,7 +73,13 @@ impl SemanticGraph {
             .enumerate()
             .map(|(i, v)| (v.name, i as u32))
             .collect();
-        SemanticGraph { image: image.to_string(), base, vertices, edges, by_name }
+        SemanticGraph {
+            image: image.to_string(),
+            base,
+            vertices,
+            edges,
+            by_name,
+        }
     }
 
     /// Construct the semantic graph of an image: vertices for every
@@ -125,7 +131,13 @@ impl SemanticGraph {
                 }
             }
         }
-        SemanticGraph { image: image.to_string(), base, vertices, edges, by_name }
+        SemanticGraph {
+            image: image.to_string(),
+            base,
+            vertices,
+            edges,
+            by_name,
+        }
     }
 
     pub fn vertex_by_name(&self, name: IStr) -> Option<&PkgVertex> {
@@ -144,7 +156,9 @@ impl SemanticGraph {
     /// The base-image subgraph `G_I[BI]`: base-member vertices and edges
     /// among them.
     pub fn base_subgraph(&self) -> SemanticGraph {
-        self.filtered(&format!("{}[BI]", self.image), |v| v.role == PkgRole::BaseMember)
+        self.filtered(&format!("{}[BI]", self.image), |v| {
+            v.role == PkgRole::BaseMember
+        })
     }
 
     /// The primary-package subgraph `G_I[PS]`: primary vertices plus their
@@ -247,12 +261,32 @@ mod tests {
     /// coreutils) + MariaDB and Tomcat8 primaries with dependencies.
     fn figure1() -> (Catalog, SemanticGraph) {
         let mut c = Catalog::new();
-        let libc = c.add(spec("libc6", "2.24", 1800, vec![Dependency::any("perl-base")]));
-        let perl = c.add(spec("perl-base", "5.24", 600, vec![Dependency::any("dpkg")]));
+        let libc = c.add(spec(
+            "libc6",
+            "2.24",
+            1800,
+            vec![Dependency::any("perl-base")],
+        ));
+        let perl = c.add(spec(
+            "perl-base",
+            "5.24",
+            600,
+            vec![Dependency::any("dpkg")],
+        ));
         let dpkg = c.add(spec("dpkg", "1.18", 400, vec![Dependency::any("libc6")]));
         let bash = c.add(spec("bash", "4.4", 120, vec![Dependency::any("libc6")]));
-        let core = c.add(spec("coreutils", "8.26", 150, vec![Dependency::any("libc6")]));
-        let jdk = c.add(spec("openjdk", "8u141", 900, vec![Dependency::any("libc6")]));
+        let core = c.add(spec(
+            "coreutils",
+            "8.26",
+            150,
+            vec![Dependency::any("libc6")],
+        ));
+        let jdk = c.add(spec(
+            "openjdk",
+            "8u141",
+            900,
+            vec![Dependency::any("libc6")],
+        ));
         let ucf = c.add(spec("ucf", "3.0", 30, vec![Dependency::any("coreutils")]));
         let gawk = c.add(spec("gawk", "4.1", 80, vec![Dependency::any("libc6")]));
         let maria = c.add(spec(
@@ -288,11 +322,26 @@ mod tests {
     #[test]
     fn roles_assigned_correctly() {
         let (_c, g) = figure1();
-        assert_eq!(g.vertex_by_name(IStr::new("mariadb")).unwrap().role, PkgRole::Primary);
-        assert_eq!(g.vertex_by_name(IStr::new("tomcat8")).unwrap().role, PkgRole::Primary);
-        assert_eq!(g.vertex_by_name(IStr::new("gawk")).unwrap().role, PkgRole::Dependency);
-        assert_eq!(g.vertex_by_name(IStr::new("openjdk")).unwrap().role, PkgRole::Dependency);
-        assert_eq!(g.vertex_by_name(IStr::new("bash")).unwrap().role, PkgRole::BaseMember);
+        assert_eq!(
+            g.vertex_by_name(IStr::new("mariadb")).unwrap().role,
+            PkgRole::Primary
+        );
+        assert_eq!(
+            g.vertex_by_name(IStr::new("tomcat8")).unwrap().role,
+            PkgRole::Primary
+        );
+        assert_eq!(
+            g.vertex_by_name(IStr::new("gawk")).unwrap().role,
+            PkgRole::Dependency
+        );
+        assert_eq!(
+            g.vertex_by_name(IStr::new("openjdk")).unwrap().role,
+            PkgRole::Dependency
+        );
+        assert_eq!(
+            g.vertex_by_name(IStr::new("bash")).unwrap().role,
+            PkgRole::BaseMember
+        );
     }
 
     #[test]
@@ -311,7 +360,10 @@ mod tests {
             .vertices
             .iter()
             .all(|v| matches!(v.role, PkgRole::Primary | PkgRole::Dependency)));
-        assert_eq!(base.package_count() + prim.package_count(), g.package_count());
+        assert_eq!(
+            base.package_count() + prim.package_count(),
+            g.package_count()
+        );
         // Edges inside subgraphs reference only subgraph vertices.
         for &(a, b) in &prim.edges {
             assert!((a as usize) < prim.vertices.len());
@@ -335,7 +387,10 @@ mod tests {
     #[test]
     fn total_size_sums_vertices() {
         let (_c, g) = figure1();
-        assert_eq!(g.total_size(), 1800 + 600 + 400 + 120 + 150 + 900 + 30 + 80 + 500 + 250);
+        assert_eq!(
+            g.total_size(),
+            1800 + 600 + 400 + 120 + 150 + 900 + 30 + 80 + 500 + 250
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl MasterGraph {
     /// Merge an image's primary-package subgraph into the master
     /// (Algorithm 1 line 21, `G_M ← G_M ∪ G_I[PS]`).
     pub fn absorb(&mut self, graph: &SemanticGraph) {
-        debug_assert_eq!(graph.base.key(), self.key, "master graphs are per-quadruple");
+        debug_assert_eq!(
+            graph.base.key(),
+            self.key,
+            "master graphs are per-quadruple"
+        );
         let prim = graph.primary_subgraph();
         for v in &prim.vertices {
             match self.packages.get(&v.name) {
@@ -110,7 +114,12 @@ impl MasterGraph {
             .iter()
             .filter_map(|(a, b)| Some((*by_name.get(a)?, *by_name.get(b)?)))
             .collect();
-        SemanticGraph::from_parts(&format!("master{}", self.key), self.base.clone(), vertices, edges)
+        SemanticGraph::from_parts(
+            &format!("master{}", self.key),
+            self.base.clone(),
+            vertices,
+            edges,
+        )
     }
 
     /// Similarity of an image graph to this master (§IV-B: "compares the
@@ -194,10 +203,16 @@ mod tests {
     fn absorb_keeps_newest_version() {
         let mut m = MasterGraph::create(&image("r5", &[("redis", "5.0", 380)]));
         m.absorb(&image("r6", &[("redis", "6.0", 400)]));
-        assert_eq!(m.packages[&IStr::new("redis")].version, Version::parse("6.0"));
+        assert_eq!(
+            m.packages[&IStr::new("redis")].version,
+            Version::parse("6.0")
+        );
         // Older upload later does not downgrade.
         m.absorb(&image("r4", &[("redis", "4.0", 300)]));
-        assert_eq!(m.packages[&IStr::new("redis")].version, Version::parse("6.0"));
+        assert_eq!(
+            m.packages[&IStr::new("redis")].version,
+            Version::parse("6.0")
+        );
     }
 
     #[test]
@@ -219,7 +234,10 @@ mod tests {
         let lemp = image("lemp", &[("nginx", "1.18", 350), ("redis", "6.0", 400)]);
         let s_master = m.similarity_to(&lemp);
         let s_pair = sim_g(&lemp, &redis).max(sim_g(&lemp, &nginx));
-        assert!(s_master >= s_pair - 1e-9, "master {s_master} vs pairwise {s_pair}");
+        assert!(
+            s_master >= s_pair - 1e-9,
+            "master {s_master} vs pairwise {s_pair}"
+        );
     }
 
     #[test]

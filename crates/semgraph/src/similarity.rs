@@ -27,9 +27,8 @@ fn version_similarity(a: &xpl_pkg::Version, b: &xpl_pkg::Version) -> f64 {
         // Same upstream, different revision — nearly identical.
         return 0.9;
     }
-    let major = |v: &xpl_pkg::Version| -> String {
-        v.upstream.split('.').next().unwrap_or("").to_string()
-    };
+    let major =
+        |v: &xpl_pkg::Version| -> String { v.upstream.split('.').next().unwrap_or("").to_string() };
     if major(a) == major(b) {
         0.6
     } else {
@@ -64,8 +63,7 @@ pub fn sim_g(g1: &SemanticGraph, g2: &SemanticGraph) -> f64 {
         return bi; // two empty graphs: degenerate but defined
     }
 
-    let by_name: FxHashMap<_, &PkgVertex> =
-        g2.vertices.iter().map(|v| (v.name, v)).collect();
+    let by_name: FxHashMap<_, &PkgVertex> = g2.vertices.iter().map(|v| (v.name, v)).collect();
 
     // Numerator: matched pairs (name equality), weighted.
     let mut matched = 0.0;
@@ -109,10 +107,7 @@ pub fn compatibility(base_sub: &SemanticGraph, primary_sub: &SemanticGraph) -> f
 /// Pick the most similar graph among `candidates` (rayon-parallel: this
 /// is the hot sweep the master-graph design accelerates, and with masters
 /// it is still worth parallelizing across the handful of keys).
-pub fn most_similar<'a>(
-    target: &SemanticGraph,
-    candidates: &'a [SemanticGraph],
-) -> Option<(usize, f64)> {
+pub fn most_similar(target: &SemanticGraph, candidates: &[SemanticGraph]) -> Option<(usize, f64)> {
     use rayon::prelude::*;
     candidates
         .par_iter()
@@ -261,7 +256,10 @@ mod tests {
 
     #[test]
     fn compatibility_same_version_one_different_below() {
-        let base = graph("base", vec![vx("libssl", "1.0.2", 300, PkgRole::BaseMember)]);
+        let base = graph(
+            "base",
+            vec![vx("libssl", "1.0.2", 300, PkgRole::BaseMember)],
+        );
         let prim_ok = graph("p1", vec![vx("libssl", "1.0.2", 300, PkgRole::Dependency)]);
         let prim_bad = graph("p2", vec![vx("libssl", "1.1.0", 300, PkgRole::Dependency)]);
         assert_eq!(compatibility(&base, &prim_ok), 1.0);

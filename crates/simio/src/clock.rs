@@ -96,7 +96,9 @@ pub struct SimClock {
 
 impl SimClock {
     pub fn new() -> Self {
-        SimClock { nanos: AtomicU64::new(0) }
+        SimClock {
+            nanos: AtomicU64::new(0),
+        }
     }
 
     /// Current simulated time.

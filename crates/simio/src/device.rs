@@ -86,7 +86,11 @@ pub struct SimDevice {
 
 impl SimDevice {
     pub fn new(profile: DeviceProfile, clock: Arc<SimClock>) -> Self {
-        SimDevice { profile, clock, stats: DeviceStats::default() }
+        SimDevice {
+            profile,
+            clock,
+            stats: DeviceStats::default(),
+        }
     }
 
     pub fn profile(&self) -> &DeviceProfile {
@@ -99,7 +103,9 @@ impl SimDevice {
 
     /// Sequentially read `real_bytes` (charged at nominal volume).
     pub fn charge_read(&self, real_bytes: u64) -> SimDuration {
-        self.stats.bytes_read.fetch_add(real_bytes, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(real_bytes, Ordering::Relaxed);
         let d = DeviceProfile::xfer_time(self.profile.seq_read_bps, real_bytes);
         self.clock.advance(d);
         d
@@ -107,7 +113,9 @@ impl SimDevice {
 
     /// Sequentially write `real_bytes`.
     pub fn charge_write(&self, real_bytes: u64) -> SimDuration {
-        self.stats.bytes_written.fetch_add(real_bytes, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(real_bytes, Ordering::Relaxed);
         let d = DeviceProfile::xfer_time(self.profile.seq_write_bps, real_bytes);
         self.clock.advance(d);
         d
@@ -117,8 +125,12 @@ impl SimDevice {
     /// writer overlap, so wall time is the max of the two legs (this is how
     /// `cp`/`qemu-img convert` behave on two devices), not their sum.
     pub fn charge_copy_to(&self, dst: &SimDevice, real_bytes: u64) -> SimDuration {
-        self.stats.bytes_read.fetch_add(real_bytes, Ordering::Relaxed);
-        dst.stats.bytes_written.fetch_add(real_bytes, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(real_bytes, Ordering::Relaxed);
+        dst.stats
+            .bytes_written
+            .fetch_add(real_bytes, Ordering::Relaxed);
         let r = DeviceProfile::xfer_time(self.profile.seq_read_bps, real_bytes);
         let w = DeviceProfile::xfer_time(dst.profile.seq_write_bps, real_bytes);
         let d = r.max(w);
@@ -159,7 +171,9 @@ impl SimDevice {
 
     /// Write metadata-DB rows.
     pub fn charge_db_write(&self, rows: u64) -> SimDuration {
-        self.stats.db_rows_written.fetch_add(rows, Ordering::Relaxed);
+        self.stats
+            .db_rows_written
+            .fetch_add(rows, Ordering::Relaxed);
         let d = SimDuration(self.profile.db_row_write.0 * rows);
         self.clock.advance(d);
         d
@@ -254,7 +268,10 @@ mod tests {
         let d = dev();
         let file = d.charge_open(100); // small file
         let row = d.charge_db_read(1);
-        assert!(row < file, "db row {row} should be cheaper than small file {file}");
+        assert!(
+            row < file,
+            "db row {row} should be cheaper than small file {file}"
+        );
     }
 
     #[test]

@@ -126,9 +126,7 @@ impl CostParams {
     /// Time to install a package of the given materialized installed size.
     pub fn pkg_install(&self, installed_bytes_real: u64) -> SimDuration {
         let nominal = installed_bytes_real.saturating_mul(xpl_util::SCALE_FACTOR);
-        SimDuration(
-            self.pkg_install_fixed.0 + self.pkg_install_per_byte.0.saturating_mul(nominal),
-        )
+        SimDuration(self.pkg_install_fixed.0 + self.pkg_install_per_byte.0.saturating_mul(nominal))
     }
 
     /// Time to remove an installed package (materialized size).

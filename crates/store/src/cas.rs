@@ -58,7 +58,13 @@ impl ContentStore {
         self.device.charge_create(bytes.len() as u64);
         self.device.charge_write(bytes.len() as u64);
         self.unique_bytes += bytes.len() as u64;
-        self.blobs.insert(digest, Blob { bytes: bytes.to_vec(), refs: 1 });
+        self.blobs.insert(
+            digest,
+            Blob {
+                bytes: bytes.to_vec(),
+                refs: 1,
+            },
+        );
         true
     }
 
@@ -99,7 +105,10 @@ impl ContentStore {
 
     /// Drop one reference; frees the blob at zero. Returns freed bytes.
     pub fn release(&mut self, digest: &Digest) -> Result<u64, CasError> {
-        let b = self.blobs.get_mut(digest).ok_or(CasError::NotFound(*digest))?;
+        let b = self
+            .blobs
+            .get_mut(digest)
+            .ok_or(CasError::NotFound(*digest))?;
         b.refs -= 1;
         if b.refs == 0 {
             let freed = b.bytes.len() as u64;
@@ -163,7 +172,11 @@ mod tests {
         let before = env.repo.stats().bytes_written;
         let (_, new) = cas.put(b"same-content");
         assert!(!new);
-        assert_eq!(env.repo.stats().bytes_written, before, "no bytes written on hit");
+        assert_eq!(
+            env.repo.stats().bytes_written,
+            before,
+            "no bytes written on hit"
+        );
         assert_eq!(cas.unique_bytes(), 12);
         assert_eq!(cas.dedup_hits(), 1);
     }

@@ -15,7 +15,7 @@ pub fn encode(data: &[u8]) -> String {
 /// Decode a hex string (upper- or lowercase). Returns `None` on odd length
 /// or non-hex characters.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let bytes = s.as_bytes();

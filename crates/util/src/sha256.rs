@@ -83,7 +83,12 @@ impl Default for Sha256 {
 
 impl Sha256 {
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
     }
 
     /// One-shot convenience digest.
@@ -254,14 +259,19 @@ mod tests {
     fn digest_parts_matches_concat() {
         let a = b"hello ".as_slice();
         let b = b"world".as_slice();
-        assert_eq!(Sha256::digest_parts(&[a, b]), Sha256::digest(b"hello world"));
+        assert_eq!(
+            Sha256::digest_parts(&[a, b]),
+            Sha256::digest(b"hello world")
+        );
     }
 
     #[test]
     fn padding_boundary_lengths() {
         // Lengths around the 55/56/64 padding edge cases must all be
         // internally consistent between streaming and one-shot paths.
-        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129] {
+        for len in [
+            0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129,
+        ] {
             let data = vec![0xabu8; len];
             let one = Sha256::digest(&data);
             let mut h = Sha256::new();
@@ -283,6 +293,9 @@ mod tests {
     #[test]
     fn prefix64_is_stable() {
         let d = Sha256::digest(b"abc");
-        assert_eq!(d.prefix64(), u64::from_le_bytes(d.0[..8].try_into().unwrap()));
+        assert_eq!(
+            d.prefix64(),
+            u64::from_le_bytes(d.0[..8].try_into().unwrap())
+        );
     }
 }

@@ -22,7 +22,11 @@ const MAGIC: &[u8; 4] = b"XQC\x02";
 #[derive(Debug, PartialEq, Eq)]
 pub enum QcowError {
     /// Access beyond the virtual disk size.
-    OutOfBounds { offset: u64, len: usize, virtual_size: u64 },
+    OutOfBounds {
+        offset: u64,
+        len: usize,
+        virtual_size: u64,
+    },
     /// Serialization payload malformed.
     Corrupt(&'static str),
 }
@@ -30,7 +34,11 @@ pub enum QcowError {
 impl std::fmt::Display for QcowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QcowError::OutOfBounds { offset, len, virtual_size } => write!(
+            QcowError::OutOfBounds {
+                offset,
+                len,
+                virtual_size,
+            } => write!(
                 f,
                 "access [{offset}, +{len}) beyond virtual size {virtual_size}"
             ),
@@ -50,7 +58,9 @@ struct L2Table {
 
 impl L2Table {
     fn new() -> Self {
-        L2Table { entries: vec![u64::MAX; 1 << L2_ENTRIES_BITS].into_boxed_slice() }
+        L2Table {
+            entries: vec![u64::MAX; 1 << L2_ENTRIES_BITS].into_boxed_slice(),
+        }
     }
 }
 
@@ -77,7 +87,10 @@ impl QcowImage {
     }
 
     pub fn create_with_cluster_bits(name: &str, virtual_size: u64, cluster_bits: u32) -> Self {
-        assert!((4..=20).contains(&cluster_bits), "cluster_bits out of range");
+        assert!(
+            (4..=20).contains(&cluster_bits),
+            "cluster_bits out of range"
+        );
         let cluster = 1u64 << cluster_bits;
         let clusters_total = virtual_size.div_ceil(cluster);
         let l2_span = 1u64 << L2_ENTRIES_BITS;
@@ -95,8 +108,7 @@ impl QcowImage {
 
     /// Create a COW overlay on top of `base` (same geometry).
     pub fn overlay(name: &str, base: Arc<QcowImage>) -> Self {
-        let mut img =
-            Self::create_with_cluster_bits(name, base.virtual_size, base.cluster_bits);
+        let mut img = Self::create_with_cluster_bits(name, base.virtual_size, base.cluster_bits);
         img.backing = Some(base);
         img
     }
@@ -138,7 +150,11 @@ impl QcowImage {
     /// Read `len` bytes at guest offset, COW-transparent.
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, QcowError> {
         if offset + len as u64 > self.virtual_size {
-            return Err(QcowError::OutOfBounds { offset, len, virtual_size: self.virtual_size });
+            return Err(QcowError::OutOfBounds {
+                offset,
+                len,
+                virtual_size: self.virtual_size,
+            });
         }
         let cs = self.cluster_size();
         let mut out = vec![0u8; len];
@@ -168,7 +184,8 @@ impl QcowImage {
 
     fn allocate_cluster(&mut self) -> u64 {
         let idx = self.clusters.len() as u64;
-        self.clusters.push(vec![0u8; self.cluster_size() as usize].into_boxed_slice());
+        self.clusters
+            .push(vec![0u8; self.cluster_size() as usize].into_boxed_slice());
         self.refcounts.push(1);
         idx
     }
@@ -276,7 +293,7 @@ impl QcowImage {
         let mut out = Vec::with_capacity(self.allocated_bytes() as usize + 1024);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.virtual_size.to_le_bytes());
-        out.extend_from_slice(&(self.cluster_bits as u32).to_le_bytes());
+        out.extend_from_slice(&self.cluster_bits.to_le_bytes());
         // Mapping: (guest_cluster, cluster bytes) pairs in guest order.
         let mut mapped: Vec<(u64, u64)> = Vec::new();
         for (i1, t) in self.l1.iter().enumerate() {

@@ -12,13 +12,19 @@ pub struct RawImage {
 
 impl RawImage {
     pub fn create(name: &str, size: u64) -> Self {
-        RawImage { name: name.to_string(), data: vec![0u8; size as usize] }
+        RawImage {
+            name: name.to_string(),
+            data: vec![0u8; size as usize],
+        }
     }
 
     /// Materialize a qcow image (or chain) into raw form.
     pub fn from_qcow(img: &QcowImage) -> Result<Self, QcowError> {
         let data = img.read_at(0, img.virtual_size() as usize)?;
-        Ok(RawImage { name: img.name().to_string(), data })
+        Ok(RawImage {
+            name: img.name().to_string(),
+            data,
+        })
     }
 
     pub fn name(&self) -> &str {

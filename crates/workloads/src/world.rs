@@ -27,7 +27,11 @@ impl World {
             0x16_04,
         )
         .expect("standard base template must resolve");
-        World { catalog, template, recipes: table2_recipes() }
+        World {
+            catalog,
+            template,
+            recipes: table2_recipes(),
+        }
     }
 
     /// A miniature world for unit tests, doctests and quick examples.
@@ -49,7 +53,11 @@ impl World {
                 .with_junk(512, 8, 9)
                 .with_user_data(512, 3),
         ];
-        World { catalog, template, recipes }
+        World {
+            catalog,
+            template,
+            recipes,
+        }
     }
 
     /// A fresh simulated environment (testbed profile, zeroed clock).
@@ -96,7 +104,9 @@ mod tests {
         let mini = w.build_image("mini");
         let redis = w.build_image("redis");
         assert!(redis.mounted_bytes() > mini.mounted_bytes());
-        assert!(redis.pkgdb.is_installed(xpl_util::IStr::new("redis-server")));
+        assert!(redis
+            .pkgdb
+            .is_installed(xpl_util::IStr::new("redis-server")));
         assert_eq!(w.image_names(), vec!["mini", "redis", "nginx", "lamp"]);
     }
 

@@ -1,10 +1,10 @@
-//! Cloud-repository scenario: the paper's 19-image AWS-style evaluation
-//! set flows into all five storage systems; compare repository growth and
-//! publish cost (Figures 3b / 4b in miniature, at full fidelity).
-//!
-//! ```text
-//! cargo run --release --example cloud_repository [n_images]
-//! ```
+// Cloud-repository scenario: the paper's 19-image AWS-style evaluation
+// set flows into all five storage systems; compare repository growth and
+// publish cost (Figures 3b / 4b in miniature, at full fidelity).
+//
+// ```text
+// cargo run --release --example cloud_repository [n_images]
+// ```
 
 use expelliarmus::prelude::*;
 use expelliarmus::util::bytesize::nominal_gb;
@@ -17,7 +17,12 @@ fn main() {
 
     println!("building the standard evaluation world (~2.4k packages)…");
     let world = World::standard();
-    let names: Vec<String> = world.image_names().iter().take(n).map(|s| s.to_string()).collect();
+    let names: Vec<String> = world
+        .image_names()
+        .iter()
+        .take(n)
+        .map(|s| s.to_string())
+        .collect();
 
     let mut qcow = QcowStore::new(world.env());
     let mut gzip = GzipStore::new(world.env());

@@ -1,9 +1,9 @@
-//! Quickstart: publish two images into an Expelliarmus repository, watch
-//! the base image being shared, and retrieve one back.
-//!
-//! ```text
-//! cargo run --release --example quickstart
-//! ```
+// Quickstart: publish two images into an Expelliarmus repository, watch
+// the base image being shared, and retrieve one back.
+//
+// ```text
+// cargo run --release --example quickstart
+// ```
 
 use expelliarmus::prelude::*;
 

@@ -1,10 +1,10 @@
-//! Semantic-graph playground: build the Figure 1 style graphs for a few
-//! images, print the pairwise SimG matrix, and show how a master graph
-//! collapses the comparisons.
-//!
-//! ```text
-//! cargo run --release --example semantic_similarity
-//! ```
+// Semantic-graph playground: build the Figure 1 style graphs for a few
+// images, print the pairwise SimG matrix, and show how a master graph
+// collapses the comparisons.
+//
+// ```text
+// cargo run --release --example semantic_similarity
+// ```
 
 use expelliarmus::semgraph::{sim_g, MasterGraph, SemanticGraph};
 use expelliarmus::workloads::World;
@@ -71,6 +71,9 @@ fn main() {
         master.members.len()
     );
     for (name, g) in names.iter().zip(&graphs) {
-        println!("  SimG({name:<8} vs master) = {:.3}", master.similarity_to(g));
+        println!(
+            "  SimG({name:<8} vs master) = {:.3}",
+            master.similarity_to(g)
+        );
     }
 }

@@ -1,11 +1,11 @@
-//! CI/CD image-versioning scenario (Figure 3c): the same IDE image is
-//! rebuilt many times with a few packages bumped per build; only a
-//! semantics-aware store keeps repository growth proportional to the
-//! *changed packages* instead of the whole image.
-//!
-//! ```text
-//! cargo run --release --example successive_builds [n_builds]
-//! ```
+// CI/CD image-versioning scenario (Figure 3c): the same IDE image is
+// rebuilt many times with a few packages bumped per build; only a
+// semantics-aware store keeps repository growth proportional to the
+// *changed packages* instead of the whole image.
+//
+// ```text
+// cargo run --release --example successive_builds [n_builds]
+// ```
 
 use expelliarmus::prelude::*;
 use expelliarmus::util::bytesize::nominal_gb;
@@ -50,7 +50,5 @@ fn main() {
         m / x,
         q / x
     );
-    println!(
-        "(the paper reports 2.2× vs Mirage/Hemera and 16× vs gzip at 40 builds)"
-    );
+    println!("(the paper reports 2.2× vs Mirage/Hemera and 16× vs gzip at 40 builds)");
 }

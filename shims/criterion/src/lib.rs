@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion` (the container cannot reach crates.io).
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `sample_size`, `criterion_group!`, `criterion_main!` —
+//! with honest `Instant`-based timing and a plain-text report instead of
+//! criterion's statistical machinery. Good enough to keep the benches
+//! compiling, runnable, and ballpark-comparable until the real crate can
+//! be vendored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A parameterized benchmark label, e.g. `from_parameter(65536)`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: Display>(function: S, p: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times
+/// the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+    sample_count: u32,
+}
+
+impl Bencher {
+    fn new(sample_count: u32) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup pass.
+        black_box(f());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn report(group: &str, name: &str, median: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let bps = n as f64 / median.as_secs_f64();
+            format!("  ({:.1} MiB/s)", bps / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let eps = n as f64 / median.as_secs_f64();
+            format!("  ({eps:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!("bench {group}/{name}: median {median:?}{rate}");
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = (n as u32).clamp(1, 100);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_count.min(Criterion::MAX_SAMPLES));
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.median(), self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_count.min(Criterion::MAX_SAMPLES));
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.median(), self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// The shim keeps runs short: a handful of samples, one iter each.
+    const MAX_SAMPLES: u32 = 10;
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_count: Self::MAX_SAMPLES,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

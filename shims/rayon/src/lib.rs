@@ -1,0 +1,88 @@
+//! Offline stand-in for `rayon` (the container cannot reach crates.io).
+//!
+//! Exposes the entry points the workspace uses — `par_iter`,
+//! `into_par_iter`, `par_chunks` via `rayon::prelude::*` — but returns the
+//! corresponding *sequential* std iterators. Call sites stay
+//! rayon-idiomatic (adapters like `map`/`enumerate`/`max_by`/`collect`
+//! work unchanged), so swapping in the real crate later is a
+//! manifest-only change; until then "parallel" paths simply run on one
+//! thread.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+/// `into_par_iter()` — sequential fallback of rayon's trait of the same name.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter()` — sequential fallback of rayon's by-reference trait.
+pub trait IntoParallelRefIterator<'a> {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_chunks()` — sequential fallback of rayon's slice extension.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Sequential fallback of `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_surface_matches_std_adapters() {
+        let v = vec![3u32, 1, 4, 1, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let best = v
+            .par_iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1))
+            .map(|(i, _)| i);
+        assert_eq!(best, Some(4));
+        let owned: Vec<u32> = v.clone().into_par_iter().collect();
+        assert_eq!(owned, v);
+        let chunks: Vec<&[u32]> = v.par_chunks(2).collect();
+        assert_eq!(chunks.len(), 3);
+    }
+}

@@ -1,0 +1,382 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! The container has no network access, so `syn`/`quote` are unavailable;
+//! this crate parses the derive input by walking `proc_macro::TokenTree`s
+//! directly and emits impls as strings. Supported shapes cover everything
+//! the workspace derives on: named-field structs (with `#[serde(skip)]`)
+//! and enums whose variants are unit or tuple-style.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    /// Tuple struct; newtypes (arity 1) serialize transparently like serde.
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consume leading `#[...]` attributes; returns true if any of them is
+/// `#[serde(... skip ...)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let body = g.stream().to_string();
+                if body.starts_with("serde") && body.contains("skip") {
+                    skip = true;
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct`/`enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    match (kind.as_str(), &tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: parse_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (kind, _) => panic!("serde_derive shim: unsupported `{kind}` item `{name}`"),
+    }
+}
+
+/// Number of fields in a parenthesized tuple-struct/variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let inner: Vec<TokenTree> = body.into_iter().collect();
+    if inner.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    for (i, t) in inner.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // A trailing comma (`struct X(T,)`) separates nothing.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && i + 1 < inner.len() => {
+                arity += 1
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive shim: expected `:` after `{name}`, got {other}"),
+        }
+        // Swallow the type: everything up to the next comma that sits outside
+        // angle brackets. `>>` arrives as two separate `>` puncts, so simple
+        // depth counting is exact.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other}"),
+        };
+        pos += 1;
+        let mut arity = 0;
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_tuple_fields(g.stream());
+                pos += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde_derive shim: struct-style enum variants are not supported (`{name}`)"
+                );
+            }
+            _ => {}
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "__obj.push((\"{fname}\".to_string(), ::serde::Serialize::to_json(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Json::Obj(__obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::to_json(&self.0)".to_string()
+            } else {
+                let fields: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                    .collect();
+                format!("::serde::Json::Arr(vec![{}])", fields.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Json::Str(\"{vname}\".to_string()),\n"
+                    ));
+                } else {
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+                    let fields: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_json({b})"))
+                        .collect();
+                    arms.push_str(&format!(
+                        "{name}::{vname}({}) => ::serde::Json::Obj(vec![(\"{vname}\".to_string(), ::serde::Json::Arr(vec![{}]))]),\n",
+                        binders.join(", "),
+                        fields.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated Serialize impl does not parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let fname = &f.name;
+                if f.skip {
+                    inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: ::serde::field(__obj, \"{fname}\", \"{name}\")?,\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         let __obj = __v.as_obj().ok_or_else(|| ::serde::JsonError::expected(\"object\", \"{name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(__v)?))")
+            } else {
+                let args: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_arr().ok_or_else(|| ::serde::JsonError::expected(\"array\", \"{name}\"))?;\n\
+                     if __arr.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::JsonError::expected(\"{arity}-element array\", \"{name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({args}))",
+                    args = args.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                } else {
+                    let args: Vec<String> = (0..v.arity)
+                        .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                        .collect();
+                    payload_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                             if __arr.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::JsonError(::std::format!(\n\
+                                     \"variant {name}::{vname} expects {arity} fields, got {{}}\", __arr.len())));\n\
+                             }}\n\
+                             return ::std::result::Result::Ok({name}::{vname}({args}));\n\
+                         }}\n",
+                        arity = v.arity,
+                        args = args.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::JsonError> {{\n\
+                         if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                             match __s {{\n\
+                                 {unit_arms}\
+                                 _ => return ::std::result::Result::Err(::serde::JsonError(::std::format!(\"unknown variant `{{}}` of {name}\", __s))),\n\
+                             }}\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(__pairs) = __v.as_obj() {{\n\
+                             if __pairs.len() == 1 {{\n\
+                                 static __EMPTY: &[::serde::Json] = &[];\n\
+                                 let __arr = __pairs[0].1.as_arr().unwrap_or(__EMPTY);\n\
+                                 match __pairs[0].0.as_str() {{\n\
+                                     {payload_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::JsonError::expected(\"variant of {name}\", \"value\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated Deserialize impl does not parse")
+}

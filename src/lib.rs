@@ -56,7 +56,9 @@ pub use xpl_workloads as workloads;
 /// Convenience re-exports covering the common workflow: build a workload,
 /// publish into a store, retrieve, and measure.
 pub mod prelude {
-    pub use xpl_baselines::{CdcDedupStore, FixedBlockDedupStore, GzipStore, HemeraStore, MirageStore, QcowStore};
+    pub use xpl_baselines::{
+        CdcDedupStore, FixedBlockDedupStore, GzipStore, HemeraStore, MirageStore, QcowStore,
+    };
     pub use xpl_core::{ExpelliarmusRepo, PublishMode};
     pub use xpl_guestfs::Vmi;
     pub use xpl_semgraph::{MasterGraph, SemanticGraph};

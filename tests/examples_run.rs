@@ -1,0 +1,29 @@
+//! Compile AND execute every `examples/*.rs` as part of `cargo test`, so
+//! the examples can never silently rot: each example's source is included
+//! into this integration test and its `main` is invoked.
+//!
+//! (`cargo run --example …` would exercise the same code but requires
+//! spawning cargo from inside the test; including the sources keeps the
+//! check hermetic and parallel-friendly. CI additionally runs the two
+//! headline examples through `cargo run` for the true end-to-end path.)
+
+macro_rules! example {
+    ($name:ident) => {
+        mod $name {
+            // Examples are written as standalone bins; their `main` is
+            // dead code from the harness's perspective until we call it.
+            #![allow(dead_code)]
+            include!(concat!("../examples/", stringify!($name), ".rs"));
+
+            #[test]
+            fn runs_to_completion() {
+                main();
+            }
+        }
+    };
+}
+
+example!(quickstart);
+example!(cloud_repository);
+example!(semantic_similarity);
+example!(successive_builds);

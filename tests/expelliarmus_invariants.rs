@@ -10,8 +10,10 @@ fn one_master_per_base_and_all_compatible() {
     let world = World::small();
     let mut repo = ExpelliarmusRepo::new(world.env());
     for name in world.image_names() {
-        repo.publish(&world.catalog, &world.build_image(name)).unwrap();
-        repo.check_invariants().expect("invariants after every publish");
+        repo.publish(&world.catalog, &world.build_image(name))
+            .unwrap();
+        repo.check_invariants()
+            .expect("invariants after every publish");
     }
     // All images share one attribute quadruple → exactly one base/master.
     assert_eq!(repo.base_count(), 1);
@@ -26,7 +28,8 @@ fn no_duplicate_base_for_same_quadruple() {
     // Publishing the same image set twice must not create extra bases.
     for _ in 0..2 {
         for name in world.image_names() {
-            repo.publish(&world.catalog, &world.build_image(name)).unwrap();
+            repo.publish(&world.catalog, &world.build_image(name))
+                .unwrap();
         }
     }
     assert_eq!(repo.base_count(), 1, "base image stored exactly once");
@@ -36,7 +39,8 @@ fn no_duplicate_base_for_same_quadruple() {
 fn repo_growth_is_package_bound_after_first_base() {
     let world = World::small();
     let mut repo = ExpelliarmusRepo::new(world.env());
-    repo.publish(&world.catalog, &world.build_image("mini")).unwrap();
+    repo.publish(&world.catalog, &world.build_image("mini"))
+        .unwrap();
     let base_size = repo.repo_bytes();
     for name in ["redis", "nginx", "lamp"] {
         let vmi = world.build_image(name);
@@ -63,8 +67,16 @@ fn semantic_mode_same_storage_more_time() {
     let mut naive_total = 0.0;
     for name in world.image_names() {
         let vmi = world.build_image(name);
-        aware_total += aware.publish(&world.catalog, &vmi).unwrap().duration.as_secs_f64();
-        naive_total += naive.publish(&world.catalog, &vmi).unwrap().duration.as_secs_f64();
+        aware_total += aware
+            .publish(&world.catalog, &vmi)
+            .unwrap()
+            .duration
+            .as_secs_f64();
+        naive_total += naive
+            .publish(&world.catalog, &vmi)
+            .unwrap()
+            .duration
+            .as_secs_f64();
     }
     assert!(
         naive_total > aware_total,
@@ -72,7 +84,10 @@ fn semantic_mode_same_storage_more_time() {
     );
     // Figure 3 storage identical: the CAS dedups rebuilt packages.
     let ratio = aware.repo_bytes() as f64 / naive.repo_bytes() as f64;
-    assert!((0.95..1.05).contains(&ratio), "storage should match: {ratio}");
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "storage should match: {ratio}"
+    );
 }
 
 #[test]
@@ -82,7 +97,10 @@ fn retrieval_phases_are_ordered_like_fig5a() {
     let lamp = world.build_image("lamp");
     repo.publish(&world.catalog, &lamp).unwrap();
     let (_vmi, report) = repo
-        .retrieve(&world.catalog, &RetrieveRequest::for_image(&lamp, &world.catalog))
+        .retrieve(
+            &world.catalog,
+            &RetrieveRequest::for_image(&lamp, &world.catalog),
+        )
         .unwrap();
     let copy = report.breakdown.get("Base image copy");
     let handle = report.breakdown.get("Libguestfs handler creation");
@@ -103,18 +121,28 @@ fn similarity_column_shape() {
     // First image similarity 0; a near-duplicate scores near 1.
     let world = World::small();
     let mut repo = ExpelliarmusRepo::new(world.env());
-    let first = repo.publish(&world.catalog, &world.build_image("redis")).unwrap();
+    let first = repo
+        .publish(&world.catalog, &world.build_image("redis"))
+        .unwrap();
     assert_eq!(first.similarity, 0.0);
-    let again = repo.publish(&world.catalog, &world.build_image("redis")).unwrap();
-    assert!(again.similarity > 0.95, "duplicate similarity {}", again.similarity);
+    let again = repo
+        .publish(&world.catalog, &world.build_image("redis"))
+        .unwrap();
+    assert!(
+        again.similarity > 0.95,
+        "duplicate similarity {}",
+        again.similarity
+    );
 }
 
 #[test]
 fn functional_assembly_combines_repositories_packages() {
     let world = World::small();
     let mut repo = ExpelliarmusRepo::new(world.env());
-    repo.publish(&world.catalog, &world.build_image("redis")).unwrap();
-    repo.publish(&world.catalog, &world.build_image("lamp")).unwrap();
+    repo.publish(&world.catalog, &world.build_image("redis"))
+        .unwrap();
+    repo.publish(&world.catalog, &world.build_image("lamp"))
+        .unwrap();
     let request = RetrieveRequest {
         name: "composite".into(),
         base: world.template.attrs.clone(),

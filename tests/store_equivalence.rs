@@ -41,7 +41,11 @@ fn every_store_roundtrips_every_image() {
                 "{}: user data mismatch for {name}",
                 store.name()
             );
-            assert!(report.duration.as_nanos() > 0, "{}: zero-cost retrieve", store.name());
+            assert!(
+                report.duration.as_nanos() > 0,
+                "{}: zero-cost retrieve",
+                store.name()
+            );
         }
     }
 }
@@ -74,7 +78,10 @@ fn storage_hierarchy_matches_figure3() {
     assert!(x < m, "Expelliarmus {x} must beat Mirage {m}");
     assert!(m < q && h < q && g < q, "every scheme beats raw qcow2");
     let ratio = (h as f64) / (m as f64);
-    assert!((0.7..1.4).contains(&ratio), "Mirage {m} vs Hemera {h} should be close");
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "Mirage {m} vs Hemera {h} should be close"
+    );
 }
 
 #[test]
