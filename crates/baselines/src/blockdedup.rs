@@ -12,7 +12,8 @@ use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
 use xpl_store::{
-    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    ContentStore, DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest,
+    StoreError,
 };
 use xpl_util::{Digest, FxHashMap};
 
@@ -89,6 +90,62 @@ impl CdcDedupStore {
 }
 
 impl BlockDedupStore {
+    fn recipe_overhead(entries: u64) -> u64 {
+        (entries * 40).div_ceil(xpl_util::SCALE_FACTOR)
+    }
+
+    fn total_entries(&self) -> u64 {
+        self.recipes.values().map(|r| r.chunks.len() as u64).sum()
+    }
+
+    /// Drop one recipe's chunk references; returns (freed bytes, blobs).
+    fn release_recipe(&mut self, recipe: &Recipe) -> Result<(u64, usize), StoreError> {
+        let mut freed = 0u64;
+        let mut blobs = 0usize;
+        for digest in &recipe.chunks {
+            let f = self
+                .cas
+                .release(digest)
+                .map_err(|_| StoreError::Corrupt(format!("release chunk {digest}")))?;
+            if f > 0 {
+                freed += f;
+                blobs += 1;
+            }
+        }
+        Ok((freed, blobs))
+    }
+
+    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+        let t0 = self.env.clock.now();
+        let entries_before = self.total_entries();
+        let recipe = self
+            .recipes
+            .remove(name)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
+        let (freed_content, blobs) = self.release_recipe(&recipe)?;
+        self.env.repo.charge_db_write(1);
+        let overhead_freed = Self::recipe_overhead(entries_before)
+            .saturating_sub(Self::recipe_overhead(self.total_entries()));
+        Ok(DeleteReport {
+            image: name.to_string(),
+            duration: self.env.clock.since(t0),
+            bytes_freed: freed_content + overhead_freed,
+            units_removed: blobs,
+        })
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        let mut expected: FxHashMap<Digest, u32> = FxHashMap::default();
+        for r in self.recipes.values() {
+            for digest in &r.chunks {
+                *expected.entry(*digest).or_insert(0) += 1;
+            }
+        }
+        self.cas
+            .audit_refs(&expected)
+            .map_err(|e| format!("{}: {e}", self.label))
+    }
+
     fn dedup_factor(&self) -> f64 {
         let logical: u64 = self.recipes.values().map(|r| r.total_len).sum();
         if self.cas.unique_bytes() == 0 {
@@ -125,8 +182,9 @@ impl BlockDedupStore {
             chunks.push(digest);
         }
         report.units_stored = new_chunks;
-        report.bytes_added = self.cas.unique_bytes() - bytes_before;
-        self.recipes.insert(
+        let added_content = self.cas.unique_bytes() - bytes_before;
+        let entries_before = self.total_entries();
+        let old = self.recipes.insert(
             vmi.name.clone(),
             Recipe {
                 chunks,
@@ -134,6 +192,18 @@ impl BlockDedupStore {
                 snapshot: VmiSnapshot::of(vmi),
             },
         );
+        // Re-publish: release the replaced recipe after the new one holds
+        // its chunk references.
+        let freed_content = match &old {
+            Some(old) => self.release_recipe(old)?.0,
+            None => 0,
+        };
+        let (oa, ob) = (
+            Self::recipe_overhead(self.total_entries()),
+            Self::recipe_overhead(entries_before),
+        );
+        report.bytes_added = added_content + oa.saturating_sub(ob);
+        report.bytes_freed = freed_content + ob.saturating_sub(oa);
         report.duration = self.env.clock.since(t0);
         Ok(report)
     }
@@ -169,8 +239,7 @@ impl BlockDedupStore {
 
     fn repo_bytes(&self) -> u64 {
         // Recipe overhead: ≈40 nominal bytes per chunk reference.
-        let entries: u64 = self.recipes.values().map(|r| r.chunks.len() as u64).sum();
-        self.cas.unique_bytes() + (entries * 40).div_ceil(xpl_util::SCALE_FACTOR)
+        self.cas.unique_bytes() + Self::recipe_overhead(self.total_entries())
     }
 }
 
@@ -194,8 +263,14 @@ macro_rules! delegate_store {
             ) -> Result<(Vmi, RetrieveReport), StoreError> {
                 self.0.retrieve(request)
             }
+            fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+                self.0.delete(name)
+            }
             fn repo_bytes(&self) -> u64 {
                 self.0.repo_bytes()
+            }
+            fn check_integrity(&self) -> Result<(), String> {
+                self.0.check_integrity()
             }
         }
     };

@@ -8,7 +8,9 @@ use crate::snapshot::VmiSnapshot;
 use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
-use xpl_store::{ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_store::{
+    DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+};
 use xpl_util::FxHashMap;
 
 struct Entry {
@@ -70,14 +72,17 @@ impl ImageStore for GzipStore {
         });
         report.bytes_added = compressed.len() as u64;
         report.units_stored = 1;
-        self.images.insert(
+        if let Some(old) = self.images.insert(
             vmi.name.clone(),
             Entry {
                 compressed,
                 raw_len: raw.len() as u64,
                 snapshot: VmiSnapshot::of(vmi),
             },
-        );
+        ) {
+            // Re-publish replaces the previous member of the same name.
+            report.bytes_freed = old.compressed.len() as u64;
+        }
         report.duration = self.env.clock.since(t0);
         Ok(report)
     }
@@ -121,11 +126,35 @@ impl ImageStore for GzipStore {
         Ok((vmi, report))
     }
 
+    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+        let t0 = self.env.clock.now();
+        let entry = self
+            .images
+            .remove(name)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
+        self.env.repo.charge_db_write(1);
+        Ok(DeleteReport {
+            image: name.to_string(),
+            duration: self.env.clock.since(t0),
+            bytes_freed: entry.compressed.len() as u64,
+            units_removed: 1,
+        })
+    }
+
     fn repo_bytes(&self) -> u64 {
         self.images
             .values()
             .map(|e| e.compressed.len() as u64)
             .sum()
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        for (name, e) in &self.images {
+            if e.raw_len > 0 && e.compressed.is_empty() {
+                return Err(format!("{name}: empty member for {} raw bytes", e.raw_len));
+            }
+        }
+        Ok(())
     }
 }
 

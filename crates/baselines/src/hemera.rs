@@ -14,13 +14,15 @@ use xpl_metadb::{ColumnDef, Database, RowId, Schema, Value};
 use xpl_pkg::Catalog;
 use xpl_simio::{SimDuration, SimEnv};
 use xpl_store::{
-    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    ContentStore, DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest,
+    StoreError,
 };
 use xpl_util::{Digest, FxHashMap};
 
 /// Where one file's content lives.
 enum Placement {
-    Db(RowId),
+    /// Small file: a row in `small_files`, resolved through `db_index`.
+    Db(Digest),
     Fs(Digest),
 }
 
@@ -29,13 +31,20 @@ struct Manifest {
     snapshot: VmiSnapshot,
 }
 
+/// One deduplicated small-file row, refcounted like a CAS blob.
+struct DbEntry {
+    row: RowId,
+    refs: u32,
+    len: u64,
+}
+
 /// Hybrid DB/file-store image repository.
 pub struct HemeraStore {
     env: SimEnv,
     cas: ContentStore,
     db: Database,
-    /// digest → row id for already-stored small content (dedup).
-    db_index: FxHashMap<Digest, RowId>,
+    /// digest → refcounted row for already-stored small content (dedup).
+    db_index: FxHashMap<Digest, DbEntry>,
     /// Unique small-file content bytes stored in the DB (accounted
     /// separately from `db.payload_bytes()` so row-key overhead can be
     /// charged at nominal, not real, scale).
@@ -73,6 +82,51 @@ impl HemeraStore {
     pub fn fs_file_count(&self) -> usize {
         self.cas.blob_count()
     }
+
+    /// Manifest + row-key metadata overhead.
+    fn metadata_overhead(&self) -> u64 {
+        let entries: u64 = self.manifests.values().map(|m| m.files.len() as u64).sum();
+        let rows = self.db_index.len() as u64;
+        ((entries + rows) * 48).div_ceil(xpl_util::SCALE_FACTOR)
+    }
+
+    /// Drop one manifest's references (CAS blobs and DB rows); returns
+    /// (freed content bytes, freed units).
+    fn release_manifest(&mut self, manifest: &Manifest) -> Result<(u64, usize), StoreError> {
+        let mut freed = 0u64;
+        let mut units = 0usize;
+        for (record, placement) in &manifest.files {
+            match placement {
+                Placement::Fs(digest) => {
+                    let f = self
+                        .cas
+                        .release(digest)
+                        .map_err(|_| StoreError::Corrupt(format!("release {}", record.path)))?;
+                    if f > 0 {
+                        freed += f;
+                        units += 1;
+                    }
+                }
+                Placement::Db(digest) => {
+                    let entry = self.db_index.get_mut(digest).ok_or_else(|| {
+                        StoreError::Corrupt(format!("db index missing for {}", record.path))
+                    })?;
+                    entry.refs -= 1;
+                    if entry.refs == 0 {
+                        let (row, len) = (entry.row, entry.len);
+                        self.db_index.remove(digest);
+                        self.db
+                            .delete("small_files", row)
+                            .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+                        self.db_content_bytes -= len;
+                        freed += len;
+                        units += 1;
+                    }
+                }
+            }
+        }
+        Ok((freed, units))
+    }
 }
 
 impl ImageStore for HemeraStore {
@@ -82,7 +136,9 @@ impl ImageStore for HemeraStore {
 
     fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         let t0 = self.env.clock.now();
-        let bytes_before = self.repo_bytes();
+        let unique_before = self.cas.unique_bytes();
+        let db_content_before = self.db_content_bytes;
+        let overhead_before = self.metadata_overhead();
         let mut report = PublishReport {
             image: vmi.name.clone(),
             ..Default::default()
@@ -117,8 +173,11 @@ impl ImageStore for HemeraStore {
                     .charge_fixed(SimDuration(costs::file_match().0 * hashed.len() as u64));
                 for (record, digest, content) in hashed {
                     let placement = if (record.size as u64) <= threshold {
-                        match self.db_index.get(&digest) {
-                            Some(&row) => Placement::Db(row),
+                        match self.db_index.get_mut(&digest) {
+                            Some(entry) => {
+                                entry.refs += 1;
+                                Placement::Db(digest)
+                            }
                             None => {
                                 let len = content.len() as u64;
                                 let row = self
@@ -131,10 +190,10 @@ impl ImageStore for HemeraStore {
                                         ],
                                     )
                                     .map_err(|e| StoreError::Corrupt(e.to_string()))?;
-                                self.db_index.insert(digest, row);
+                                self.db_index.insert(digest, DbEntry { row, refs: 1, len });
                                 self.db_content_bytes += len;
                                 new_units += 1;
-                                Placement::Db(row)
+                                Placement::Db(digest)
                             }
                         }
                     } else {
@@ -150,14 +209,26 @@ impl ImageStore for HemeraStore {
         )?;
 
         report.units_stored = new_units;
-        self.manifests.insert(
+        // Gross content added by this publish, measured before any release
+        // so the ledger check downstream is independent of repo_bytes.
+        let added_content =
+            (self.cas.unique_bytes() - unique_before) + (self.db_content_bytes - db_content_before);
+        let old = self.manifests.insert(
             vmi.name.clone(),
             Manifest {
                 files,
                 snapshot: VmiSnapshot::of(vmi),
             },
         );
-        report.bytes_added = self.repo_bytes().saturating_sub(bytes_before);
+        // Re-publish: release the replaced generation after the new one
+        // holds its references, so shared content survives.
+        let freed_content = match &old {
+            Some(old) => self.release_manifest(old)?.0,
+            None => 0,
+        };
+        let overhead_after = self.metadata_overhead();
+        report.bytes_added = added_content + overhead_after.saturating_sub(overhead_before);
+        report.bytes_freed = freed_content + overhead_before.saturating_sub(overhead_after);
         report.duration = self.env.clock.since(t0);
         Ok(report)
     }
@@ -184,13 +255,16 @@ impl ImageStore for HemeraStore {
             || -> Result<(), StoreError> {
                 for (record, placement) in &manifest.files {
                     match placement {
-                        Placement::Db(row) => {
+                        Placement::Db(digest) => {
                             // Row fetch: base row cost (charged by db.get) +
                             // Hemera's page-walk surcharge.
                             self.env.repo.charge_fixed(costs::hemera_row_fetch_extra());
+                            let row = self.db_index.get(digest).ok_or_else(|| {
+                                StoreError::Corrupt(format!("db index for {}", record.path))
+                            })?;
                             let got = self
                                 .db
-                                .get("small_files", *row)
+                                .get("small_files", row.row)
                                 .map_err(|e| StoreError::Corrupt(e.to_string()))?;
                             if got.is_none() {
                                 return Err(StoreError::Corrupt(format!(
@@ -220,14 +294,80 @@ impl ImageStore for HemeraStore {
         Ok((vmi, report))
     }
 
+    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+        let t0 = self.env.clock.now();
+        let before = self.repo_bytes();
+        let manifest = self
+            .manifests
+            .remove(name)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
+        let (_, units) = self.release_manifest(&manifest)?;
+        self.env.repo.charge_db_write(1);
+        Ok(DeleteReport {
+            image: name.to_string(),
+            duration: self.env.clock.since(t0),
+            bytes_freed: before.saturating_sub(self.repo_bytes()),
+            units_removed: units,
+        })
+    }
+
     fn repo_bytes(&self) -> u64 {
         // Manifest + row-key overhead: ≈48 nominal bytes per entry
         // (scaled); DB content counted at face value.
-        let entries: u64 = self.manifests.values().map(|m| m.files.len() as u64).sum();
-        let rows = self.db_index.len() as u64;
-        self.cas.unique_bytes()
-            + self.db_content_bytes
-            + ((entries + rows) * 48).div_ceil(xpl_util::SCALE_FACTOR)
+        self.cas.unique_bytes() + self.db_content_bytes + self.metadata_overhead()
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        // Expected references per digest, split by placement.
+        let mut fs_expected: FxHashMap<Digest, u32> = FxHashMap::default();
+        let mut db_expected: FxHashMap<Digest, u32> = FxHashMap::default();
+        for m in self.manifests.values() {
+            for (_, placement) in &m.files {
+                match placement {
+                    Placement::Fs(d) => *fs_expected.entry(*d).or_insert(0) += 1,
+                    Placement::Db(d) => *db_expected.entry(*d).or_insert(0) += 1,
+                }
+            }
+        }
+        self.cas
+            .audit_refs(&fs_expected)
+            .map_err(|e| format!("Hemera CAS: {e}"))?;
+        if self.db_index.len() != db_expected.len() {
+            return Err(format!(
+                "Hemera DB index: {} rows, {} referenced digests",
+                self.db_index.len(),
+                db_expected.len()
+            ));
+        }
+        let mut content = 0u64;
+        for (digest, entry) in &self.db_index {
+            let want = *db_expected
+                .get(digest)
+                .ok_or_else(|| format!("Hemera DB: orphan row for {digest}"))?;
+            if entry.refs != want {
+                return Err(format!(
+                    "Hemera DB row {digest}: {} refs, expected {want}",
+                    entry.refs
+                ));
+            }
+            let live = self
+                .db
+                .table("small_files")
+                .map_err(|e| e.to_string())?
+                .get(entry.row)
+                .is_some();
+            if !live {
+                return Err(format!("Hemera DB row {digest}: row {} gone", entry.row.0));
+            }
+            content += entry.len;
+        }
+        if content != self.db_content_bytes {
+            return Err(format!(
+                "Hemera DB content: {content} summed vs {} accounted",
+                self.db_content_bytes
+            ));
+        }
+        Ok(())
     }
 }
 

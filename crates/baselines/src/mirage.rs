@@ -14,7 +14,8 @@ use xpl_guestfs::{FileRecord, Vmi};
 use xpl_pkg::Catalog;
 use xpl_simio::{SimDuration, SimEnv};
 use xpl_store::{
-    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    ContentStore, DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest,
+    StoreError,
 };
 use xpl_util::{Digest, FxHashMap};
 
@@ -46,6 +47,32 @@ impl MirageStore {
 
     pub fn dedup_hits(&self) -> u64 {
         self.cas.dedup_hits()
+    }
+
+    /// Manifest metadata overhead for `entries` total manifest entries.
+    fn manifest_overhead(entries: u64) -> u64 {
+        (entries * 48).div_ceil(xpl_util::SCALE_FACTOR)
+    }
+
+    fn total_entries(&self) -> u64 {
+        self.manifests.values().map(|m| m.files.len() as u64).sum()
+    }
+
+    /// Drop one manifest's references; returns (freed bytes, freed blobs).
+    fn release_manifest(&mut self, manifest: &Manifest) -> Result<(u64, usize), StoreError> {
+        let mut freed = 0u64;
+        let mut blobs = 0usize;
+        for (record, digest) in &manifest.files {
+            let f = self
+                .cas
+                .release(digest)
+                .map_err(|_| StoreError::Corrupt(format!("release {}", record.path)))?;
+            if f > 0 {
+                freed += f;
+                blobs += 1;
+            }
+        }
+        Ok((freed, blobs))
     }
 }
 
@@ -98,14 +125,29 @@ impl ImageStore for MirageStore {
                 }
             });
         report.units_stored = new_files;
-        report.bytes_added = self.cas.unique_bytes() - unique_before;
-        self.manifests.insert(
+        let added_content = self.cas.unique_bytes() - unique_before;
+        let entries_before = self.total_entries();
+        let old = self.manifests.insert(
             vmi.name.clone(),
             Manifest {
                 files,
                 snapshot: VmiSnapshot::of(vmi),
             },
         );
+        // Re-publish: the new manifest is referenced first, then the old
+        // one is released, so content shared across generations survives.
+        let freed_content = match &old {
+            Some(old) => self.release_manifest(old)?.0,
+            None => 0,
+        };
+        // Exact ledger: repo_bytes_after == before + bytes_added - bytes_freed,
+        // including the manifest-overhead delta.
+        let (oa, ob) = (
+            Self::manifest_overhead(self.total_entries()),
+            Self::manifest_overhead(entries_before),
+        );
+        report.bytes_added = added_content + oa.saturating_sub(ob);
+        report.bytes_freed = freed_content + ob.saturating_sub(oa);
         report.duration = self.env.clock.since(t0);
         Ok(report)
     }
@@ -152,11 +194,43 @@ impl ImageStore for MirageStore {
         Ok((vmi, report))
     }
 
+    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+        let t0 = self.env.clock.now();
+        let entries_before = self.total_entries();
+        let manifest = self
+            .manifests
+            .remove(name)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
+        let (freed_content, blobs) = self.release_manifest(&manifest)?;
+        self.env.repo.charge_db_write(1);
+        let overhead_freed = Self::manifest_overhead(entries_before)
+            .saturating_sub(Self::manifest_overhead(self.total_entries()));
+        Ok(DeleteReport {
+            image: name.to_string(),
+            duration: self.env.clock.since(t0),
+            bytes_freed: freed_content + overhead_freed,
+            units_removed: blobs,
+        })
+    }
+
     fn repo_bytes(&self) -> u64 {
         // Unique content + manifest overhead: ≈48 *nominal* bytes per
         // entry (digest + path ref), i.e. 48/1024 materialized bytes.
-        let entries: u64 = self.manifests.values().map(|m| m.files.len() as u64).sum();
-        self.cas.unique_bytes() + (entries * 48).div_ceil(xpl_util::SCALE_FACTOR)
+        self.cas.unique_bytes() + Self::manifest_overhead(self.total_entries())
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        // Every blob's refcount must equal the number of manifest entries
+        // referencing it (counting multiplicity), with no orphans.
+        let mut expected: FxHashMap<Digest, u32> = FxHashMap::default();
+        for m in self.manifests.values() {
+            for (_, digest) in &m.files {
+                *expected.entry(*digest).or_insert(0) += 1;
+            }
+        }
+        self.cas
+            .audit_refs(&expected)
+            .map_err(|e| format!("Mirage CAS: {e}"))
     }
 }
 

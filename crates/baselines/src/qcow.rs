@@ -4,7 +4,9 @@ use crate::snapshot::VmiSnapshot;
 use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
-use xpl_store::{ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+use xpl_store::{
+    DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+};
 use xpl_util::FxHashMap;
 
 struct Entry {
@@ -56,18 +58,16 @@ impl ImageStore for QcowStore {
         });
         report.bytes_added = bytes.len() as u64;
         report.units_stored = 1;
-        if self
-            .images
-            .insert(
-                vmi.name.clone(),
-                Entry {
-                    bytes,
-                    snapshot: VmiSnapshot::of(vmi),
-                },
-            )
-            .is_none()
-        {
-            self.order.push(vmi.name.clone());
+        match self.images.insert(
+            vmi.name.clone(),
+            Entry {
+                bytes,
+                snapshot: VmiSnapshot::of(vmi),
+            },
+        ) {
+            // Re-publish replaces the previous file of the same name.
+            Some(old) => report.bytes_freed = old.bytes.len() as u64,
+            None => self.order.push(vmi.name.clone()),
         }
         report.duration = self.env.clock.since(t0);
         Ok(report)
@@ -102,8 +102,40 @@ impl ImageStore for QcowStore {
         Ok((vmi, report))
     }
 
+    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+        let t0 = self.env.clock.now();
+        let entry = self
+            .images
+            .remove(name)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
+        self.order.retain(|n| n != name);
+        self.env.repo.charge_db_write(1); // unlink is metadata work
+        Ok(DeleteReport {
+            image: name.to_string(),
+            duration: self.env.clock.since(t0),
+            bytes_freed: entry.bytes.len() as u64,
+            units_removed: 1,
+        })
+    }
+
     fn repo_bytes(&self) -> u64 {
         self.images.values().map(|e| e.bytes.len() as u64).sum()
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        if self.order.len() != self.images.len() {
+            return Err(format!(
+                "order list has {} names but {} images stored",
+                self.order.len(),
+                self.images.len()
+            ));
+        }
+        for name in &self.order {
+            if !self.images.contains_key(name) {
+                return Err(format!("ordered name {name} has no stored image"));
+            }
+        }
+        Ok(())
     }
 }
 

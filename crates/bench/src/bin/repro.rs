@@ -10,20 +10,128 @@
 //! repro fig5a         Figure 5a (retrieval breakdown)
 //! repro fig5b         Figure 5b (retrieval comparison)
 //! repro ablations     chunk-size sweep + master-graph speedup
+//! repro churn [--seed N] [--ops N] [--scale small|standard] [--json F]
+//!                     trace-driven lifecycle replay + differential oracle
+//!                     (exits 1 on any oracle violation)
 //! repro all [dir]     everything; JSON results into dir (default results/)
 //! ```
+//!
+//! `--world small` swaps the paper-scale world for the fast 4-image
+//! test world (used by the CLI smoke tests). It applies to the
+//! catalog-driven commands — table2, fig3b, fig4b, fig5a, fig5b;
+//! fig3a/fig3c/fig4a reference images only the standard world defines.
 
 use std::io::Write as _;
 use xpl_bench::experiments::*;
-use xpl_bench::{ablations, render};
+use xpl_bench::{ablations, churn, render};
 use xpl_workloads::World;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Arguments with `--flag value` pairs stripped, so positional parsing
+/// (`fig3c N`, `all DIR`) composes with flags like `--world small`.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn run_churn_cmd(args: &[String]) -> ! {
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDEADBEEF);
+    let ops: usize = flag_value(args, "--ops")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let cfg = match flag_value(args, "--scale").as_deref() {
+        Some("standard") => churn::ChurnConfig::standard(seed, ops),
+        _ => churn::ChurnConfig::small(seed, ops),
+    };
+    eprintln!("[repro] churn replay: seed={seed:#x} ops={ops}");
+    let report = churn::run_churn(&cfg);
+    println!("CHURN: {} ops replayed against 5 stores", report.ops);
+    println!(
+        "  mix: {} publish / {} retrieve / {} upgrade / {} delete / {} burst ({} retrievals)",
+        report.publishes,
+        report.retrieves,
+        report.upgrades,
+        report.deletes,
+        report.bursts,
+        report.burst_retrieves
+    );
+    println!("  oracle checks: {}", report.oracle_checks);
+    println!("  trace sha256:  {}", report.trace_sha256);
+    for s in &report.stores {
+        println!(
+            "  {:<14} {:>12} bytes, {:>4} live images, {:>10.1} sim-s",
+            s.store, s.final_repo_bytes, s.final_images, s.sim_seconds
+        );
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        let json = serde_json::to_string_pretty(&report).expect("serialize churn report");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .expect("write churn JSON");
+        eprintln!("[repro] wrote {path}");
+    }
+    if report.violations.is_empty() {
+        println!("  oracle: PASS");
+        std::process::exit(0);
+    }
+    eprintln!("  oracle: {} VIOLATIONS", report.violations.len());
+    for v in report.violations.iter().take(20) {
+        eprintln!("    {v}");
+    }
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    if cmd == "churn" {
+        // The churn replay generates its own scaled world.
+        run_churn_cmd(&args);
+    }
+    const KNOWN: [&str; 10] = [
+        "table2",
+        "fig3a",
+        "fig3b",
+        "fig3c",
+        "fig4a",
+        "fig4b",
+        "fig5a",
+        "fig5b",
+        "ablations",
+        "all",
+    ];
+    if !KNOWN.contains(&cmd) {
+        eprintln!("unknown experiment: {cmd}");
+        eprintln!(
+            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|all]"
+        );
+        std::process::exit(2);
+    }
     let t0 = std::time::Instant::now();
-    eprintln!("[repro] building standard world (catalog + base template)…");
-    let world = World::standard();
+    let world = if flag_value(&args, "--world").as_deref() == Some("small") {
+        eprintln!("[repro] building small world (test scale)…");
+        World::small()
+    } else {
+        eprintln!("[repro] building standard world (catalog + base template)…");
+        World::standard()
+    };
     eprintln!("[repro] world ready in {:.1}s", t0.elapsed().as_secs_f64());
 
     match cmd {
@@ -40,7 +148,10 @@ fn main() {
             println!("{}", render::render_fig3("FIGURE 3b", &r));
         }
         "fig3c" => {
-            let n: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+            let n: u32 = positionals(&args)
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(40);
             let r = fig3_sizes(&world, Fig3Scenario::IdeBuilds(n));
             println!("{}", render::render_fig3("FIGURE 3c", &r));
         }
@@ -64,7 +175,8 @@ fn main() {
             run_ablations(&world);
         }
         "all" => {
-            let dir = args.get(1).map(String::as_str).unwrap_or("results");
+            let pos = positionals(&args);
+            let dir = pos.get(1).map(String::as_str).unwrap_or("results");
             std::fs::create_dir_all(dir).expect("create results dir");
             let save = |name: &str, json: String| {
                 let path = format!("{dir}/{name}.json");
@@ -108,13 +220,7 @@ fn main() {
 
             run_ablations(&world);
         }
-        other => {
-            eprintln!("unknown experiment: {other}");
-            eprintln!(
-                "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|all]"
-            );
-            std::process::exit(2);
-        }
+        _ => unreachable!("command validated against KNOWN before the world is built"),
     }
     eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
 }

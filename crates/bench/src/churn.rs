@@ -1,0 +1,397 @@
+//! Trace-driven churn replay with a differential oracle.
+//!
+//! [`run_churn`] generates a deterministic lifecycle trace over a
+//! [`ScaledWorld`] and replays it against all five evaluated stores
+//! (Qcow2, Qcow2+Gzip, Mirage, Hemera, Expelliarmus) in lockstep. After
+//! **every** operation the oracle checks:
+//!
+//! 1. **Differential retrieval** — the semantic fingerprint (files sans
+//!    junk/status + installed package set) of every retrieved image is
+//!    identical across all stores *and* to the image as published;
+//!    snapshot stores additionally reproduce the full fingerprint
+//!    byte-for-byte, and repeated retrievals (bursts) are stable.
+//! 2. **Refcount integrity** — each store's `check_integrity` audit:
+//!    CAS/DB refcounts equal the live references its manifests imply
+//!    (no leaks from the delete / upgrade-republish paths, no orphans).
+//! 3. **Size ledger** — `repo_bytes` evolves exactly as the report
+//!    stream claims (`after == before + bytes_added - bytes_freed` on
+//!    publish, `after == before - bytes_freed` on delete, unchanged by
+//!    retrieval), and deleted images are `NotFound` on monolithic
+//!    stores. Qcow2/Gzip/Mirage/Hemera derive their report numbers from
+//!    gross content movements, so the check is independent of
+//!    `repo_bytes`; Expelliarmus reports net deltas (its DB payload
+//!    moves both ways within one publish), where the refcount audit is
+//!    the independent witness.
+//!
+//! Violations are collected, not panicked, so a single run reports every
+//! divergence; callers (the `repro churn` subcommand, CI, the
+//! integration suite) assert the list is empty.
+
+use serde::Serialize;
+use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
+use xpl_core::ExpelliarmusRepo;
+use xpl_simio::SimEnv;
+use xpl_store::{oracle, ImageStore, RetrieveRequest, StoreError};
+use xpl_util::{Digest, FxHashMap};
+use xpl_workloads::{ScaleConfig, ScaledWorld, Trace, TraceConfig, TraceOp};
+
+/// Replay parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    pub seed: u64,
+    /// Trace length (a burst is one entry).
+    pub ops: usize,
+    pub scale: ScaleConfig,
+}
+
+impl ChurnConfig {
+    /// Test-friendly scale (debug builds replay ~500 ops in seconds).
+    pub fn small(seed: u64, ops: usize) -> ChurnConfig {
+        ChurnConfig {
+            seed,
+            ops,
+            scale: ScaleConfig::small(seed),
+        }
+    }
+
+    /// Release-mode stress scale.
+    pub fn standard(seed: u64, ops: usize) -> ChurnConfig {
+        ChurnConfig {
+            seed,
+            ops,
+            scale: ScaleConfig::standard(seed),
+        }
+    }
+}
+
+/// Per-store outcome summary.
+#[derive(Clone, Debug, Serialize)]
+pub struct StoreSummary {
+    pub store: String,
+    pub final_repo_bytes: u64,
+    pub final_images: usize,
+    pub bytes_added_total: u64,
+    pub bytes_freed_total: u64,
+    pub sim_seconds: f64,
+}
+
+/// The JSON-serialized replay outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChurnReport {
+    pub seed: u64,
+    pub ops: usize,
+    pub publishes: usize,
+    pub retrieves: usize,
+    pub upgrades: usize,
+    pub deletes: usize,
+    pub bursts: usize,
+    pub burst_retrieves: usize,
+    pub oracle_checks: u64,
+    pub trace_sha256: String,
+    pub stores: Vec<StoreSummary>,
+    pub violations: Vec<String>,
+}
+
+/// What the oracle remembers about a live image.
+struct LiveImage {
+    request: RetrieveRequest,
+    semantic_fp: Digest,
+    full_fp: Digest,
+}
+
+struct Replica {
+    store: Box<dyn ImageStore>,
+    expected_bytes: u64,
+    added_total: u64,
+    freed_total: u64,
+    sim_seconds: f64,
+}
+
+/// The five evaluated stores over fresh simulated environments.
+fn five_stores(env: impl Fn() -> SimEnv) -> Vec<Box<dyn ImageStore>> {
+    vec![
+        Box::new(QcowStore::new(env())),
+        Box::new(GzipStore::new(env())),
+        Box::new(MirageStore::new(env())),
+        Box::new(HemeraStore::new(env())),
+        Box::new(ExpelliarmusRepo::new(env())),
+    ]
+}
+
+/// Generate the trace for a config (exposed so tests can assert
+/// reproducibility without replaying).
+pub fn churn_trace(cfg: &ChurnConfig) -> (ScaledWorld, Trace) {
+    let world = ScaledWorld::generate(&cfg.scale);
+    let trace = Trace::generate(
+        &world.image_names(),
+        &TraceConfig {
+            seed: cfg.seed,
+            ops: cfg.ops,
+        },
+    );
+    (world, trace)
+}
+
+/// Replay `cfg` and return the oracle's report.
+pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
+    let (world, trace) = churn_trace(cfg);
+    let mut replicas: Vec<Replica> = five_stores(SimEnv::testbed)
+        .into_iter()
+        .map(|store| Replica {
+            store,
+            expected_bytes: 0,
+            added_total: 0,
+            freed_total: 0,
+            sim_seconds: 0.0,
+        })
+        .collect();
+    let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
+    let mut violations: Vec<String> = Vec::new();
+    let mut checks = 0u64;
+    let (mut publishes, mut retrieves, mut upgrades, mut deletes, mut bursts) = (0, 0, 0, 0, 0);
+    let mut burst_retrieves = 0usize;
+
+    for (step, op) in trace.ops.iter().enumerate() {
+        match op {
+            TraceOp::Publish { image, generation } | TraceOp::Upgrade { image, generation } => {
+                if matches!(op, TraceOp::Publish { .. }) {
+                    publishes += 1;
+                } else {
+                    upgrades += 1;
+                }
+                let vmi = world.build(image, *generation);
+                for r in replicas.iter_mut() {
+                    match r.store.publish(&world.catalog, &vmi) {
+                        Ok(report) => {
+                            checks += 1;
+                            if report.duration.as_nanos() == 0 {
+                                violations.push(format!(
+                                    "step {step} {}: publish {image} cost nothing",
+                                    r.store.name()
+                                ));
+                            }
+                            r.added_total += report.bytes_added;
+                            r.freed_total += report.bytes_freed;
+                            r.sim_seconds += report.duration.as_secs_f64();
+                            let want = r.expected_bytes as i128 + report.bytes_added as i128
+                                - report.bytes_freed as i128;
+                            let actual = r.store.repo_bytes();
+                            if want != actual as i128 {
+                                violations.push(format!(
+                                    "step {step} {}: publish {image} ledger: want {want}, \
+                                     have {actual} (added {}, freed {})",
+                                    r.store.name(),
+                                    report.bytes_added,
+                                    report.bytes_freed
+                                ));
+                            }
+                            r.expected_bytes = actual;
+                        }
+                        Err(e) => violations.push(format!(
+                            "step {step} {}: publish {image} failed: {e}",
+                            r.store.name()
+                        )),
+                    }
+                }
+                live.insert(
+                    image.clone(),
+                    LiveImage {
+                        request: RetrieveRequest::for_image(&vmi, &world.catalog),
+                        semantic_fp: oracle::semantic_fingerprint(&world.catalog, &vmi),
+                        full_fp: oracle::full_fingerprint(&world.catalog, &vmi),
+                    },
+                );
+            }
+            TraceOp::Retrieve { image } => {
+                retrieves += 1;
+                retrieve_all(
+                    &world,
+                    &mut replicas,
+                    &live,
+                    image,
+                    step,
+                    &mut violations,
+                    &mut checks,
+                );
+            }
+            TraceOp::Burst { image, count } => {
+                bursts += 1;
+                for _ in 0..*count {
+                    burst_retrieves += 1;
+                    retrieve_all(
+                        &world,
+                        &mut replicas,
+                        &live,
+                        image,
+                        step,
+                        &mut violations,
+                        &mut checks,
+                    );
+                }
+            }
+            TraceOp::Delete { image } => {
+                deletes += 1;
+                for r in replicas.iter_mut() {
+                    let before = r.store.repo_bytes();
+                    match r.store.delete(image) {
+                        Ok(report) => {
+                            checks += 1;
+                            r.freed_total += report.bytes_freed;
+                            r.sim_seconds += report.duration.as_secs_f64();
+                            let after = r.store.repo_bytes();
+                            if before.saturating_sub(report.bytes_freed) != after {
+                                violations.push(format!(
+                                    "step {step} {}: delete {image} freed {} but {before} -> {after}",
+                                    r.store.name(),
+                                    report.bytes_freed
+                                ));
+                            }
+                            r.expected_bytes = after;
+                            // Deleted names must be unretrievable from
+                            // monolithic stores (Expelliarmus may still
+                            // assemble functionally — the paper's point).
+                            if r.store.name() != "Expelliarmus" {
+                                let probe = live.get(image).expect("trace only deletes live");
+                                match r.store.retrieve(&world.catalog, &probe.request) {
+                                    Err(StoreError::NotFound(_)) => {}
+                                    Ok(_) => violations.push(format!(
+                                        "step {step} {}: retrieved deleted {image}",
+                                        r.store.name()
+                                    )),
+                                    Err(e) => violations.push(format!(
+                                        "step {step} {}: deleted {image} gave {e}, want NotFound",
+                                        r.store.name()
+                                    )),
+                                }
+                            }
+                        }
+                        Err(e) => violations.push(format!(
+                            "step {step} {}: delete {image} failed: {e}",
+                            r.store.name()
+                        )),
+                    }
+                }
+                live.remove(image);
+            }
+        }
+        // Refcount / bookkeeping audit after every op, on every store.
+        for r in &replicas {
+            checks += 1;
+            if let Err(v) = r.store.check_integrity() {
+                violations.push(format!(
+                    "step {step} {}: integrity after {}: {v}",
+                    r.store.name(),
+                    op.render()
+                ));
+            }
+        }
+    }
+
+    ChurnReport {
+        seed: cfg.seed,
+        ops: trace.ops.len(),
+        publishes,
+        retrieves,
+        upgrades,
+        deletes,
+        bursts,
+        burst_retrieves,
+        oracle_checks: checks,
+        trace_sha256: trace.digest_hex(),
+        stores: replicas
+            .iter()
+            .map(|r| StoreSummary {
+                store: r.store.name().to_string(),
+                final_repo_bytes: r.store.repo_bytes(),
+                final_images: live.len(),
+                bytes_added_total: r.added_total,
+                bytes_freed_total: r.freed_total,
+                sim_seconds: r.sim_seconds,
+            })
+            .collect(),
+        violations,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn retrieve_all(
+    world: &ScaledWorld,
+    replicas: &mut [Replica],
+    live: &FxHashMap<String, LiveImage>,
+    image: &str,
+    step: usize,
+    violations: &mut Vec<String>,
+    checks: &mut u64,
+) {
+    let expect = match live.get(image) {
+        Some(e) => e,
+        None => {
+            violations.push(format!("step {step}: trace retrieved dead image {image}"));
+            return;
+        }
+    };
+    for r in replicas.iter_mut() {
+        let before = r.store.repo_bytes();
+        match r.store.retrieve(&world.catalog, &expect.request) {
+            Ok((vmi, report)) => {
+                *checks += 1;
+                let semantic = oracle::semantic_fingerprint(&world.catalog, &vmi);
+                if semantic != expect.semantic_fp {
+                    violations.push(format!(
+                        "step {step} {}: {image} semantic fingerprint diverged",
+                        r.store.name()
+                    ));
+                }
+                if r.store.name() != "Expelliarmus" {
+                    let full = oracle::full_fingerprint(&world.catalog, &vmi);
+                    if full != expect.full_fp {
+                        violations.push(format!(
+                            "step {step} {}: {image} full fingerprint diverged",
+                            r.store.name()
+                        ));
+                    }
+                }
+                if report.bytes_read == 0 || report.duration.as_nanos() == 0 {
+                    violations.push(format!(
+                        "step {step} {}: free retrieval of {image}",
+                        r.store.name()
+                    ));
+                }
+                if r.store.repo_bytes() != before {
+                    violations.push(format!(
+                        "step {step} {}: retrieval of {image} changed repo size",
+                        r.store.name()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!(
+                "step {step} {}: retrieve {image} failed: {e}",
+                r.store.name()
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Short smoke at unit level; the ≥500-op acceptance run lives in the
+    // facade's integration suite (tests/churn_oracle.rs).
+    #[test]
+    fn short_churn_is_clean() {
+        let report = run_churn(&ChurnConfig::small(0xBEEF, 60));
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+        assert_eq!(report.ops, 60);
+        assert!(report.publishes > 0 && report.retrieves > 0);
+        assert_eq!(report.stores.len(), 5);
+    }
+
+    #[test]
+    fn trace_generation_is_reproducible() {
+        let cfg = ChurnConfig::small(42, 120);
+        let (_, a) = churn_trace(&cfg);
+        let (_, b) = churn_trace(&cfg);
+        assert_eq!(a.render(), b.render());
+    }
+}

@@ -6,9 +6,11 @@
 //! EXPERIMENTS.md generation.
 
 pub mod ablations;
+pub mod churn;
 pub mod experiments;
 pub mod render;
 
+pub use churn::{run_churn, ChurnConfig, ChurnReport};
 pub use experiments::{
     fig3_sizes, fig4a_publish, fig4b_publish, fig5a_breakdown, fig5b_retrieval, table2,
     Fig3Scenario,

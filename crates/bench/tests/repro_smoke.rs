@@ -1,0 +1,81 @@
+//! Smoke tests for the `repro` binary: the CLI surface and its JSON
+//! output are executed inside `cargo test`, so neither can silently rot.
+//!
+//! Commands run at test-friendly scale (`--world small`, short churn
+//! traces); the release-mode full runs stay in CI / EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn table2_runs_on_the_small_world() {
+    let out = repro()
+        .args(["table2", "--world", "small"])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TABLE II"), "unexpected output: {stdout}");
+    // Small-world rows are measured (non-zero publish times).
+    assert!(
+        stdout.contains("mini"),
+        "missing small-world rows: {stdout}"
+    );
+}
+
+#[test]
+fn churn_subcommand_emits_json_and_passes_oracle() {
+    let path = std::env::temp_dir().join(format!("churn-smoke-{}.json", std::process::id()));
+    let out = repro()
+        .args(["churn", "--seed", "7", "--ops", "40"])
+        .args(["--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "oracle must pass; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("oracle: PASS"), "{stdout}");
+
+    let json = std::fs::read_to_string(&path).expect("churn JSON written");
+    std::fs::remove_file(&path).ok();
+    for key in [
+        "\"trace_sha256\"",
+        "\"violations\"",
+        "\"stores\"",
+        "\"oracle_checks\"",
+        "\"Expelliarmus\"",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
+    }
+    assert!(json.contains("\"violations\": []"), "violations not empty");
+}
+
+#[test]
+fn churn_is_deterministic_across_processes() {
+    let run = || {
+        let out = repro()
+            .args(["churn", "--seed", "21", "--ops", "30"])
+            .output()
+            .expect("spawn repro");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(run(), run(), "same seed must reproduce byte-identically");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = repro().arg("fig9z").output().expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

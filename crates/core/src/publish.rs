@@ -15,7 +15,7 @@ use xpl_metadb::Value;
 use xpl_pkg::Catalog;
 use xpl_semgraph::MasterGraph;
 use xpl_store::{PublishReport, StoreError};
-use xpl_util::IStr;
+use xpl_util::{Digest, IStr};
 
 /// Publishing behaviour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,49 +59,68 @@ pub fn publish(
     let primary_sub = graph.primary_subgraph();
 
     // ---- Export non-redundant packages (lines 1–5). -----------------
+    // Every package this image's primary subgraph touches takes one CAS
+    // reference (new export or `add_ref` on a stored blob), so that
+    // delete/re-publish can release exactly this image's share later.
     let mut exported = 0usize;
-    report.breakdown.measure(&env.clock, "export packages", || {
-        for v in &primary_sub.vertices {
-            let meta = catalog.get(v.pkg);
-            let identity = meta.identity();
-            let need_build = state.mode == PublishMode::SemanticDecomposition
-                || !state.package_index.contains_key(&identity);
-            if !need_build {
-                continue;
+    let mut package_refs: Vec<Digest> = Vec::with_capacity(primary_sub.vertices.len());
+    report.breakdown.measure(
+        &env.clock,
+        "export packages",
+        || -> Result<(), StoreError> {
+            for v in &primary_sub.vertices {
+                let meta = catalog.get(v.pkg);
+                let identity = meta.identity();
+                if let Some(indexed) = state.package_index.get(&identity) {
+                    let digest = indexed.digest;
+                    if state.mode == PublishMode::SemanticDecomposition {
+                        // The variant rebuilds the package anyway; the CAS
+                        // dedups it, and the put doubles as this image's ref.
+                        let deb = handle.export_deb(catalog, v.pkg);
+                        let was_new = state.packages.put_with_digest(deb.digest, &deb.bytes);
+                        debug_assert!(!was_new);
+                    } else {
+                        // An indexed identity whose blob is gone is corruption;
+                        // recording the phantom ref would poison the ledger.
+                        state.packages.add_ref(digest).map_err(|_| {
+                            StoreError::Corrupt(format!("indexed package blob missing: {identity}"))
+                        })?;
+                    }
+                    package_refs.push(digest);
+                    continue;
+                }
+                // Rebuild the binary package through the guest (charged by
+                // installed size) and store it.
+                let deb = handle.export_deb(catalog, v.pkg);
+                state.packages.put_with_digest(deb.digest, &deb.bytes);
+                state.package_index.insert(
+                    identity.clone(),
+                    IndexedPackage {
+                        digest: deb.digest,
+                        package: v.pkg,
+                        installed_size: meta.installed_size,
+                    },
+                );
+                let _ = state.db.insert(
+                    "packages",
+                    vec![
+                        Value::from(identity),
+                        Value::from(deb.digest.to_hex()),
+                        Value::from(deb.bytes.len() as u64),
+                    ],
+                );
+                package_refs.push(deb.digest);
+                exported += 1;
             }
-            // Rebuild the binary package through the guest (charged by
-            // installed size) and store it.
-            let deb = handle.export_deb(catalog, v.pkg);
-            let was_new = state.packages.put_with_digest(deb.digest, &deb.bytes);
-            if state.package_index.contains_key(&identity) {
-                // SemanticDecomposition rebuilt an already-stored package;
-                // the CAS deduplicated it.
-                debug_assert!(!was_new);
-                continue;
-            }
-            state.package_index.insert(
-                identity.clone(),
-                IndexedPackage {
-                    digest: deb.digest,
-                    package: v.pkg,
-                    installed_size: meta.installed_size,
-                },
-            );
-            let _ = state.db.insert(
-                "packages",
-                vec![
-                    Value::from(identity),
-                    Value::from(deb.digest.to_hex()),
-                    Value::from(deb.bytes.len() as u64),
-                ],
-            );
-            exported += 1;
-        }
-    });
+            Ok(())
+        },
+    )?;
     report.units_stored = exported;
 
     // ---- Store user data (line 6). -----------------------------------
-    report.breakdown.measure(&env.clock, "store data", || {
+    // On re-publish the previous generation's data manifest comes back
+    // here and is released after the new one holds its references.
+    let old_data = report.breakdown.measure(&env.clock, "store data", || {
         let mut stored = StoredData::default();
         for f in handle.vmi().user_data_files() {
             let content = f.content();
@@ -109,7 +128,7 @@ pub fn publish(
             stored.files.push(f);
             stored.digests.push(digest);
         }
-        state.data_index.insert(handle.vmi().name.clone(), stored);
+        state.data_index.insert(handle.vmi().name.clone(), stored)
     });
 
     // ---- Strip the image down to the base (lines 7–11). --------------
@@ -204,18 +223,55 @@ pub fn publish(
         state.remove_base(replaced_id);
     }
 
-    let _ = state.db.insert(
-        "images",
-        vec![
-            Value::from(image_name.clone()),
-            Value::from(base_id),
-            Value::from((report.similarity * 1000.0) as u64),
-        ],
-    );
-    state.published.push(image_name);
+    let new_row = state
+        .db
+        .insert(
+            "images",
+            vec![
+                Value::from(image_name.clone()),
+                Value::from(base_id),
+                Value::from((report.similarity * 1000.0) as u64),
+            ],
+        )
+        .ok();
+    if !state.published.iter().any(|n| n == &image_name) {
+        state.published.push(image_name.clone());
+    }
+
+    // ---- Release the replaced generation (re-publish / upgrade). -----
+    // The new generation already holds its references, so content shared
+    // across generations survives the release.
+    if let Some(old_refs) = state
+        .image_packages
+        .insert(image_name.clone(), package_refs)
+    {
+        for digest in old_refs {
+            state.release_package_ref(&digest)?;
+        }
+    }
+    if let Some(old_data) = old_data {
+        for digest in &old_data.digests {
+            state
+                .data_store
+                .release(digest)
+                .map_err(|_| StoreError::Corrupt(format!("stale data blob {digest}")))?;
+        }
+    }
+    if let Ok(rows) = state
+        .db
+        .find_by("images", "name", &Value::from(image_name.clone()))
+    {
+        for row in rows {
+            if Some(row) != new_row {
+                let _ = state.db.delete("images", row);
+            }
+        }
+    }
 
     report.duration = env.clock.since(t0);
-    report.bytes_added = state.repo_bytes().saturating_sub(bytes_before);
+    let after = state.repo_bytes();
+    report.bytes_added = after.saturating_sub(bytes_before);
+    report.bytes_freed = bytes_before.saturating_sub(after);
     Ok(report)
 }
 

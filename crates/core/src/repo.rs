@@ -6,12 +6,13 @@
 //! graphs, and a metadata database.
 
 use xpl_guestfs::{FsTree, Vmi};
-use xpl_metadb::{ColumnDef, Database, Schema};
+use xpl_metadb::{ColumnDef, Database, Schema, Value};
 use xpl_pkg::{BaseImageAttrs, Catalog, DpkgDb, PackageId};
 use xpl_semgraph::{MasterGraph, SemanticGraph};
 use xpl_simio::SimEnv;
 use xpl_store::{
-    ContentStore, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    ContentStore, DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest,
+    StoreError,
 };
 use xpl_util::{Digest, FxHashMap};
 
@@ -66,6 +67,9 @@ pub struct RepoState {
     pub db: Database,
     /// Image names published (for duplicate detection / stats).
     pub published: Vec<String>,
+    /// image name → package blob digests its latest publish references.
+    /// The churn oracle checks CAS refcounts against this exact map.
+    pub image_packages: FxHashMap<String, Vec<Digest>>,
 }
 
 impl RepoState {
@@ -107,9 +111,42 @@ impl RepoState {
             masters: FxHashMap::default(),
             db,
             published: Vec::new(),
+            image_packages: FxHashMap::default(),
             env,
             mode,
         }
+    }
+
+    /// Release one image reference to a package blob. When the last
+    /// reference drops, the blob, its identity index entries and its
+    /// metadata rows go with it. Returns freed bytes.
+    pub fn release_package_ref(&mut self, digest: &Digest) -> Result<u64, StoreError> {
+        let freed = self
+            .packages
+            .release(digest)
+            .map_err(|_| StoreError::Corrupt(format!("package blob {digest}")))?;
+        if freed > 0 {
+            // Linear scan over the index, but only on last-ref frees — the
+            // cold path of delete/upgrade, never publish or retrieve.
+            let identities: Vec<String> = self
+                .package_index
+                .iter()
+                .filter(|(_, p)| p.digest == *digest)
+                .map(|(identity, _)| identity.clone())
+                .collect();
+            for identity in identities {
+                self.package_index.remove(&identity);
+                if let Ok(rows) = self
+                    .db
+                    .find_by("packages", "identity", &Value::from(identity))
+                {
+                    for row in rows {
+                        let _ = self.db.delete("packages", row);
+                    }
+                }
+            }
+        }
+        Ok(freed)
     }
 
     pub fn base_by_id(&self, id: &str) -> Option<&StoredBase> {
@@ -224,8 +261,91 @@ impl ImageStore for ExpelliarmusRepo {
         crate::retrieve::retrieve(&mut self.state, catalog, request)
     }
 
+    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+        let env = self.state.env.clone();
+        let t0 = env.clock.now();
+        let before = self.state.repo_bytes();
+        let known = self.state.image_packages.contains_key(name)
+            || self.state.data_index.contains_key(name)
+            || self.state.published.iter().any(|n| n == name);
+        if !known {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        let mut units = 0usize;
+        if let Some(refs) = self.state.image_packages.remove(name) {
+            for digest in refs {
+                if self.state.release_package_ref(&digest)? > 0 {
+                    units += 1;
+                }
+            }
+        }
+        if let Some(data) = self.state.data_index.remove(name) {
+            for digest in &data.digests {
+                let freed = self
+                    .state
+                    .data_store
+                    .release(digest)
+                    .map_err(|_| StoreError::Corrupt(format!("data blob {digest}")))?;
+                if freed > 0 {
+                    units += 1;
+                }
+            }
+        }
+        self.state.published.retain(|n| n != name);
+        if let Ok(rows) = self.state.db.find_by("images", "name", &Value::from(name)) {
+            for row in rows {
+                let _ = self.state.db.delete("images", row);
+            }
+        }
+        // Stored bases and master graphs are shared substrate across all
+        // published images; deletes keep them (Algorithm 1's consolidation
+        // already bounds their number).
+        Ok(DeleteReport {
+            image: name.to_string(),
+            duration: env.clock.since(t0),
+            bytes_freed: before.saturating_sub(self.state.repo_bytes()),
+            units_removed: units,
+        })
+    }
+
     fn repo_bytes(&self) -> u64 {
         self.state.repo_bytes()
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        self.check_invariants()?;
+        let st = &self.state;
+        // Package CAS refcounts == live image references, exactly.
+        let mut expected: FxHashMap<Digest, u32> = FxHashMap::default();
+        for refs in st.image_packages.values() {
+            for d in refs {
+                *expected.entry(*d).or_insert(0) += 1;
+            }
+        }
+        st.packages
+            .audit_refs(&expected)
+            .map_err(|e| format!("package CAS: {e}"))?;
+        for (identity, p) in &st.package_index {
+            if !st.packages.contains(&p.digest) {
+                return Err(format!("index entry {identity} points at a missing blob"));
+            }
+        }
+        // Data CAS refcounts == live data manifests.
+        let mut expected_data: FxHashMap<Digest, u32> = FxHashMap::default();
+        for data in st.data_index.values() {
+            for d in &data.digests {
+                *expected_data.entry(*d).or_insert(0) += 1;
+            }
+        }
+        st.data_store
+            .audit_refs(&expected_data)
+            .map_err(|e| format!("data CAS: {e}"))?;
+        for name in st.data_index.keys() {
+            if !st.published.iter().any(|n| n == name) {
+                return Err(format!("data manifest for unpublished image {name}"));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -73,16 +73,21 @@ pub fn sim_g(g1: &SemanticGraph, g2: &SemanticGraph) -> f64 {
         }
     }
 
-    // Denominator: union by identity (name, version, arch).
-    let mut union_mass = 0.0;
-    let mut seen: std::collections::HashSet<(xpl_util::IStr, String)> =
-        std::collections::HashSet::new();
+    // Denominator: union by identity (name, version, arch). When the same
+    // identity appears in both graphs, weigh it once by the *larger* size
+    // — mirroring simsize's max() — so the matched mass can never exceed
+    // the union mass and the metric stays symmetric and ≤ 1 even for
+    // degenerate inputs where equal identities carry different sizes.
+    let mut union_sizes: FxHashMap<(xpl_util::IStr, String), u64> = FxHashMap::default();
     for v in g1.vertices.iter().chain(g2.vertices.iter()) {
         let key = (v.name, format!("{}/{}", v.version, v.arch));
-        if seen.insert(key) {
-            union_mass += v.size as f64 / max_size as f64;
-        }
+        let entry = union_sizes.entry(key).or_insert(0);
+        *entry = (*entry).max(v.size);
     }
+    let union_mass: f64 = union_sizes
+        .values()
+        .map(|&s| s as f64 / max_size as f64)
+        .sum();
     if union_mass == 0.0 {
         return bi;
     }

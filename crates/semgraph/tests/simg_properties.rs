@@ -1,0 +1,127 @@
+//! Property tests for the `SimG` similarity metric (§III-F).
+//!
+//! Random graph pairs are drawn from a shared pool of package names so
+//! overlap actually occurs. Names are unique *within* each graph — the
+//! invariant real VMI graphs satisfy (dpkg installs one version of a
+//! name at a time) and the one under which SimG's matched mass is
+//! bounded by its union mass.
+
+use proptest::prelude::*;
+use xpl_pkg::{Arch, BaseImageAttrs, PackageId, Version};
+use xpl_semgraph::{sim_g, PkgRole, PkgVertex, SemanticGraph};
+use xpl_util::IStr;
+
+const POOL: usize = 20;
+
+fn vertex(idx: usize, version_id: u8, size: u64) -> PkgVertex {
+    PkgVertex {
+        pkg: PackageId(idx as u32),
+        name: IStr::new(&format!("pool-pkg-{idx:02}")),
+        version: Version::parse(&format!("{}.{}", 1 + version_id / 2, version_id % 2)),
+        arch: Arch::Amd64,
+        size,
+        role: if idx.is_multiple_of(3) {
+            PkgRole::BaseMember
+        } else {
+            PkgRole::Primary
+        },
+    }
+}
+
+/// A membership word: per pool slot, (in_g1, in_g2, version, size).
+type Word = Vec<(bool, bool, u8, u64)>;
+
+fn graphs_from(word: &Word) -> (SemanticGraph, SemanticGraph) {
+    let base = BaseImageAttrs::ubuntu("16.04", Arch::Amd64);
+    let mut v1 = Vec::new();
+    let mut v2 = Vec::new();
+    for (idx, &(in1, in2, version, size)) in word.iter().enumerate() {
+        if in1 {
+            v1.push(vertex(idx, version, size));
+        }
+        if in2 {
+            // Same name in g2 may carry a different version/size.
+            v2.push(vertex(
+                idx,
+                version.wrapping_mul(3) % 4,
+                size.max(1) / 2 + 1,
+            ));
+        }
+    }
+    (
+        SemanticGraph::from_parts("g1", base.clone(), v1, vec![]),
+        SemanticGraph::from_parts("g2", base, v2, vec![]),
+    )
+}
+
+fn word_strategy() -> impl Strategy<Value = Word> {
+    proptest::collection::vec(
+        (any::<bool>(), any::<bool>(), 0u8..4, 1u64..5_000),
+        POOL..=POOL,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn symmetric(word in word_strategy()) {
+        let (a, b) = graphs_from(&word);
+        prop_assert!((sim_g(&a, &b) - sim_g(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_to_unit_interval(word in word_strategy()) {
+        let (a, b) = graphs_from(&word);
+        let s = sim_g(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "sim_g out of range: {}", s);
+    }
+
+    #[test]
+    fn identity_is_maximal(word in word_strategy()) {
+        let (a, b) = graphs_from(&word);
+        // Self-similarity is exactly 1 (the metric's maximum)…
+        prop_assert!((sim_g(&a, &a) - 1.0).abs() < 1e-9);
+        // …so no other graph can beat it.
+        prop_assert!(sim_g(&a, &b) <= sim_g(&a, &a) + 1e-9);
+    }
+
+    #[test]
+    fn monotone_under_adding_a_shared_package(
+        word in word_strategy(),
+        size in 1u64..50_000,
+        version in 0u8..4,
+    ) {
+        // Adding the *same* package (identical identity and size) to both
+        // graphs can only increase similarity: it grows matched and union
+        // mass by the same amount, and max-size rescaling is uniform.
+        let (a, b) = graphs_from(&word);
+        let before = sim_g(&a, &b);
+        let extra = vertex(POOL + 1, version, size); // name outside the pool
+        let mut av = a.vertices.clone();
+        let mut bv = b.vertices.clone();
+        av.push(extra.clone());
+        bv.push(extra);
+        let a2 = SemanticGraph::from_parts("g1+", a.base.clone(), av, vec![]);
+        let b2 = SemanticGraph::from_parts("g2+", b.base.clone(), bv, vec![]);
+        let after = sim_g(&a2, &b2);
+        prop_assert!(
+            after >= before - 1e-9,
+            "shared package lowered sim_g: {} -> {}", before, after
+        );
+    }
+
+    #[test]
+    fn disjoint_name_sets_score_zero(word in word_strategy()) {
+        // Force disjointness: g1 keeps even slots, g2 keeps odd slots.
+        let disjoint: Word = word
+            .iter()
+            .enumerate()
+            .map(|(i, &(in1, in2, v, s))| (in1 && i % 2 == 0, in2 && i % 2 == 1, v, s))
+            .collect();
+        let (a, b) = graphs_from(&disjoint);
+        if !a.vertices.is_empty() && !b.vertices.is_empty() {
+            prop_assert!(sim_g(&a, &b).abs() < 1e-12);
+        }
+    }
+}

@@ -52,6 +52,21 @@ pub struct PublishReport {
     /// Semantic similarity against the master graph at upload time
     /// (Table II's SimG column; 0 for non-semantic stores).
     pub similarity: f64,
+    /// Bytes dropped by replacing a previously published image of the
+    /// same name (re-publish / upgrade); 0 on first-time publishes.
+    pub bytes_freed: u64,
+}
+
+/// Outcome of a delete.
+#[derive(Clone, Debug, Default)]
+pub struct DeleteReport {
+    pub image: String,
+    /// Simulated wall time of the unlink + release work.
+    pub duration: SimDuration,
+    /// Bytes the repository shrank by (content no other image holds).
+    pub bytes_freed: u64,
+    /// Blobs / rows / entries physically removed.
+    pub units_removed: usize,
 }
 
 /// Outcome of a retrieval.
@@ -115,9 +130,21 @@ pub trait ImageStore {
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError>;
 
+    /// Delete a published image, releasing repository content no other
+    /// live image references. Content shared with other images survives
+    /// (refcounts guard it); monolithic stores simply unlink the entry.
+    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError>;
+
     /// Current repository footprint in materialized bytes (×1024 =
     /// nominal; the Figure 3 y-axis).
     fn repo_bytes(&self) -> u64;
+
+    /// Audit internal bookkeeping: blob refcounts vs live manifests,
+    /// index/entry coherence, size accounting. Cheap enough for the
+    /// churn oracle to call after every simulated operation.
+    fn check_integrity(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

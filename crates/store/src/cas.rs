@@ -125,6 +125,40 @@ impl ContentStore {
         self.unique_bytes
     }
 
+    /// Reference count of a blob (introspection; charges nothing).
+    pub fn refs_of(&self, digest: &Digest) -> Option<u32> {
+        self.blobs.get(digest).map(|b| b.refs)
+    }
+
+    /// Iterate `(digest, refs, len)` over every stored blob without
+    /// charging the device — the audit path of the churn oracle.
+    pub fn iter_refs(&self) -> impl Iterator<Item = (Digest, u32, u64)> + '_ {
+        self.blobs
+            .iter()
+            .map(|(d, b)| (*d, b.refs, b.bytes.len() as u64))
+    }
+
+    /// Audit refcounts against an externally computed expectation (digest
+    /// → live references). Reports orphans (stored but unreferenced),
+    /// leaks (refcount above the live count), and missing blobs.
+    pub fn audit_refs(&self, expected: &FxHashMap<Digest, u32>) -> Result<(), String> {
+        for (digest, refs, _) in self.iter_refs() {
+            match expected.get(&digest) {
+                None => return Err(format!("orphan blob {digest} with {refs} refs")),
+                Some(&want) if want != refs => {
+                    return Err(format!("blob {digest}: {refs} refs, expected {want}"))
+                }
+                _ => {}
+            }
+        }
+        for (digest, want) in expected {
+            if !self.contains(digest) {
+                return Err(format!("missing blob {digest} ({want} live refs)"));
+            }
+        }
+        Ok(())
+    }
+
     pub fn blob_count(&self) -> usize {
         self.blobs.len()
     }

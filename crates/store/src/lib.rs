@@ -4,11 +4,18 @@
 //!   with refcounts; the building block of Mirage, Hemera and the
 //!   Expelliarmus package/base-image repositories.
 //! * [`api`] — the [`ImageStore`] trait every evaluated system implements
-//!   (publish / retrieve / repository size), plus the report types whose
-//!   fields become Table II columns and Figure 4/5 series.
+//!   (publish / retrieve / delete / repository size / integrity audit),
+//!   plus the report types whose fields become Table II columns and
+//!   Figure 4/5 series.
+//! * [`oracle`] — canonical image fingerprints the churn replay driver
+//!   uses to compare retrievals differentially across stores.
 
 pub mod api;
 pub mod cas;
+pub mod oracle;
 
-pub use api::{ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError};
+pub use api::{
+    DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+};
 pub use cas::ContentStore;
+pub use oracle::{full_fingerprint, semantic_fingerprint};

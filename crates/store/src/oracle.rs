@@ -1,0 +1,126 @@
+//! Oracle-facing image fingerprints.
+//!
+//! The churn replay driver runs every lifecycle trace against all stores
+//! in lockstep and needs a fast, canonical notion of "the same image"
+//! to compare retrievals differentially:
+//!
+//! * [`full_fingerprint`] — every effective file plus the installed
+//!   package set. Snapshot stores (Qcow2, Gzip, Mirage, Hemera, block
+//!   dedup) must reproduce this exactly.
+//! * [`semantic_fingerprint`] — like the above but with junk paths and
+//!   the dpkg status file excluded. Expelliarmus discards junk at
+//!   publish time and regenerates the status file on assembly, so this
+//!   is the strongest equality that holds across *all* stores.
+//!
+//! File content is derived from `(seed, size)`, so hashing those fields
+//! is equivalent to hashing the bytes without materializing them.
+
+use xpl_guestfs::{FsTree, Vmi};
+use xpl_pkg::Catalog;
+use xpl_util::{Digest, Sha256};
+
+const STATUS_PATH: &str = "/var/lib/dpkg/status";
+
+fn fingerprint(catalog: &Catalog, vmi: &Vmi, include_junk_and_status: bool) -> Digest {
+    let mut h = Sha256::new();
+    h.update(vmi.base.key().as_bytes());
+    // Files, in FsTree's deterministic path order.
+    for rec in vmi.fs.iter() {
+        if !include_junk_and_status
+            && (FsTree::is_junk_path(rec.path) || rec.path.as_str() == STATUS_PATH)
+        {
+            continue;
+        }
+        h.update(rec.path.as_str().as_bytes());
+        h.update(&rec.size.to_le_bytes());
+        h.update(&rec.seed.to_le_bytes());
+    }
+    // Installed package identities (BTreeSet: already sorted).
+    for identity in vmi.installed_package_set(catalog) {
+        h.update(identity.as_bytes());
+        h.update(b"\n");
+    }
+    h.finalize()
+}
+
+/// Exact-content fingerprint (files + packages + base attributes).
+pub fn full_fingerprint(catalog: &Catalog, vmi: &Vmi) -> Digest {
+    fingerprint(catalog, vmi, true)
+}
+
+/// Junk- and status-file-insensitive fingerprint: the equality all five
+/// evaluated stores must agree on after any retrieval.
+pub fn semantic_fingerprint(catalog: &Catalog, vmi: &Vmi) -> Digest {
+    fingerprint(catalog, vmi, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpl_guestfs::{FileOwner, FileRecord, FsTree};
+    use xpl_pkg::{Arch, BaseImageAttrs, DpkgDb};
+    use xpl_util::IStr;
+
+    fn vmi_with(paths: &[(&str, u32, u64, FileOwner)]) -> Vmi {
+        let mut fs = FsTree::new();
+        for &(p, size, seed, owner) in paths {
+            fs.add_file(FileRecord {
+                path: IStr::new(p),
+                size,
+                seed,
+                owner,
+            });
+        }
+        Vmi::assemble(
+            "fp",
+            BaseImageAttrs::ubuntu("16.04", Arch::Amd64),
+            fs,
+            DpkgDb::new(),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn junk_only_changes_full_fingerprint() {
+        let catalog = Catalog::new();
+        let clean = vmi_with(&[("/usr/bin/a", 10, 1, FileOwner::System)]);
+        let junky = vmi_with(&[
+            ("/usr/bin/a", 10, 1, FileOwner::System),
+            ("/var/cache/apt/archives/x", 99, 7, FileOwner::System),
+        ]);
+        assert_eq!(
+            semantic_fingerprint(&catalog, &clean),
+            semantic_fingerprint(&catalog, &junky)
+        );
+        assert_ne!(
+            full_fingerprint(&catalog, &clean),
+            full_fingerprint(&catalog, &junky)
+        );
+    }
+
+    #[test]
+    fn content_change_flips_both() {
+        let catalog = Catalog::new();
+        let a = vmi_with(&[("/usr/bin/a", 10, 1, FileOwner::System)]);
+        let b = vmi_with(&[("/usr/bin/a", 10, 2, FileOwner::System)]);
+        assert_ne!(
+            semantic_fingerprint(&catalog, &a),
+            semantic_fingerprint(&catalog, &b)
+        );
+        assert_ne!(
+            full_fingerprint(&catalog, &a),
+            full_fingerprint(&catalog, &b)
+        );
+    }
+
+    #[test]
+    fn user_data_counts_semantically() {
+        let catalog = Catalog::new();
+        let a = vmi_with(&[("/home/u/d.bin", 10, 1, FileOwner::UserData)]);
+        let b = vmi_with(&[]);
+        assert_ne!(
+            semantic_fingerprint(&catalog, &a),
+            semantic_fingerprint(&catalog, &b)
+        );
+    }
+}

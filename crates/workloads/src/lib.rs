@@ -19,9 +19,24 @@
 //!   [`World::standard`] (full evaluation scale) and [`World::small`]
 //!   (fast scale for unit tests and doctests).
 
+//! # Beyond the paper's fixed catalog
+//!
+//! The crate also generates arbitrarily scaled churn workloads:
+//!
+//! * [`scaled`] — [`ScaledWorld`]: a seeded catalog/recipe generator
+//!   whose package universe and image count are parameters, with
+//!   per-image upgrade generations for republish workloads.
+//! * [`trace`] — [`Trace`]: deterministic lifecycle traces (publish /
+//!   retrieve / upgrade / delete / burst) the churn oracle replays
+//!   against every store in lockstep.
+
 pub mod catalog;
 pub mod recipes;
+pub mod scaled;
+pub mod trace;
 pub mod world;
 
 pub use recipes::{ide_build_recipe, table2_recipes, Table2Row, TABLE2_PAPER};
+pub use scaled::{ScaleConfig, ScaledWorld};
+pub use trace::{Trace, TraceConfig, TraceOp};
 pub use world::World;

@@ -40,6 +40,7 @@
 //! ```
 
 pub use xpl_baselines as baselines;
+pub use xpl_bench as bench;
 pub use xpl_chunking as chunking;
 pub use xpl_compress as compress;
 pub use xpl_core as core;
@@ -63,7 +64,7 @@ pub mod prelude {
     pub use xpl_guestfs::Vmi;
     pub use xpl_semgraph::{MasterGraph, SemanticGraph};
     pub use xpl_simio::{SimDevice, SimEnv};
-    pub use xpl_store::{ImageStore, PublishReport, RetrieveReport, RetrieveRequest};
+    pub use xpl_store::{DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest};
     pub use xpl_util::{format_bytes, format_nominal};
-    pub use xpl_workloads::World;
+    pub use xpl_workloads::{ScaleConfig, ScaledWorld, Trace, TraceConfig, World};
 }

@@ -2,7 +2,7 @@
 //! functional equality, and the storage hierarchy of Figure 3 must hold.
 
 use expelliarmus::prelude::*;
-use expelliarmus::store::StoreError;
+use expelliarmus::store::{full_fingerprint, semantic_fingerprint, StoreError};
 
 fn all_stores(world: &World) -> Vec<Box<dyn ImageStore>> {
     vec![
@@ -130,6 +130,94 @@ fn repeated_publish_is_idempotent_for_dedup_stores() {
                 store.name()
             ),
         }
+    }
+}
+
+#[test]
+fn every_store_agrees_differentially_on_every_image() {
+    // The churn oracle's core equality, applied exhaustively to the small
+    // world across ALL stores (the five evaluated systems plus both
+    // block-dedup baselines): every retrieval of the same image must have
+    // the same semantic fingerprint, and snapshot stores must reproduce
+    // the exact full fingerprint of what was published.
+    let world = World::small();
+    let mut stores = all_stores(&world);
+    for name in world.image_names() {
+        let vmi = world.build_image(name);
+        let want_semantic = semantic_fingerprint(&world.catalog, &vmi);
+        let want_full = full_fingerprint(&world.catalog, &vmi);
+        let req = RetrieveRequest::for_image(&vmi, &world.catalog);
+        for store in stores.iter_mut() {
+            store.publish(&world.catalog, &vmi).unwrap();
+            let (got, _) = store.retrieve(&world.catalog, &req).unwrap();
+            assert_eq!(
+                semantic_fingerprint(&world.catalog, &got),
+                want_semantic,
+                "{}: semantic fingerprint diverged for {name}",
+                store.name()
+            );
+            if store.name() != "Expelliarmus" {
+                assert_eq!(
+                    full_fingerprint(&world.catalog, &got),
+                    want_full,
+                    "{}: full fingerprint diverged for {name}",
+                    store.name()
+                );
+            }
+            store
+                .check_integrity()
+                .unwrap_or_else(|e| panic!("{} integrity: {e}", store.name()));
+        }
+    }
+}
+
+#[test]
+fn delete_frees_only_the_deleted_image() {
+    // Publish three images everywhere, delete the middle one: the other
+    // two must stay retrievable and every refcount audit must stay clean.
+    let world = World::small();
+    for mut store in all_stores(&world) {
+        for name in ["mini", "redis", "lamp"] {
+            store
+                .publish(&world.catalog, &world.build_image(name))
+                .unwrap();
+        }
+        let before = store.repo_bytes();
+        let report = store.delete("redis").unwrap();
+        assert_eq!(report.image, "redis");
+        assert_eq!(
+            store.repo_bytes(),
+            before - report.bytes_freed,
+            "{}: delete accounting",
+            store.name()
+        );
+        store
+            .check_integrity()
+            .unwrap_or_else(|e| panic!("{} integrity after delete: {e}", store.name()));
+        // Survivors still round-trip.
+        for name in ["mini", "lamp"] {
+            let vmi = world.build_image(name);
+            let req = RetrieveRequest::for_image(&vmi, &world.catalog);
+            let (got, _) = store
+                .retrieve(&world.catalog, &req)
+                .unwrap_or_else(|e| panic!("{}: {name} after delete: {e}", store.name()));
+            assert_eq!(
+                semantic_fingerprint(&world.catalog, &got),
+                semantic_fingerprint(&world.catalog, &vmi),
+                "{}: {name} corrupted by deleting redis",
+                store.name()
+            );
+        }
+        // The deleted name is gone from monolithic stores; deleting it
+        // again is an error everywhere.
+        assert!(matches!(
+            store.delete("redis"),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(
+            store.delete("never-there"),
+            Err(StoreError::NotFound(_))
+        ));
     }
 }
 
