@@ -13,6 +13,10 @@
 //! repro churn [--seed N] [--ops N] [--scale small|standard] [--json F]
 //!                     trace-driven lifecycle replay + differential oracle
 //!                     (exits 1 on any oracle violation)
+//! repro bench [--quick] [--json F]
+//!                     wall-clock substrate microbenchmarks → BENCH.json
+//! repro bench --check F
+//!                     validate an existing BENCH.json (nonzero throughputs)
 //! repro all [dir]     everything; JSON results into dir (default results/)
 //! ```
 //!
@@ -98,12 +102,49 @@ fn run_churn_cmd(args: &[String]) -> ! {
     std::process::exit(1);
 }
 
+fn run_bench_cmd(args: &[String]) -> ! {
+    if let Some(path) = flag_value(args, "--check") {
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        match xpl_bench::microbench::check_report_json(&json) {
+            Ok(()) => {
+                println!("BENCH check: {path} OK");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("BENCH check: {path} INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    eprintln!(
+        "[repro] running microbenchmarks ({} mode)…",
+        if quick { "quick" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = xpl_bench::run_microbench(quick);
+    print!("{}", xpl_bench::microbench::render(&report));
+    if let Some(path) = flag_value(args, "--json") {
+        let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .expect("write bench JSON");
+        eprintln!("[repro] wrote {path}");
+    }
+    eprintln!("[repro] bench done in {:.1}s", t0.elapsed().as_secs_f64());
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     if cmd == "churn" {
         // The churn replay generates its own scaled world.
         run_churn_cmd(&args);
+    }
+    if cmd == "bench" {
+        // Microbenchmarks build their own inputs.
+        run_bench_cmd(&args);
     }
     const KNOWN: [&str; 10] = [
         "table2",
@@ -120,7 +161,7 @@ fn main() {
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown experiment: {cmd}");
         eprintln!(
-            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|all]"
+            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|bench|all]"
         );
         std::process::exit(2);
     }

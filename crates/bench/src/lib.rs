@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod churn;
 pub mod experiments;
+pub mod microbench;
 pub mod render;
 
 pub use churn::{run_churn, ChurnConfig, ChurnReport};
@@ -15,3 +16,4 @@ pub use experiments::{
     fig3_sizes, fig4a_publish, fig4b_publish, fig5a_breakdown, fig5b_retrieval, table2,
     Fig3Scenario,
 };
+pub use microbench::{run_microbench, BenchReport};

@@ -1,0 +1,365 @@
+//! Wall-clock microbenchmarks — the `repro bench` subcommand.
+//!
+//! Deterministic-input throughput benchmarks over the byte-moving
+//! substrate (SHA-256, DEFLATE/inflate, CRC-32, content-defined
+//! chunking, parallel gzip) plus two end-to-end wall times (publish a
+//! catalog, replay a churn trace). Results serialize to `BENCH.json`,
+//! the perf trajectory file every future scale/perf PR appends a delta
+//! against.
+//!
+//! Inputs are pinned: the committed compress regression corpus
+//! (concatenated + repeated) and seeded synthetic image payloads from
+//! `xpl_pkg::content`, so runs on one machine are comparable over time.
+//! Timings are honest medians-of-iterations (same methodology as the
+//! criterion shim): warm up once, then run enough iterations to fill a
+//! time budget.
+
+use serde::Serialize;
+use std::time::Instant;
+use xpl_chunking::rabin::{chunk_cdc, CdcParams};
+use xpl_compress::{deflate, gzip_compress_parallel, gzip_decompress, inflate};
+use xpl_core::ExpelliarmusRepo;
+use xpl_store::ImageStore;
+use xpl_util::{Crc32, Sha256};
+use xpl_workloads::World;
+
+use crate::churn::{run_churn, ChurnConfig};
+
+/// One kernel measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelBench {
+    pub name: String,
+    pub input_bytes: u64,
+    pub iterations: u32,
+    pub median_seconds: f64,
+    pub mib_per_s: f64,
+}
+
+/// The 1-thread vs N-thread `gzip_compress_parallel` comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct ParallelBench {
+    pub input_bytes: u64,
+    pub threads: usize,
+    pub one_thread_mib_per_s: f64,
+    pub n_thread_mib_per_s: f64,
+    /// `n_thread / one_thread`; ≈ 1.0 on single-core hosts.
+    pub speedup: f64,
+}
+
+/// End-to-end wall times.
+#[derive(Clone, Debug, Serialize)]
+pub struct EndToEnd {
+    /// Images published into a fresh Expelliarmus repository.
+    pub publish_images: usize,
+    pub publish_wall_s: f64,
+    /// Churn replay (all five stores, differential oracle on).
+    pub churn_ops: usize,
+    pub churn_scale: String,
+    pub churn_wall_s: f64,
+}
+
+/// The machine-readable `BENCH.json` payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Bump when fields change meaning; consumers check this.
+    pub schema_version: u32,
+    pub quick: bool,
+    pub host_cpus: usize,
+    pub kernels: Vec<KernelBench>,
+    pub parallel: ParallelBench,
+    pub end_to_end: EndToEnd,
+}
+
+/// Committed regression corpus, concatenated — the same bytes the
+/// compress test suite pins.
+fn corpus() -> Vec<u8> {
+    let parts: [&[u8]; 6] = [
+        include_bytes!("../../compress/tests/corpus/empty.bin"),
+        include_bytes!("../../compress/tests/corpus/zeros-8k.bin"),
+        include_bytes!("../../compress/tests/corpus/dpkg-text.bin"),
+        include_bytes!("../../compress/tests/corpus/random-16k.bin"),
+        include_bytes!("../../compress/tests/corpus/period7-12k.bin"),
+        include_bytes!("../../compress/tests/corpus/mixed.bin"),
+    ];
+    parts.concat()
+}
+
+/// Seeded synthetic image payload (same generator the stores serialize).
+fn payload(len: usize) -> Vec<u8> {
+    xpl_pkg::content::generate(42, len)
+}
+
+/// Median seconds per iteration: warm up once, then iterate until the
+/// budget is spent (at least 3 iterations).
+fn time_median<F: FnMut()>(budget_s: f64, mut f: F) -> (u32, f64) {
+    f(); // warm-up
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while samples.len() < 3 || started.elapsed().as_secs_f64() < budget_s {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples.len() as u32, samples[samples.len() / 2])
+}
+
+fn kernel<F: FnMut()>(name: &str, input_bytes: usize, budget_s: f64, f: F) -> KernelBench {
+    let (iterations, median) = time_median(budget_s, f);
+    KernelBench {
+        name: name.to_string(),
+        input_bytes: input_bytes as u64,
+        iterations,
+        median_seconds: median,
+        mib_per_s: input_bytes as f64 / (1024.0 * 1024.0) / median,
+    }
+}
+
+/// Run the full benchmark suite. `quick` shrinks inputs and budgets so
+/// the smoke tests can execute the whole path in seconds.
+pub fn run_microbench(quick: bool) -> BenchReport {
+    let budget = if quick { 0.05 } else { 0.8 };
+    let scale = if quick { 1 } else { 8 };
+    let mut kernels = Vec::new();
+
+    // --- hashing / checksumming ------------------------------------
+    let data = payload(scale * 1024 * 1024);
+    kernels.push(kernel("sha256", data.len(), budget, || {
+        std::hint::black_box(Sha256::digest(&data));
+    }));
+    kernels.push(kernel("crc32", data.len(), budget, || {
+        std::hint::black_box(Crc32::checksum(&data));
+    }));
+
+    // --- DEFLATE over synthetic image payload ----------------------
+    let dpayload = payload(if quick { 128 * 1024 } else { 1024 * 1024 });
+    kernels.push(kernel("deflate", dpayload.len(), budget, || {
+        std::hint::black_box(deflate(&dpayload));
+    }));
+    let compressed = deflate(&dpayload);
+    kernels.push(kernel("inflate", dpayload.len(), budget, || {
+        std::hint::black_box(inflate(&compressed).expect("inflate"));
+    }));
+
+    // --- DEFLATE over the committed corpus -------------------------
+    let corp = corpus();
+    kernels.push(kernel("deflate-corpus", corp.len(), budget, || {
+        std::hint::black_box(deflate(&corp));
+    }));
+
+    // --- content-defined chunking ----------------------------------
+    kernels.push(kernel("chunk-cdc", data.len(), budget, || {
+        std::hint::black_box(chunk_cdc(&data, CdcParams::with_avg(4096)));
+    }));
+
+    // --- parallel gzip: 1 thread vs all cores ----------------------
+    let par_payload = payload(if quick { 512 * 1024 } else { 4 * 1024 * 1024 });
+    let (_, t1) = time_median(budget, || {
+        rayon::with_num_threads(1, || {
+            std::hint::black_box(gzip_compress_parallel(&par_payload));
+        })
+    });
+    let threads = rayon::current_num_threads();
+    let (_, tn) = time_median(budget, || {
+        std::hint::black_box(gzip_compress_parallel(&par_payload));
+    });
+    // Sanity: the parallel stream must still decode (cheap, once).
+    assert_eq!(
+        gzip_decompress(&gzip_compress_parallel(&par_payload)).expect("parallel gzip decodes"),
+        par_payload
+    );
+    let mib = par_payload.len() as f64 / (1024.0 * 1024.0);
+    let parallel = ParallelBench {
+        input_bytes: par_payload.len() as u64,
+        threads,
+        one_thread_mib_per_s: mib / t1,
+        n_thread_mib_per_s: mib / tn,
+        speedup: t1 / tn,
+    };
+
+    // --- end to end -------------------------------------------------
+    let world = World::small();
+    let names = world.image_names();
+    let t0 = Instant::now();
+    let mut repo = ExpelliarmusRepo::new(world.env());
+    for name in &names {
+        let vmi = world.build_image(name);
+        repo.publish(&world.catalog, &vmi).expect("publish");
+    }
+    let publish_wall_s = t0.elapsed().as_secs_f64();
+
+    let churn_ops = if quick { 40 } else { 500 };
+    let cfg = if quick {
+        ChurnConfig::small(0xBE6C, churn_ops)
+    } else {
+        ChurnConfig::standard(0xBE6C, churn_ops)
+    };
+    let t0 = Instant::now();
+    let report = run_churn(&cfg);
+    let churn_wall_s = t0.elapsed().as_secs_f64();
+    assert!(
+        report.violations.is_empty(),
+        "churn oracle failed during bench: {:?}",
+        report.violations
+    );
+
+    BenchReport {
+        schema_version: 1,
+        quick,
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        kernels,
+        parallel,
+        end_to_end: EndToEnd {
+            publish_images: names.len(),
+            publish_wall_s,
+            churn_ops,
+            churn_scale: if quick { "small" } else { "standard" }.to_string(),
+            churn_wall_s,
+        },
+    }
+}
+
+/// Validate a `BENCH.json` produced by [`run_microbench`]: every
+/// throughput field present and nonzero. Used by CI as a sanity gate
+/// (machines vary too much for a hard regression threshold).
+pub fn check_report_json(json: &str) -> Result<(), String> {
+    let v: serde::Json =
+        serde_json::from_str(json).map_err(|e| format!("unparseable BENCH.json: {e:?}"))?;
+    let schema = v
+        .get("schema_version")
+        .and_then(|s| s.as_f64())
+        .ok_or("missing schema_version")?;
+    if schema != 1.0 {
+        return Err(format!("unsupported schema_version {schema} (expected 1)"));
+    }
+    let kernels = v
+        .get("kernels")
+        .and_then(|k| k.as_arr())
+        .ok_or("missing kernels array")?;
+    let expected = [
+        "sha256",
+        "crc32",
+        "deflate",
+        "inflate",
+        "deflate-corpus",
+        "chunk-cdc",
+    ];
+    for name in expected {
+        let k = kernels
+            .iter()
+            .find(|k| k.get("name").and_then(|n| n.as_str()) == Some(name))
+            .ok_or_else(|| format!("kernel {name} missing"))?;
+        let thpt = k
+            .get("mib_per_s")
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| format!("kernel {name}: mib_per_s missing"))?;
+        if !(thpt.is_finite() && thpt > 0.0) {
+            return Err(format!("kernel {name}: throughput {thpt} not positive"));
+        }
+    }
+    for path in [
+        ("parallel", "one_thread_mib_per_s"),
+        ("parallel", "n_thread_mib_per_s"),
+        ("parallel", "speedup"),
+    ] {
+        let t = v
+            .get(path.0)
+            .and_then(|p| p.get(path.1))
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| format!("{}/{} missing", path.0, path.1))?;
+        if !(t.is_finite() && t > 0.0) {
+            return Err(format!("{}/{}: {t} not positive", path.0, path.1));
+        }
+    }
+    for field in ["publish_wall_s", "churn_wall_s"] {
+        let t = v
+            .get("end_to_end")
+            .and_then(|e| e.get(field))
+            .and_then(|t| t.as_f64())
+            .ok_or_else(|| format!("end_to_end/{field} missing"))?;
+        if !(t.is_finite() && t > 0.0) {
+            return Err(format!("end_to_end/{field}: {t} not positive"));
+        }
+    }
+    Ok(())
+}
+
+/// Plain-text rendering for the console.
+pub fn render(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "BENCH (schema v{}, {} cpus{})",
+        report.schema_version,
+        report.host_cpus,
+        if report.quick { ", quick" } else { "" }
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>12} {:>8} {:>14} {:>12}",
+        "kernel", "bytes", "iters", "median", "MiB/s"
+    );
+    for k in &report.kernels {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12} {:>8} {:>12.3}ms {:>12.1}",
+            k.name,
+            k.input_bytes,
+            k.iterations,
+            k.median_seconds * 1e3,
+            k.mib_per_s
+        );
+    }
+    let p = &report.parallel;
+    let _ = writeln!(
+        s,
+        "gzip-parallel    {:>12} bytes  1-thread {:.1} MiB/s, {}-thread {:.1} MiB/s, speedup {:.2}x",
+        p.input_bytes, p.one_thread_mib_per_s, p.threads, p.n_thread_mib_per_s, p.speedup
+    );
+    let e = &report.end_to_end;
+    let _ = writeln!(
+        s,
+        "publish          {} images in {:.3}s",
+        e.publish_images, e.publish_wall_s
+    );
+    let _ = writeln!(
+        s,
+        "churn            {} ops ({} scale) in {:.3}s",
+        e.churn_ops, e.churn_scale, e.churn_wall_s
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_validates() {
+        let report = run_microbench(true);
+        assert!(report.kernels.len() >= 6);
+        for k in &report.kernels {
+            assert!(k.mib_per_s > 0.0, "{} throughput must be positive", k.name);
+        }
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        check_report_json(&json).expect("self-check must pass");
+        let text = render(&report);
+        assert!(text.contains("gzip-parallel"));
+    }
+
+    #[test]
+    fn check_rejects_missing_and_zero_fields() {
+        assert!(check_report_json("{}").is_err());
+        assert!(check_report_json("not json").is_err());
+        let report = run_microbench(true);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let broken = json.replacen("\"mib_per_s\"", "\"mib_per_s_gone\"", 1);
+        assert!(check_report_json(&broken).is_err());
+    }
+}

@@ -74,6 +74,59 @@ fn churn_is_deterministic_across_processes() {
 }
 
 #[test]
+fn bench_subcommand_emits_and_validates_json() {
+    let path = std::env::temp_dir().join(format!("bench-smoke-{}.json", std::process::id()));
+    let out = repro()
+        .args(["bench", "--quick", "--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["sha256", "deflate", "chunk-cdc", "gzip-parallel", "churn"] {
+        assert!(stdout.contains(needle), "missing {needle}: {stdout}");
+    }
+
+    let json = std::fs::read_to_string(&path).expect("bench JSON written");
+    for key in [
+        "\"schema_version\"",
+        "\"kernels\"",
+        "\"mib_per_s\"",
+        "\"parallel\"",
+        "\"speedup\"",
+        "\"end_to_end\"",
+        "\"churn_wall_s\"",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}");
+    }
+
+    // The --check mode must accept the file it just produced…
+    let out = repro()
+        .args(["bench", "--check", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "check failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // …and reject a corrupted one.
+    std::fs::write(&path, json.replace("\"kernels\"", "\"k3rnels\"")).unwrap();
+    let out = repro()
+        .args(["bench", "--check", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        !out.status.success(),
+        "corrupt BENCH.json must fail --check"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = repro().arg("fig9z").output().expect("spawn repro");
     assert!(!out.status.success());

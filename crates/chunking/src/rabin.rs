@@ -67,11 +67,17 @@ fn tables() -> &'static RabinTables {
 }
 
 /// The rolling fingerprint state over a fixed-width window.
+///
+/// The window starts zeroed, and a zero byte's leaving contribution is
+/// zero (`out_table[0] == 0`), so removal is unconditional — no warm-up
+/// counter in the per-byte path.
 pub struct RollingHash {
     window: [u8; WINDOW],
     pos: usize,
-    filled: usize,
     fp: u64,
+    /// Cached once at construction so the per-byte hot path never pays
+    /// the `OnceLock` atomic load.
+    tables: &'static RabinTables,
 }
 
 impl Default for RollingHash {
@@ -85,24 +91,24 @@ impl RollingHash {
         RollingHash {
             window: [0; WINDOW],
             pos: 0,
-            filled: 0,
             fp: 0,
+            tables: tables(),
         }
     }
 
     /// Push one byte; returns the fingerprint after the push.
     #[inline]
     pub fn push(&mut self, b: u8) -> u64 {
-        let t = tables();
+        let t = self.tables;
         let old = self.window[self.pos];
         self.window[self.pos] = b;
-        self.pos = (self.pos + 1) % WINDOW;
-        if self.filled < WINDOW {
-            self.filled += 1;
-        } else {
-            // Remove the leaving byte's contribution.
-            self.fp ^= t.out_table[old as usize];
+        self.pos += 1;
+        if self.pos == WINDOW {
+            self.pos = 0;
         }
+        // Remove the leaving byte's contribution (a no-op while the
+        // window is still filling: the zeroed slots contribute nothing).
+        self.fp ^= t.out_table[old as usize];
         // Shift in the new byte: fp = (fp * x^8 + b) mod POLY.
         let high = (self.fp >> 45) as usize & 0xFF;
         self.fp = ((self.fp << 8) | b as u64) & ((1 << 53) - 1);
@@ -115,7 +121,9 @@ impl RollingHash {
     }
 
     pub fn reset(&mut self) {
-        *self = RollingHash::new();
+        self.window = [0; WINDOW];
+        self.pos = 0;
+        self.fp = 0;
     }
 }
 
@@ -145,36 +153,95 @@ impl CdcParams {
 }
 
 /// Content-defined chunking of `data`.
+///
+/// Hot-path structure: the fingerprint only matters once a chunk reaches
+/// `min_size` (no boundary can be declared earlier), and it depends only
+/// on the last [`WINDOW`] bytes — so after each boundary the scan skips
+/// ahead `min_size - WINDOW` bytes and warms the window on the remainder.
+/// Byte-identical to the naive push-every-byte scan: a fresh window is
+/// all zeros, whose polynomial contributions vanish (`out_table[0] == 0`),
+/// so the fingerprint at every checked position is unchanged.
 pub fn chunk_cdc(data: &[u8], params: CdcParams) -> Vec<ChunkSpan> {
     assert!(params.min_size >= 1);
     assert!(params.avg_size.is_power_of_two());
     assert!(params.min_size <= params.avg_size && params.avg_size <= params.max_size);
     let mask = (params.avg_size - 1) as u64;
     // Boundary condition: low bits equal a fixed magic (not all-zeros, to
-    // avoid degenerate behaviour on zero-filled regions).
+    // avoid degenerate behaviour on zero-filled regions). Masked once,
+    // outside the loop.
     let magic = mask & 0x1FFF_FFFF_5A5A_5A5A;
 
-    let mut spans = Vec::new();
+    let n = data.len();
+    let mut spans = Vec::with_capacity(n / params.avg_size + 2);
     let mut start = 0usize;
     let mut hash = RollingHash::new();
-    let mut i = 0usize;
-    while i < data.len() {
-        let fp = hash.push(data[i]);
-        let len = i - start + 1;
-        let boundary =
-            (len >= params.min_size && (fp & mask) == (magic & mask)) || len >= params.max_size;
-        if boundary {
-            spans.push(ChunkSpan { offset: start, len });
-            start = i + 1;
-            hash.reset();
+    if params.min_size > WINDOW {
+        // Fast path: skip ahead `min_size - WINDOW`, warm the window with
+        // no boundary checks, then run a fingerprint-only scan (the
+        // max-size cut is the loop bound, not a per-byte comparison).
+        while start < n {
+            let check_from = start + params.min_size - 1;
+            if check_from >= n {
+                spans.push(ChunkSpan {
+                    offset: start,
+                    len: n - start,
+                });
+                break;
+            }
+            for &b in &data[start + params.min_size - WINDOW..check_from] {
+                hash.push(b);
+            }
+            let hard_cut = start + params.max_size - 1;
+            let check_end = hard_cut.min(n - 1);
+            let mut cut = None;
+            for (k, &b) in data[check_from..=check_end].iter().enumerate() {
+                if (hash.push(b) & mask) == magic {
+                    cut = Some(check_from + k);
+                    break;
+                }
+            }
+            if cut.is_none() && check_end == hard_cut {
+                cut = Some(hard_cut);
+            }
+            match cut {
+                Some(i) => {
+                    spans.push(ChunkSpan {
+                        offset: start,
+                        len: i - start + 1,
+                    });
+                    start = i + 1;
+                    hash.reset();
+                }
+                None => {
+                    spans.push(ChunkSpan {
+                        offset: start,
+                        len: n - start,
+                    });
+                    break;
+                }
+            }
         }
-        i += 1;
-    }
-    if start < data.len() {
-        spans.push(ChunkSpan {
-            offset: start,
-            len: data.len() - start,
-        });
+    } else {
+        // Generic path (tiny min sizes): check every position.
+        let mut i = 0usize;
+        while i < n {
+            let fp = hash.push(data[i]);
+            let len = i - start + 1;
+            let boundary =
+                (len >= params.min_size && (fp & mask) == magic) || len >= params.max_size;
+            if boundary {
+                spans.push(ChunkSpan { offset: start, len });
+                start = i + 1;
+                hash.reset();
+            }
+            i += 1;
+        }
+        if start < n {
+            spans.push(ChunkSpan {
+                offset: start,
+                len: n - start,
+            });
+        }
     }
     spans
 }

@@ -31,16 +31,22 @@ impl BitWriter {
 
     /// Write `n` bits of `value` (LSB of `value` emitted first). Used for
     /// block headers and extra-bits fields.
+    ///
+    /// The accumulator holds fewer than 32 valid bits on entry, so a
+    /// 32-bit value always fits in the 64-bit word; once 32 bits have
+    /// accumulated they are flushed as one little-endian word instead of
+    /// byte by byte.
     #[inline]
     pub fn write_bits(&mut self, value: u32, n: u32) {
         debug_assert!(n <= 32);
         debug_assert!(n == 32 || value < (1u32 << n));
+        debug_assert!(self.nbits < 32);
         self.acc |= (value as u64) << self.nbits;
         self.nbits += n;
-        while self.nbits >= 8 {
-            self.out.push((self.acc & 0xFF) as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
+        if self.nbits >= 32 {
+            self.out.extend_from_slice(&(self.acc as u32).to_le_bytes());
+            self.acc >>= 32;
+            self.nbits -= 32;
         }
     }
 
@@ -52,11 +58,20 @@ impl BitWriter {
         self.write_bits(rev, len);
     }
 
-    /// Pad to a byte boundary with zero bits (stored-block alignment).
+    /// Pad to a byte boundary with zero bits and drain the accumulator
+    /// (stored-block alignment; `write_bytes` relies on the drain).
     pub fn align_byte(&mut self) {
-        if self.nbits > 0 {
-            self.write_bits(0, 8 - self.nbits);
+        let pad = (8 - (self.nbits & 7)) & 7;
+        if pad > 0 {
+            self.write_bits(0, pad);
         }
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+        debug_assert_eq!(self.nbits, 0);
+        debug_assert_eq!(self.acc, 0);
     }
 
     /// Append raw bytes; caller must be byte-aligned.

@@ -83,25 +83,76 @@ const CL_ORDER: [usize; 19] = [
 
 const EOB: usize = 256;
 
+/// `LEN_TO_CODE[len - 3]` = `(code, extra_bits, base)` — O(1) lookup for
+/// every representable match length, replacing the per-token scan.
+const LEN_TO_CODE: [(u16, u8, u16); 256] = {
+    let mut t = [(0u16, 0u8, 0u16); 256];
+    let mut i = 0;
+    while i < 256 {
+        let len = (i + 3) as u16;
+        let mut j = LENGTH_CODES.len() - 1;
+        loop {
+            let (code, extra, base) = LENGTH_CODES[j];
+            if len >= base {
+                t[i] = (code, extra, base);
+                break;
+            }
+            j -= 1;
+        }
+        i += 1;
+    }
+    t
+};
+
+/// zlib-style two-level distance bucket: `d <= 256` indexes the first
+/// half directly; above that, code boundaries are multiples of 128, so
+/// `(d - 1) >> 7` picks the bucket.
+const DIST_BUCKET: [u8; 512] = {
+    let mut t = [0u8; 512];
+    let mut i = 0;
+    while i < 512 {
+        let d = if i < 256 {
+            (i + 1) as u16
+        } else {
+            // Any distance in the bucket maps to the same code; use the
+            // largest (capped at the 32 KiB window) so the scan below
+            // lands on it.
+            let hi = ((i - 256) << 7) as u32 + 128;
+            if hi > 32768 {
+                32768u16
+            } else {
+                hi as u16
+            }
+        };
+        let mut j = DIST_CODES.len() - 1;
+        loop {
+            let (_, base) = DIST_CODES[j];
+            if d >= base {
+                t[i] = j as u8;
+                break;
+            }
+            j -= 1;
+        }
+        i += 1;
+    }
+    t
+};
+
 #[inline]
 fn length_to_code(len: u16) -> (u16, u8, u16) {
-    // Binary search would work; table is tiny so scan backwards.
-    for &(code, extra, base) in LENGTH_CODES.iter().rev() {
-        if len >= base {
-            return (code, extra, len - base);
-        }
-    }
-    unreachable!("length {len} below minimum match length")
+    let (code, extra, base) = LEN_TO_CODE[(len - 3) as usize];
+    (code, extra, len - base)
 }
 
 #[inline]
 fn dist_to_code(dist: u16) -> (u16, u8, u16) {
-    for (i, &(extra, base)) in DIST_CODES.iter().enumerate().rev() {
-        if dist >= base {
-            return (i as u16, extra, dist - base);
-        }
-    }
-    unreachable!("distance {dist} below 1")
+    let code = if dist <= 256 {
+        DIST_BUCKET[(dist - 1) as usize]
+    } else {
+        DIST_BUCKET[256 + ((dist as usize - 1) >> 7)]
+    } as usize;
+    let (extra, base) = DIST_CODES[code];
+    (code as u16, extra, dist - base)
 }
 
 fn fixed_lit_lengths() -> Vec<u32> {
@@ -142,19 +193,20 @@ fn token_freqs(tokens: &[Token]) -> (Vec<u32>, Vec<u32>) {
     (lit, dist)
 }
 
-/// Cost in bits of emitting `tokens` under the given code lengths.
-fn token_cost(tokens: &[Token], lit_len: &[u32], dist_len: &[u32]) -> u64 {
-    let mut bits = lit_len[EOB] as u64;
-    for t in tokens {
-        match *t {
-            Token::Literal(b) => bits += lit_len[b as usize] as u64,
-            Token::Match { len, dist: d } => {
-                let (lc, le, _) = length_to_code(len);
-                let (dc, de, _) = dist_to_code(d);
-                bits += lit_len[lc as usize] as u64 + le as u64;
-                bits += dist_len[dc as usize] as u64 + de as u64;
-            }
-        }
+/// Cost in bits of emitting a token stream with the given histograms
+/// under the given code lengths. Pure arithmetic over the histograms —
+/// no second pass over the tokens. (The EOB symbol is already counted in
+/// `lit_f` by [`token_freqs`].)
+fn cost_from_freqs(lit_f: &[u32], dist_f: &[u32], lit_len: &[u32], dist_len: &[u32]) -> u64 {
+    let mut bits = 0u64;
+    for (&f, &l) in lit_f.iter().zip(lit_len) {
+        bits += f as u64 * l as u64;
+    }
+    for (k, &(_, extra, _)) in LENGTH_CODES.iter().enumerate() {
+        bits += lit_f[257 + k] as u64 * extra as u64;
+    }
+    for (c, &(extra, _)) in DIST_CODES.iter().enumerate() {
+        bits += dist_f[c] as u64 * (dist_len[c] as u64 + extra as u64);
     }
     bits
 }
@@ -212,22 +264,33 @@ fn rle_code_lengths(all: &[u32]) -> Vec<ClSym> {
 }
 
 fn emit_tokens(w: &mut BitWriter, tokens: &[Token], lit: &[(u32, u32)], dist: &[(u32, u32)]) {
+    // Reverse each code's bit order once per block instead of once per
+    // emitted symbol (DEFLATE transmits Huffman codes MSB-first inside
+    // the LSB-first packing); the token loop then uses plain write_bits.
+    let rev = |codes: &[(u32, u32)]| -> Vec<(u32, u32)> {
+        codes
+            .iter()
+            .map(|&(c, l)| (crate::bitio::reverse_bits(c, l), l))
+            .collect()
+    };
+    let lit = rev(lit);
+    let dist = rev(dist);
     for t in tokens {
         match *t {
             Token::Literal(b) => {
                 let (c, l) = lit[b as usize];
-                w.write_code(c, l);
+                w.write_bits(c, l);
             }
             Token::Match { len, dist: d } => {
                 let (lc, le, lx) = length_to_code(len);
                 let (c, l) = lit[lc as usize];
-                w.write_code(c, l);
+                w.write_bits(c, l);
                 if le > 0 {
                     w.write_bits(lx as u32, le as u32);
                 }
                 let (dc, de, dx) = dist_to_code(d);
                 let (c, l) = dist[dc as usize];
-                w.write_code(c, l);
+                w.write_bits(c, l);
                 if de > 0 {
                     w.write_bits(dx as u32, de as u32);
                 }
@@ -235,7 +298,7 @@ fn emit_tokens(w: &mut BitWriter, tokens: &[Token], lit: &[(u32, u32)], dist: &[
         }
     }
     let (c, l) = lit[EOB];
-    w.write_code(c, l);
+    w.write_bits(c, l);
 }
 
 fn emit_block(w: &mut BitWriter, data: &[u8], tokens: &[Token], bfinal: bool) {
@@ -286,11 +349,11 @@ fn emit_block(w: &mut BitWriter, data: &[u8], tokens: &[Token], bfinal: bool) {
             ClSym::ZerosLong(_) => cl_len[18] as u64 + 7,
         };
     }
-    let dyn_bits = dyn_header_bits + token_cost(tokens, &lit_len, &dist_len);
+    let dyn_bits = dyn_header_bits + cost_from_freqs(&lit_f, &dist_f, &lit_len, &dist_len);
 
     let fixed_lit = fixed_lit_lengths();
     let fixed_dist = fixed_dist_lengths();
-    let fixed_bits = token_cost(tokens, &fixed_lit, &fixed_dist);
+    let fixed_bits = cost_from_freqs(&lit_f, &dist_f, &fixed_lit, &fixed_dist);
 
     // Stored: 3-bit header + pad + per-chunk 4-byte LEN/NLEN + raw bytes.
     let chunks = data.len().div_ceil(65_535).max(1);
@@ -503,11 +566,7 @@ fn inflate_huffman_block(
                 if d > out.len() {
                     return Err(InflateError::BadDistance);
                 }
-                let start = out.len() - d;
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
-                }
+                crate::lz77::copy_back_reference(out, d, len);
             }
             _ => return Err(InflateError::BadSymbol),
         }

@@ -32,8 +32,57 @@ fn hash3(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the common prefix of `data[a..]` and `data[b..]`, up to
+/// `max_len`, comparing 8 bytes per step via `u64` loads. Returns the
+/// index of the first mismatch — identical to a byte-at-a-time scan.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    // One bounds check per slice, then check-free 8-byte strides.
+    let sa = &data[a..a + max_len];
+    let sb = &data[b..b + max_len];
+    let mut l = 0usize;
+    let mut ca = sa.chunks_exact(8);
+    let mut cb = sb.chunks_exact(8);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        let x = u64::from_le_bytes(xa.try_into().unwrap());
+        let y = u64::from_le_bytes(xb.try_into().unwrap());
+        let xor = x ^ y;
+        if xor != 0 {
+            // First differing byte = first differing little-endian octet.
+            return l + (xor.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    for (&pa, &pb) in ca.remainder().iter().zip(cb.remainder()) {
+        if pa != pb {
+            break;
+        }
+        l += 1;
+    }
+    l
+}
+
+thread_local! {
+    /// Reusable hash-chain scratch (`head` + `prev`, ~160 KiB): zeroing
+    /// `head` per call is far cheaper than allocating both arrays, and
+    /// per-thread storage keeps the pool's parallel `tokenize` calls
+    /// independent.
+    static SCRATCH: std::cell::RefCell<(Vec<u32>, Vec<u32>)> =
+        std::cell::RefCell::new((vec![0u32; HASH_SIZE], vec![0u32; WINDOW_SIZE]));
+}
+
 /// Tokenize `data` into literals and matches.
 pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    SCRATCH.with(|s| {
+        let (head, prev) = &mut *s.borrow_mut();
+        // `head` must start empty; `prev` needs no clearing — chains only
+        // ever reach entries written during this call (via `head`).
+        head.fill(0);
+        tokenize_with(data, head, prev)
+    })
+}
+
+fn tokenize_with(data: &[u8], head: &mut [u32], prev: &mut [u32]) -> Vec<Token> {
     let n = data.len();
     let mut tokens = Vec::with_capacity(n / 3 + 16);
     if n < MIN_MATCH + 1 {
@@ -42,13 +91,11 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
     }
 
     // head[h] = most recent position with hash h (+1, 0 = none).
-    let mut head = vec![0u32; HASH_SIZE];
     // prev[i & (WINDOW-1)] = previous position with the same hash as i.
-    let mut prev = vec![0u32; WINDOW_SIZE];
-
+    // `h` is precomputed by the caller so a search + insert at the same
+    // position hashes once.
     #[inline]
-    fn insert(head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize) {
-        let h = hash3(data, i);
+    fn insert(head: &mut [u32], prev: &mut [u32], h: usize, i: usize) {
         prev[i & (WINDOW_SIZE - 1)] = head[h];
         head[h] = (i + 1) as u32;
     }
@@ -58,6 +105,7 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
         head: &[u32],
         prev: &[u32],
         data: &[u8],
+        h: usize,
         i: usize,
         min_beat: usize,
     ) -> Option<(usize, usize)> {
@@ -69,10 +117,13 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
         if max_len < MIN_MATCH {
             return None;
         }
-        let h = hash3(data, i);
         let mut cand = head[h];
         let mut best_len = min_beat.max(MIN_MATCH - 1);
         let mut best_dist = 0usize;
+        // Quick-reject byte (the byte just past the current best match),
+        // loaded once per improvement instead of once per candidate.
+        let scan_end_ok = i + best_len < n;
+        let mut scan_end = if scan_end_ok { data[i + best_len] } else { 0 };
         let window_floor = i.saturating_sub(WINDOW_SIZE);
         let mut chain = 0;
         while cand != 0 && chain < MAX_CHAIN {
@@ -80,18 +131,17 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             if c < window_floor || c >= i {
                 break;
             }
-            // Quick reject: compare the byte just past the current best.
-            if i + best_len < n && data[c + best_len] == data[i + best_len] {
-                let mut l = 0usize;
-                while l < max_len && data[c + l] == data[i + l] {
-                    l += 1;
-                }
+            if scan_end_ok && data[c + best_len] == scan_end {
+                let l = match_len(data, c, i, max_len);
                 if l > best_len {
                     best_len = l;
                     best_dist = i - c;
                     if l >= GOOD_MATCH || l == max_len {
                         break;
                     }
+                    // l < max_len ≤ n - i keeps the quick-reject byte in
+                    // bounds.
+                    scan_end = data[i + best_len];
                 }
             }
             cand = prev[c & (WINDOW_SIZE - 1)];
@@ -111,21 +161,22 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             i += 1;
             continue;
         }
-        let here = best_match(&head, &prev, data, i, 0);
+        let h = hash3(data, i);
+        let here = best_match(head, prev, data, h, i, 0);
         match here {
             None => {
-                insert(&mut head, &mut prev, data, i);
+                insert(head, prev, h, i);
                 tokens.push(Token::Literal(data[i]));
                 i += 1;
             }
             Some((len, dist)) => {
                 // One-step lazy matching: if the next position has a
                 // strictly better match, emit a literal instead.
-                insert(&mut head, &mut prev, data, i);
+                insert(head, prev, h, i);
                 let take_lazy = len < GOOD_MATCH
                     && i + 1 + MIN_MATCH <= n
                     && matches!(
-                        best_match(&head, &prev, data, i + 1, len),
+                        best_match(head, prev, data, hash3(data, i + 1), i + 1, len),
                         Some((nl, _)) if nl > len
                     );
                 if take_lazy {
@@ -140,7 +191,7 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
                     // reference into this region.
                     let end = (i + len).min(n.saturating_sub(MIN_MATCH - 1));
                     for j in i + 1..end {
-                        insert(&mut head, &mut prev, data, j);
+                        insert(head, prev, hash3(data, j), j);
                     }
                     i += len;
                 }
@@ -158,15 +209,29 @@ pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
         match *t {
             Token::Literal(b) => out.push(b),
             Token::Match { len, dist } => {
-                let start = out.len() - dist as usize;
-                for k in 0..len as usize {
-                    let b = out[start + k];
-                    out.push(b);
-                }
+                copy_back_reference(&mut out, dist as usize, len as usize);
             }
         }
     }
     out
+}
+
+/// Append `len` bytes copied from `dist` bytes back, in bulk. Overlapping
+/// references (dist < len) double the copied span each round, preserving
+/// the byte-at-a-time semantics RFC 1951 requires.
+#[inline]
+pub(crate) fn copy_back_reference(out: &mut Vec<u8>, dist: usize, len: usize) {
+    // dist == 0 would make the loop below spin forever; fail fast like
+    // the byte-at-a-time code this replaced.
+    assert!(dist > 0, "back-reference distance must be nonzero");
+    let start = out.len() - dist;
+    let mut remaining = len;
+    while remaining > 0 {
+        let avail = out.len() - start;
+        let take = remaining.min(avail);
+        out.extend_from_within(start..start + take);
+        remaining -= take;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,89 @@
+//! Thread-pool determinism suite for `gzip_compress_parallel`.
+//!
+//! The rayon shim now runs mapped stages on real worker threads; these
+//! tests pin the contract that matters to every store: the compressed
+//! stream is **byte-identical** on any pool size, and identical to the
+//! sequential per-segment construction (one `gzip_compress` member per
+//! `PARALLEL_SEGMENT` chunk, concatenated — exactly what the pre-pool
+//! sequential shim produced).
+
+use xpl_compress::{gzip_compress, gzip_compress_parallel, gzip_decompress, PARALLEL_SEGMENT};
+use xpl_util::SplitMix64;
+
+/// The committed regression corpus, repeated until it spans several
+/// parallel segments.
+fn corpus_payload() -> Vec<u8> {
+    let parts: [&[u8]; 6] = [
+        include_bytes!("corpus/empty.bin"),
+        include_bytes!("corpus/zeros-8k.bin"),
+        include_bytes!("corpus/dpkg-text.bin"),
+        include_bytes!("corpus/random-16k.bin"),
+        include_bytes!("corpus/period7-12k.bin"),
+        include_bytes!("corpus/mixed.bin"),
+    ];
+    let one = parts.concat();
+    let mut data = Vec::new();
+    while data.len() < PARALLEL_SEGMENT * 3 + 4321 {
+        data.extend_from_slice(&one);
+    }
+    data
+}
+
+/// The sequential reference: what the pre-pool shim emitted.
+fn sequential_members(data: &[u8]) -> Vec<u8> {
+    data.chunks(PARALLEL_SEGMENT)
+        .flat_map(gzip_compress)
+        .collect()
+}
+
+#[test]
+fn output_is_byte_identical_across_pool_sizes() {
+    let data = corpus_payload();
+    let reference = sequential_members(&data);
+    for threads in [1usize, 2, 4, 16] {
+        let got = rayon::with_num_threads(threads, || gzip_compress_parallel(&data));
+        assert_eq!(
+            got, reference,
+            "gzip_compress_parallel diverged from the sequential stream at {threads} threads"
+        );
+    }
+    assert_eq!(gzip_decompress(&reference).unwrap(), data);
+}
+
+#[test]
+fn random_payload_stable_across_pool_sizes() {
+    let mut rng = SplitMix64::new(0x900F);
+    let mut data = vec![0u8; PARALLEL_SEGMENT * 5 + 99];
+    rng.fill_bytes(&mut data);
+    for chunk in data.chunks_mut(211) {
+        chunk[0] = 0x55; // sprinkle structure so segments compress unevenly
+    }
+    let reference = sequential_members(&data);
+    for threads in [1usize, 3, 8] {
+        let got = rayon::with_num_threads(threads, || gzip_compress_parallel(&data));
+        assert_eq!(got, reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn panic_in_worker_propagates_through_parallel_map() {
+    use rayon::prelude::*;
+    let data = vec![1u32; 64];
+    let result = std::panic::catch_unwind(|| {
+        rayon::with_num_threads(4, || {
+            let _: Vec<u32> = data
+                .par_chunks(4)
+                .map(|c| {
+                    if c[0] == 1 {
+                        panic!("segment worker failure");
+                    }
+                    c[0]
+                })
+                .collect();
+        })
+    });
+    assert!(
+        result.is_err(),
+        "a worker panic must surface to the caller, not deadlock"
+    );
+}

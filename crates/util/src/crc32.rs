@@ -1,7 +1,9 @@
 //! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
 //!
 //! Required by the gzip framing layer (RFC 1952 stores a CRC-32 of the
-//! uncompressed payload). Table-driven, one table generated at first use.
+//! uncompressed payload). Slice-by-8 table-driven: eight derived tables
+//! let the hot loop fold one 64-bit word per step instead of one byte,
+//! producing the same CRC values as the classic byte-wise form.
 
 /// Streaming CRC-32 state.
 #[derive(Clone)]
@@ -11,17 +13,24 @@ pub struct Crc32 {
 
 const POLY: u32 = 0xEDB8_8320;
 
-fn table() -> &'static [u32; 256] {
+fn tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, e) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             }
             *e = c;
+        }
+        // t[k][i] = CRC of byte i followed by k zero bytes.
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
         }
         t
     })
@@ -46,10 +55,23 @@ impl Crc32 {
     }
 
     pub fn update(&mut self, data: &[u8]) {
-        let t = table();
+        let t = tables();
         let mut c = self.value;
-        for &b in data {
-            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        let mut chunks = data.chunks_exact(8);
+        for ch in chunks.by_ref() {
+            let lo = u32::from_le_bytes(ch[0..4].try_into().unwrap()) ^ c;
+            let hi = u32::from_le_bytes(ch[4..8].try_into().unwrap());
+            c = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
         }
         self.value = c;
     }

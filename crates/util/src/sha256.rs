@@ -118,18 +118,18 @@ impl Sha256 {
             self.buf_len += take;
             data = &data[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                Self::compress(&mut self.state, &self.buf);
                 self.buf_len = 0;
             } else {
                 // Block still partial: nothing else to consume.
                 return;
             }
         }
-        // Full blocks straight from the input.
+        // Full blocks compressed straight from the input slice — no pass
+        // through `buf`.
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
-            self.compress(block.try_into().unwrap());
+            Self::compress(&mut self.state, block.try_into().unwrap());
         }
         let rem = chunks.remainder();
         self.buf[..rem.len()].copy_from_slice(rem);
@@ -143,14 +143,12 @@ impl Sha256 {
         let mut i = self.buf_len + 1;
         if i > 56 {
             self.buf[i..].fill(0);
-            let block = self.buf;
-            self.compress(&block);
+            Self::compress(&mut self.state, &self.buf);
             i = 0;
         }
         self.buf[i..56].fill(0);
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
+        Self::compress(&mut self.state, &self.buf);
 
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
@@ -159,7 +157,10 @@ impl Sha256 {
         Digest(out)
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// One FIPS 180-4 compression round over a 64-byte block. Takes the
+    /// state and block as separate borrows so callers can pass disjoint
+    /// fields of `self` without copying the block.
+    fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, c) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes(c.try_into().unwrap());
@@ -173,7 +174,7 @@ impl Sha256 {
                 .wrapping_add(s1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -194,14 +195,14 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
 }
 

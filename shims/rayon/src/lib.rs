@@ -1,73 +1,273 @@
-//! Offline stand-in for `rayon` (the container cannot reach crates.io).
+//! Offline stand-in for `rayon` (the container cannot reach crates.io) —
+//! now backed by a **real** `std::thread` pool.
 //!
 //! Exposes the entry points the workspace uses — `par_iter`,
-//! `into_par_iter`, `par_chunks` via `rayon::prelude::*` — but returns the
-//! corresponding *sequential* std iterators. Call sites stay
-//! rayon-idiomatic (adapters like `map`/`enumerate`/`max_by`/`collect`
-//! work unchanged), so swapping in the real crate later is a
-//! manifest-only change; until then "parallel" paths simply run on one
-//! thread.
+//! `into_par_iter`, `par_chunks` via `rayon::prelude::*`, plus `join` —
+//! and executes the mapped stage on scoped worker threads with chunked
+//! work distribution and an order-preserving collect. Call sites stay
+//! rayon-idiomatic (adapters `map`/`enumerate`/`max_by`/`collect` work
+//! unchanged), so swapping in the real crate later is a manifest-only
+//! change; unlike the original sequential stand-in, "parallel" paths now
+//! actually use the machine's cores.
+//!
+//! Determinism contract: results are collected **in input order** and
+//! reductions (`max_by`) run over that ordered sequence, so every
+//! consumer observes byte-identical results regardless of thread count.
+//!
+//! Thread count: `RAYON_NUM_THREADS` (if set) else
+//! `std::thread::available_parallelism()`. Tests and benchmarks can pin
+//! a count for the current thread's pool launches via
+//! [`with_num_threads`].
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::sync::{Mutex, OnceLock};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
 }
 
-/// `into_par_iter()` — sequential fallback of rayon's trait of the same name.
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Self::Iter;
+thread_local! {
+    /// Per-thread override used by [`with_num_threads`]. Read by the
+    /// thread that launches a pool, so it governs every parallel call
+    /// made while the closure runs.
+    static THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+/// Number of worker threads a parallel stage launched from this thread
+/// will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREADS_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Run `f` with every pool launched from the current thread pinned to
+/// `n` workers (the closest shim equivalent of rayon's
+/// `ThreadPoolBuilder::num_threads`). Restores the previous setting on
+/// exit, including on panic.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREADS_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Map `items` through `f` on a scoped worker pool, preserving order.
+///
+/// Work distribution is chunked: items are split into contiguous blocks
+/// (several per worker for load balancing), workers claim blocks from a
+/// shared queue, and the per-block outputs are stitched back together in
+/// block order. A panic in any worker propagates to the caller when the
+/// scope joins (no deadlock, no swallowed error).
+fn run_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Several blocks per worker so a slow block doesn't serialize the
+    // tail; block index restores input order afterwards.
+    let block = n.div_ceil(threads * 4).max(1);
+    let mut blocks: Vec<(usize, Vec<T>)> = Vec::with_capacity(n.div_ceil(block));
+    let mut it = items.into_iter();
+    let mut idx = 0usize;
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(block).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        blocks.push((idx, chunk));
+        idx += 1;
+    }
+    // Workers pop from the back; order is restored by the sort below.
+    let queue = Mutex::new(blocks);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(idx));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().pop();
+                let Some((i, chunk)) = next else { break };
+                let out: Vec<R> = chunk.into_iter().map(f).collect();
+                done.lock().unwrap().push((i, out));
+            });
+        }
+    });
+    let mut done = done.into_inner().unwrap();
+    done.sort_unstable_by_key(|&(i, _)| i);
+    let mut out = Vec::with_capacity(n);
+    for (_, v) in done {
+        out.extend(v);
+    }
+    out
+}
+
+/// An eager parallel iterator: the item list is materialized up front
+/// (cheap — the workspace only parallelizes over slices, chunk lists and
+/// already-collected record vectors) and the expensive mapped stage runs
+/// on the pool.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn max_by<F: Fn(&T, &T) -> Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().max_by(cmp)
     }
 }
 
-/// `par_iter()` — sequential fallback of rayon's by-reference trait.
+/// The mapped stage of a [`ParIter`]; consuming it runs the pool.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Parallel map, then an order-stable sequential reduction — same
+    /// result (`std`'s "last maximum wins" tie-break) on any pool size.
+    pub fn max_by<G: Fn(&R, &R) -> Ordering>(self, cmp: G) -> Option<R> {
+        run_map(self.items, &self.f).into_iter().max_by(cmp)
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, R)> {
+        ParIter {
+            items: run_map(self.items, &self.f)
+                .into_iter()
+                .enumerate()
+                .collect(),
+        }
+    }
+}
+
+/// `into_par_iter()` — pool-backed version of rayon's trait of the same
+/// name.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` — pool-backed version of rayon's by-reference trait.
 pub trait IntoParallelRefIterator<'a> {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'a self) -> Self::Iter;
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
     &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
 {
     type Item = <&'a C as IntoIterator>::Item;
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
-/// `par_chunks()` — sequential fallback of rayon's slice extension.
-pub trait ParallelSlice<T> {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+/// `par_chunks()` — pool-backed version of rayon's slice extension.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
     }
 }
 
-/// Sequential fallback of `rayon::join`: runs both closures in order.
+/// Parallel `rayon::join`: `a` runs on a scoped worker while `b` runs on
+/// the calling thread (sequential when the pool is pinned to one
+/// thread). A panic in either closure propagates.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
+    A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB,
+    RA: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        let ra = match ha.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_surface_matches_std_adapters() {
@@ -84,5 +284,75 @@ mod tests {
         assert_eq!(owned, v);
         let chunks: Vec<&[u32]> = v.par_chunks(2).collect();
         assert_eq!(chunks.len(), 3);
+    }
+
+    #[test]
+    fn map_preserves_input_order_on_every_pool_size() {
+        let items: Vec<usize> = (0..997).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got: Vec<usize> =
+                with_num_threads(threads, || items.par_iter().map(|&x| x * 3 + 1).collect());
+            assert_eq!(got, expect, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn max_by_tie_break_matches_sequential() {
+        // std's max_by returns the *last* maximum; the pool must too.
+        let v = vec![(0, 7u32), (1, 7), (2, 3), (3, 7)];
+        for threads in [1, 4] {
+            let got = with_num_threads(threads, || {
+                v.par_iter().map(|&p| p).max_by(|a, b| a.1.cmp(&b.1))
+            });
+            assert_eq!(got, Some((3, 7)));
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_not_deadlocks() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                let _: Vec<u32> = items
+                    .par_iter()
+                    .map(|&x| {
+                        if x == 33 {
+                            panic!("worker bang");
+                        }
+                        x
+                    })
+                    .collect();
+            })
+        });
+        assert!(result.is_err(), "panic must cross the pool boundary");
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+        let r = std::panic::catch_unwind(|| join(|| panic!("left"), || 1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn with_num_threads_restores_on_exit() {
+        let before = current_num_threads();
+        with_num_threads(7, || assert_eq!(current_num_threads(), 7));
+        assert_eq!(current_num_threads(), before);
+        let _ = std::panic::catch_unwind(|| {
+            with_num_threads(5, || panic!("boom"));
+        });
+        assert_eq!(current_num_threads(), before, "restore must survive panic");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let got: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(got.is_empty());
+        let one: Vec<u32> = vec![9].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
     }
 }

@@ -49,6 +49,23 @@ impl Json {
         }
     }
 
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Json::Null => "null",
@@ -87,6 +104,20 @@ pub trait Serialize {
 /// A type that can rebuild itself from a [`Json`] value.
 pub trait Deserialize: Sized {
     fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+// Identity impls so callers can (de)serialize into the dynamic value
+// itself — the shim equivalent of `serde_json::Value`.
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
 }
 
 /// Helper used by derived code: fetch + decode one struct field.
