@@ -6,14 +6,16 @@
 //! (fixed-size or Rabin CDC) and dedup chunks globally — the ablation
 //! benches compare them against file- and semantic-level management.
 
+use std::sync::RwLock;
+
 use crate::snapshot::VmiSnapshot;
 use xpl_chunking::{fixed::chunk_fixed, rabin, ChunkSpan};
 use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
 use xpl_store::{
-    ContentStore, DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest,
-    StoreError,
+    ContentStore, DeleteReport, ImageStore, NameLocks, PublishReport, RetrieveReport,
+    RetrieveRequest, StoreError,
 };
 use xpl_util::{Digest, FxHashMap};
 
@@ -38,12 +40,17 @@ struct Recipe {
 }
 
 /// Generic chunk-dedup store.
+///
+/// Concurrency: chunks live in the digest-sharded content store; the
+/// recipe index is a `RwLock` and same-name operations serialize on a
+/// per-image stripe, so distinct images chunk and publish in parallel.
 pub struct BlockDedupStore {
     env: SimEnv,
     label: &'static str,
     chunker: Chunker,
     cas: ContentStore,
-    recipes: FxHashMap<String, Recipe>,
+    recipes: RwLock<FxHashMap<String, Recipe>>,
+    names: NameLocks,
 }
 
 /// Fixed-size block dedup (Jin & Miller's preferred configuration).
@@ -61,7 +68,8 @@ impl FixedBlockDedupStore {
             label: "BlockDedup(fixed)",
             chunker: Chunker::Fixed { block: block_real },
             cas,
-            recipes: FxHashMap::default(),
+            recipes: RwLock::new(FxHashMap::default()),
+            names: NameLocks::new(),
         })
     }
 
@@ -80,7 +88,8 @@ impl CdcDedupStore {
                 params: rabin::CdcParams::with_avg(avg_real),
             },
             cas,
-            recipes: FxHashMap::default(),
+            recipes: RwLock::new(FxHashMap::default()),
+            names: NameLocks::new(),
         })
     }
 
@@ -95,11 +104,16 @@ impl BlockDedupStore {
     }
 
     fn total_entries(&self) -> u64 {
-        self.recipes.values().map(|r| r.chunks.len() as u64).sum()
+        self.recipes
+            .read()
+            .unwrap()
+            .values()
+            .map(|r| r.chunks.len() as u64)
+            .sum()
     }
 
     /// Drop one recipe's chunk references; returns (freed bytes, blobs).
-    fn release_recipe(&mut self, recipe: &Recipe) -> Result<(u64, usize), StoreError> {
+    fn release_recipe(&self, recipe: &Recipe) -> Result<(u64, usize), StoreError> {
         let mut freed = 0u64;
         let mut blobs = 0usize;
         for digest in &recipe.chunks {
@@ -115,11 +129,14 @@ impl BlockDedupStore {
         Ok((freed, blobs))
     }
 
-    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+    fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
+        let _name_guard = self.names.lock(name);
         let t0 = self.env.clock.now();
         let entries_before = self.total_entries();
         let recipe = self
             .recipes
+            .write()
+            .unwrap()
             .remove(name)
             .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
         let (freed_content, blobs) = self.release_recipe(&recipe)?;
@@ -136,7 +153,7 @@ impl BlockDedupStore {
 
     fn check_integrity(&self) -> Result<(), String> {
         let mut expected: FxHashMap<Digest, u32> = FxHashMap::default();
-        for r in self.recipes.values() {
+        for r in self.recipes.read().unwrap().values() {
             for digest in &r.chunks {
                 *expected.entry(*digest).or_insert(0) += 1;
             }
@@ -147,7 +164,13 @@ impl BlockDedupStore {
     }
 
     fn dedup_factor(&self) -> f64 {
-        let logical: u64 = self.recipes.values().map(|r| r.total_len).sum();
+        let logical: u64 = self
+            .recipes
+            .read()
+            .unwrap()
+            .values()
+            .map(|r| r.total_len)
+            .sum();
         if self.cas.unique_bytes() == 0 {
             1.0
         } else {
@@ -155,9 +178,9 @@ impl BlockDedupStore {
         }
     }
 
-    fn publish(&mut self, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+    fn publish(&self, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        let _name_guard = self.names.lock(&vmi.name);
         let t0 = self.env.clock.now();
-        let bytes_before = self.cas.unique_bytes();
         let mut report = PublishReport {
             image: vmi.name.clone(),
             ..Default::default()
@@ -173,18 +196,19 @@ impl BlockDedupStore {
         let spans = self.chunker.spans(data);
         let mut chunks = Vec::with_capacity(spans.len());
         let mut new_chunks = 0usize;
+        let mut added_content = 0u64;
         for s in &spans {
             let chunk = &data[s.offset..s.offset + s.len];
             let (digest, new) = self.cas.put(chunk);
             if new {
                 new_chunks += 1;
+                added_content += chunk.len() as u64;
             }
             chunks.push(digest);
         }
         report.units_stored = new_chunks;
-        let added_content = self.cas.unique_bytes() - bytes_before;
         let entries_before = self.total_entries();
-        let old = self.recipes.insert(
+        let old = self.recipes.write().unwrap().insert(
             vmi.name.clone(),
             Recipe {
                 chunks,
@@ -208,10 +232,10 @@ impl BlockDedupStore {
         Ok(report)
     }
 
-    fn retrieve(&mut self, request: &RetrieveRequest) -> Result<(Vmi, RetrieveReport), StoreError> {
+    fn retrieve(&self, request: &RetrieveRequest) -> Result<(Vmi, RetrieveReport), StoreError> {
         let t0 = self.env.clock.now();
-        let recipe = self
-            .recipes
+        let recipes = self.recipes.read().unwrap();
+        let recipe = recipes
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
         let mut report = RetrieveReport {
@@ -225,7 +249,7 @@ impl BlockDedupStore {
                 .cas
                 .get(digest)
                 .map_err(|_| StoreError::Corrupt(format!("chunk {digest}")))?;
-            reassembled.extend_from_slice(chunk);
+            reassembled.extend_from_slice(&chunk);
         }
         if reassembled.len() as u64 != recipe.total_len {
             return Err(StoreError::Corrupt("reassembled length mismatch".into()));
@@ -249,21 +273,17 @@ macro_rules! delegate_store {
             fn name(&self) -> &'static str {
                 self.0.label
             }
-            fn publish(
-                &mut self,
-                _catalog: &Catalog,
-                vmi: &Vmi,
-            ) -> Result<PublishReport, StoreError> {
+            fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
                 self.0.publish(vmi)
             }
             fn retrieve(
-                &mut self,
+                &self,
                 _catalog: &Catalog,
                 request: &RetrieveRequest,
             ) -> Result<(Vmi, RetrieveReport), StoreError> {
                 self.0.retrieve(request)
             }
-            fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+            fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
                 self.0.delete(name)
             }
             fn repo_bytes(&self) -> u64 {
@@ -271,6 +291,13 @@ macro_rules! delegate_store {
             }
             fn check_integrity(&self) -> Result<(), String> {
                 self.0.check_integrity()
+            }
+            fn check_integrity_deep(&self) -> Result<(), String> {
+                self.0.check_integrity()?;
+                self.0
+                    .cas
+                    .check_integrity(true)
+                    .map_err(|e| format!("{} content: {e}", self.0.label))
             }
         }
     };
@@ -287,7 +314,7 @@ mod tests {
     #[test]
     fn identical_images_dedup_nearly_fully() {
         let w = World::small();
-        let mut store = FixedBlockDedupStore::new(w.env(), 256);
+        let store = FixedBlockDedupStore::new(w.env(), 256);
         let redis = w.build_image("redis");
         store.publish(&w.catalog, &redis).unwrap();
         let after_one = store.repo_bytes();
@@ -304,7 +331,7 @@ mod tests {
     #[test]
     fn similar_images_share_blocks() {
         let w = World::small();
-        let mut store = FixedBlockDedupStore::new(w.env(), 256);
+        let store = FixedBlockDedupStore::new(w.env(), 256);
         store.publish(&w.catalog, &w.build_image("mini")).unwrap();
         let after_mini = store.repo_bytes();
         store.publish(&w.catalog, &w.build_image("redis")).unwrap();
@@ -318,7 +345,7 @@ mod tests {
     #[test]
     fn cdc_roundtrip() {
         let w = World::small();
-        let mut store = CdcDedupStore::new(w.env(), 512);
+        let store = CdcDedupStore::new(w.env(), 512);
         let lamp = w.build_image("lamp");
         store.publish(&w.catalog, &lamp).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&lamp, &w.catalog);
@@ -332,7 +359,7 @@ mod tests {
     #[test]
     fn fixed_roundtrip() {
         let w = World::small();
-        let mut store = FixedBlockDedupStore::new(w.env(), 128);
+        let store = FixedBlockDedupStore::new(w.env(), 128);
         let nginx = w.build_image("nginx");
         store.publish(&w.catalog, &nginx).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&nginx, &w.catalog);

@@ -3,13 +3,15 @@
 //! Compression is *real* (our DEFLATE over the actual image stream), so
 //! Figure 3's Gzip ratios come out of the compressor, not a constant.
 
+use std::sync::RwLock;
+
 use crate::costs;
 use crate::snapshot::VmiSnapshot;
 use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
 use xpl_store::{
-    DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    DeleteReport, ImageStore, NameLocks, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
 };
 use xpl_util::FxHashMap;
 
@@ -20,28 +22,43 @@ struct Entry {
 }
 
 /// Gzip-compressed image repository.
+///
+/// Concurrency: compression (the expensive leg) runs outside any lock;
+/// the member index is guarded by a `RwLock` and same-name operations
+/// serialize on a per-image stripe.
 pub struct GzipStore {
     env: SimEnv,
-    images: FxHashMap<String, Entry>,
+    images: RwLock<FxHashMap<String, Entry>>,
+    names: NameLocks,
 }
 
 impl GzipStore {
     pub fn new(env: SimEnv) -> Self {
         GzipStore {
             env,
-            images: FxHashMap::default(),
+            images: RwLock::new(FxHashMap::default()),
+            names: NameLocks::new(),
         }
     }
 
     /// Mean compression ratio across stored images (compressed/original).
     pub fn mean_ratio(&self) -> f64 {
-        if self.images.is_empty() {
+        let images = self.images.read().unwrap();
+        if images.is_empty() {
             return 1.0;
         }
-        let (c, r) = self.images.values().fold((0u64, 0u64), |(c, r), e| {
+        let (c, r) = images.values().fold((0u64, 0u64), |(c, r), e| {
             (c + e.compressed.len() as u64, r + e.raw_len)
         });
         c as f64 / r as f64
+    }
+
+    #[cfg(test)]
+    fn corrupt_for_test(&self, name: &str) {
+        let mut images = self.images.write().unwrap();
+        let entry = images.get_mut(name).unwrap();
+        let mid = entry.compressed.len() / 2;
+        entry.compressed[mid] ^= 0x40;
     }
 }
 
@@ -50,7 +67,8 @@ impl ImageStore for GzipStore {
         "Qcow2+Gzip"
     }
 
-    fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+    fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        let _name_guard = self.names.lock(&vmi.name);
         let t0 = self.env.clock.now();
         let mut report = PublishReport {
             image: vmi.name.clone(),
@@ -72,7 +90,7 @@ impl ImageStore for GzipStore {
         });
         report.bytes_added = compressed.len() as u64;
         report.units_stored = 1;
-        if let Some(old) = self.images.insert(
+        if let Some(old) = self.images.write().unwrap().insert(
             vmi.name.clone(),
             Entry {
                 compressed,
@@ -88,13 +106,13 @@ impl ImageStore for GzipStore {
     }
 
     fn retrieve(
-        &mut self,
+        &self,
         _catalog: &Catalog,
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError> {
         let t0 = self.env.clock.now();
-        let entry = self
-            .images
+        let images = self.images.read().unwrap();
+        let entry = images
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
         let mut report = RetrieveReport {
@@ -126,10 +144,13 @@ impl ImageStore for GzipStore {
         Ok((vmi, report))
     }
 
-    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+    fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
+        let _name_guard = self.names.lock(name);
         let t0 = self.env.clock.now();
         let entry = self
             .images
+            .write()
+            .unwrap()
             .remove(name)
             .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
         self.env.repo.charge_db_write(1);
@@ -143,13 +164,15 @@ impl ImageStore for GzipStore {
 
     fn repo_bytes(&self) -> u64 {
         self.images
+            .read()
+            .unwrap()
             .values()
             .map(|e| e.compressed.len() as u64)
             .sum()
     }
 
     fn check_integrity(&self) -> Result<(), String> {
-        for (name, e) in &self.images {
+        for (name, e) in self.images.read().unwrap().iter() {
             if e.raw_len > 0 && e.compressed.is_empty() {
                 return Err(format!("{name}: empty member for {} raw bytes", e.raw_len));
             }
@@ -166,8 +189,8 @@ mod tests {
     #[test]
     fn compression_shrinks_repo_vs_qcow() {
         let w = World::small();
-        let mut gz = GzipStore::new(w.env());
-        let mut qc = crate::QcowStore::new(w.env());
+        let gz = GzipStore::new(w.env());
+        let qc = crate::QcowStore::new(w.env());
         for name in ["mini", "redis", "lamp"] {
             let vmi = w.build_image(name);
             gz.publish(&w.catalog, &vmi).unwrap();
@@ -181,7 +204,7 @@ mod tests {
     #[test]
     fn roundtrip_verifies_payload() {
         let w = World::small();
-        let mut gz = GzipStore::new(w.env());
+        let gz = GzipStore::new(w.env());
         let redis = w.build_image("redis");
         gz.publish(&w.catalog, &redis).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
@@ -195,13 +218,11 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let w = World::small();
-        let mut gz = GzipStore::new(w.env());
+        let gz = GzipStore::new(w.env());
         let redis = w.build_image("redis");
         gz.publish(&w.catalog, &redis).unwrap();
         // Corrupt the stored member.
-        let entry = gz.images.get_mut("redis").unwrap();
-        let mid = entry.compressed.len() / 2;
-        entry.compressed[mid] ^= 0x40;
+        gz.corrupt_for_test("redis");
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
         assert!(matches!(
             gz.retrieve(&w.catalog, &req),

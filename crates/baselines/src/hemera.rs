@@ -6,6 +6,9 @@
 //! database, which optimizes VMI retrieval as the database handles small
 //! files much faster than the file system").
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
 use crate::costs;
 use crate::snapshot::VmiSnapshot;
 use rayon::prelude::*;
@@ -14,8 +17,8 @@ use xpl_metadb::{ColumnDef, Database, RowId, Schema, Value};
 use xpl_pkg::Catalog;
 use xpl_simio::{SimDuration, SimEnv};
 use xpl_store::{
-    ContentStore, DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest,
-    StoreError,
+    ContentStore, DeleteReport, ImageStore, NameLocks, PublishReport, RetrieveReport,
+    RetrieveRequest, StoreError,
 };
 use xpl_util::{Digest, FxHashMap};
 
@@ -39,17 +42,24 @@ struct DbEntry {
 }
 
 /// Hybrid DB/file-store image repository.
+///
+/// Concurrency: large files go through the digest-sharded content store;
+/// the small-file row index and the manifest map are `RwLock`s, the
+/// metadata database is a `Mutex` (its rows are touched only on the
+/// small-file slow path). Lock order: manifests → db_index → db; the
+/// per-image stripe is always outermost.
 pub struct HemeraStore {
     env: SimEnv,
     cas: ContentStore,
-    db: Database,
+    db: Mutex<Database>,
     /// digest → refcounted row for already-stored small content (dedup).
-    db_index: FxHashMap<Digest, DbEntry>,
+    db_index: RwLock<FxHashMap<Digest, DbEntry>>,
     /// Unique small-file content bytes stored in the DB (accounted
     /// separately from `db.payload_bytes()` so row-key overhead can be
     /// charged at nominal, not real, scale).
-    db_content_bytes: u64,
-    manifests: FxHashMap<String, Manifest>,
+    db_content_bytes: AtomicU64,
+    manifests: RwLock<FxHashMap<String, Manifest>>,
+    names: NameLocks,
 }
 
 impl HemeraStore {
@@ -64,10 +74,11 @@ impl HemeraStore {
         HemeraStore {
             env,
             cas,
-            db,
-            db_index: FxHashMap::default(),
-            db_content_bytes: 0,
-            manifests: FxHashMap::default(),
+            db: Mutex::new(db),
+            db_index: RwLock::new(FxHashMap::default()),
+            db_content_bytes: AtomicU64::new(0),
+            manifests: RwLock::new(FxHashMap::default()),
+            names: NameLocks::new(),
         }
     }
 
@@ -76,23 +87,33 @@ impl HemeraStore {
     }
 
     pub fn db_file_count(&self) -> usize {
-        self.db_index.len()
+        self.db_index.read().unwrap().len()
     }
 
     pub fn fs_file_count(&self) -> usize {
         self.cas.blob_count()
     }
 
+    fn db_content_bytes(&self) -> u64 {
+        self.db_content_bytes.load(Ordering::Relaxed)
+    }
+
     /// Manifest + row-key metadata overhead.
     fn metadata_overhead(&self) -> u64 {
-        let entries: u64 = self.manifests.values().map(|m| m.files.len() as u64).sum();
-        let rows = self.db_index.len() as u64;
+        let entries: u64 = self
+            .manifests
+            .read()
+            .unwrap()
+            .values()
+            .map(|m| m.files.len() as u64)
+            .sum();
+        let rows = self.db_index.read().unwrap().len() as u64;
         ((entries + rows) * 48).div_ceil(xpl_util::SCALE_FACTOR)
     }
 
     /// Drop one manifest's references (CAS blobs and DB rows); returns
     /// (freed content bytes, freed units).
-    fn release_manifest(&mut self, manifest: &Manifest) -> Result<(u64, usize), StoreError> {
+    fn release_manifest(&self, manifest: &Manifest) -> Result<(u64, usize), StoreError> {
         let mut freed = 0u64;
         let mut units = 0usize;
         for (record, placement) in &manifest.files {
@@ -108,17 +129,20 @@ impl HemeraStore {
                     }
                 }
                 Placement::Db(digest) => {
-                    let entry = self.db_index.get_mut(digest).ok_or_else(|| {
+                    let mut db_index = self.db_index.write().unwrap();
+                    let entry = db_index.get_mut(digest).ok_or_else(|| {
                         StoreError::Corrupt(format!("db index missing for {}", record.path))
                     })?;
                     entry.refs -= 1;
                     if entry.refs == 0 {
                         let (row, len) = (entry.row, entry.len);
-                        self.db_index.remove(digest);
+                        db_index.remove(digest);
                         self.db
+                            .lock()
+                            .unwrap()
                             .delete("small_files", row)
                             .map_err(|e| StoreError::Corrupt(e.to_string()))?;
-                        self.db_content_bytes -= len;
+                        self.db_content_bytes.fetch_sub(len, Ordering::Relaxed);
                         freed += len;
                         units += 1;
                     }
@@ -134,10 +158,9 @@ impl ImageStore for HemeraStore {
         "Hemera"
     }
 
-    fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+    fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        let _name_guard = self.names.lock(&vmi.name);
         let t0 = self.env.clock.now();
-        let unique_before = self.cas.unique_bytes();
-        let db_content_before = self.db_content_bytes;
         let overhead_before = self.metadata_overhead();
         let mut report = PublishReport {
             image: vmi.name.clone(),
@@ -162,6 +185,10 @@ impl ImageStore for HemeraStore {
             });
 
         let threshold = Self::threshold_real();
+        // Gross content added by this publish, tracked op-locally (this
+        // publish's new blobs and rows) so the ledger check downstream is
+        // independent of global counters.
+        let mut added_content = 0u64;
         let mut new_units = 0usize;
         let mut files = Vec::with_capacity(hashed.len());
         report.breakdown.measure(
@@ -173,7 +200,8 @@ impl ImageStore for HemeraStore {
                     .charge_fixed(SimDuration(costs::file_match().0 * hashed.len() as u64));
                 for (record, digest, content) in hashed {
                     let placement = if (record.size as u64) <= threshold {
-                        match self.db_index.get_mut(&digest) {
+                        let mut db_index = self.db_index.write().unwrap();
+                        match db_index.get_mut(&digest) {
                             Some(entry) => {
                                 entry.refs += 1;
                                 Placement::Db(digest)
@@ -182,6 +210,8 @@ impl ImageStore for HemeraStore {
                                 let len = content.len() as u64;
                                 let row = self
                                     .db
+                                    .lock()
+                                    .unwrap()
                                     .insert(
                                         "small_files",
                                         vec![
@@ -190,14 +220,16 @@ impl ImageStore for HemeraStore {
                                         ],
                                     )
                                     .map_err(|e| StoreError::Corrupt(e.to_string()))?;
-                                self.db_index.insert(digest, DbEntry { row, refs: 1, len });
-                                self.db_content_bytes += len;
+                                db_index.insert(digest, DbEntry { row, refs: 1, len });
+                                self.db_content_bytes.fetch_add(len, Ordering::Relaxed);
+                                added_content += len;
                                 new_units += 1;
                                 Placement::Db(digest)
                             }
                         }
                     } else {
                         if self.cas.put_with_digest(digest, &content) {
+                            added_content += content.len() as u64;
                             new_units += 1;
                         }
                         Placement::Fs(digest)
@@ -209,11 +241,7 @@ impl ImageStore for HemeraStore {
         )?;
 
         report.units_stored = new_units;
-        // Gross content added by this publish, measured before any release
-        // so the ledger check downstream is independent of repo_bytes.
-        let added_content =
-            (self.cas.unique_bytes() - unique_before) + (self.db_content_bytes - db_content_before);
-        let old = self.manifests.insert(
+        let old = self.manifests.write().unwrap().insert(
             vmi.name.clone(),
             Manifest {
                 files,
@@ -234,13 +262,13 @@ impl ImageStore for HemeraStore {
     }
 
     fn retrieve(
-        &mut self,
+        &self,
         _catalog: &Catalog,
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError> {
         let t0 = self.env.clock.now();
-        let manifest = self
-            .manifests
+        let manifests = self.manifests.read().unwrap();
+        let manifest = manifests
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
         let mut report = RetrieveReport {
@@ -259,12 +287,20 @@ impl ImageStore for HemeraStore {
                             // Row fetch: base row cost (charged by db.get) +
                             // Hemera's page-walk surcharge.
                             self.env.repo.charge_fixed(costs::hemera_row_fetch_extra());
-                            let row = self.db_index.get(digest).ok_or_else(|| {
-                                StoreError::Corrupt(format!("db index for {}", record.path))
-                            })?;
+                            let row = {
+                                let db_index = self.db_index.read().unwrap();
+                                db_index
+                                    .get(digest)
+                                    .ok_or_else(|| {
+                                        StoreError::Corrupt(format!("db index for {}", record.path))
+                                    })?
+                                    .row
+                            };
                             let got = self
                                 .db
-                                .get("small_files", row.row)
+                                .lock()
+                                .unwrap()
+                                .get("small_files", row)
                                 .map_err(|e| StoreError::Corrupt(e.to_string()))?;
                             if got.is_none() {
                                 return Err(StoreError::Corrupt(format!(
@@ -294,11 +330,14 @@ impl ImageStore for HemeraStore {
         Ok((vmi, report))
     }
 
-    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+    fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
+        let _name_guard = self.names.lock(name);
         let t0 = self.env.clock.now();
         let before = self.repo_bytes();
         let manifest = self
             .manifests
+            .write()
+            .unwrap()
             .remove(name)
             .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
         let (_, units) = self.release_manifest(&manifest)?;
@@ -314,14 +353,14 @@ impl ImageStore for HemeraStore {
     fn repo_bytes(&self) -> u64 {
         // Manifest + row-key overhead: ≈48 nominal bytes per entry
         // (scaled); DB content counted at face value.
-        self.cas.unique_bytes() + self.db_content_bytes + self.metadata_overhead()
+        self.cas.unique_bytes() + self.db_content_bytes() + self.metadata_overhead()
     }
 
     fn check_integrity(&self) -> Result<(), String> {
         // Expected references per digest, split by placement.
         let mut fs_expected: FxHashMap<Digest, u32> = FxHashMap::default();
         let mut db_expected: FxHashMap<Digest, u32> = FxHashMap::default();
-        for m in self.manifests.values() {
+        for m in self.manifests.read().unwrap().values() {
             for (_, placement) in &m.files {
                 match placement {
                     Placement::Fs(d) => *fs_expected.entry(*d).or_insert(0) += 1,
@@ -332,15 +371,17 @@ impl ImageStore for HemeraStore {
         self.cas
             .audit_refs(&fs_expected)
             .map_err(|e| format!("Hemera CAS: {e}"))?;
-        if self.db_index.len() != db_expected.len() {
+        let db_index = self.db_index.read().unwrap();
+        if db_index.len() != db_expected.len() {
             return Err(format!(
                 "Hemera DB index: {} rows, {} referenced digests",
-                self.db_index.len(),
+                db_index.len(),
                 db_expected.len()
             ));
         }
         let mut content = 0u64;
-        for (digest, entry) in &self.db_index {
+        let db = self.db.lock().unwrap();
+        for (digest, entry) in db_index.iter() {
             let want = *db_expected
                 .get(digest)
                 .ok_or_else(|| format!("Hemera DB: orphan row for {digest}"))?;
@@ -350,8 +391,7 @@ impl ImageStore for HemeraStore {
                     entry.refs
                 ));
             }
-            let live = self
-                .db
+            let live = db
                 .table("small_files")
                 .map_err(|e| e.to_string())?
                 .get(entry.row)
@@ -361,13 +401,20 @@ impl ImageStore for HemeraStore {
             }
             content += entry.len;
         }
-        if content != self.db_content_bytes {
+        if content != self.db_content_bytes() {
             return Err(format!(
                 "Hemera DB content: {content} summed vs {} accounted",
-                self.db_content_bytes
+                self.db_content_bytes()
             ));
         }
         Ok(())
+    }
+
+    fn check_integrity_deep(&self) -> Result<(), String> {
+        self.check_integrity()?;
+        self.cas
+            .check_integrity(true)
+            .map_err(|e| format!("Hemera CAS content: {e}"))
     }
 }
 
@@ -379,7 +426,7 @@ mod tests {
     #[test]
     fn splits_files_between_db_and_fs() {
         let w = World::small();
-        let mut store = HemeraStore::new(w.env());
+        let store = HemeraStore::new(w.env());
         store.publish(&w.catalog, &w.build_image("lamp")).unwrap();
         assert!(store.db_file_count() > 0, "small files in DB");
         assert!(store.fs_file_count() > 0, "large files in FS");
@@ -388,8 +435,8 @@ mod tests {
     #[test]
     fn retrieval_faster_than_mirage() {
         let w = World::small();
-        let mut hemera = HemeraStore::new(w.env());
-        let mut mirage = crate::MirageStore::new(w.env());
+        let hemera = HemeraStore::new(w.env());
+        let mirage = crate::MirageStore::new(w.env());
         let redis = w.build_image("redis");
         hemera.publish(&w.catalog, &redis).unwrap();
         mirage.publish(&w.catalog, &redis).unwrap();
@@ -408,8 +455,8 @@ mod tests {
     fn storage_equals_mirage_class() {
         // Paper: Mirage and Hemera repository sizes are nearly identical.
         let w = World::small();
-        let mut hemera = HemeraStore::new(w.env());
-        let mut mirage = crate::MirageStore::new(w.env());
+        let hemera = HemeraStore::new(w.env());
+        let mirage = crate::MirageStore::new(w.env());
         for name in ["mini", "redis", "lamp"] {
             let vmi = w.build_image(name);
             hemera.publish(&w.catalog, &vmi).unwrap();
@@ -423,7 +470,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let w = World::small();
-        let mut store = HemeraStore::new(w.env());
+        let store = HemeraStore::new(w.env());
         let lamp = w.build_image("lamp");
         store.publish(&w.catalog, &lamp).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&lamp, &w.catalog);

@@ -7,6 +7,8 @@
 //! small-file penalty the paper identifies ("it is inefficient in reading
 //! small files (below 1MB) from file system-based repository").
 
+use std::sync::RwLock;
+
 use crate::costs;
 use crate::snapshot::VmiSnapshot;
 use rayon::prelude::*;
@@ -14,8 +16,8 @@ use xpl_guestfs::{FileRecord, Vmi};
 use xpl_pkg::Catalog;
 use xpl_simio::{SimDuration, SimEnv};
 use xpl_store::{
-    ContentStore, DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest,
-    StoreError,
+    ContentStore, DeleteReport, ImageStore, NameLocks, PublishReport, RetrieveReport,
+    RetrieveRequest, StoreError,
 };
 use xpl_util::{Digest, FxHashMap};
 
@@ -25,10 +27,16 @@ struct Manifest {
 }
 
 /// File-level deduplicating image repository.
+///
+/// Concurrency: the content store is digest-sharded (see
+/// `xpl_store::cas`); the manifest index is a `RwLock` held only around
+/// map access, and same-name operations serialize on a per-image stripe.
+/// Scan+hash — the expensive publish leg — runs outside every lock.
 pub struct MirageStore {
     env: SimEnv,
     cas: ContentStore,
-    manifests: FxHashMap<String, Manifest>,
+    manifests: RwLock<FxHashMap<String, Manifest>>,
+    names: NameLocks,
 }
 
 impl MirageStore {
@@ -37,7 +45,8 @@ impl MirageStore {
         MirageStore {
             env,
             cas,
-            manifests: FxHashMap::default(),
+            manifests: RwLock::new(FxHashMap::default()),
+            names: NameLocks::new(),
         }
     }
 
@@ -55,11 +64,16 @@ impl MirageStore {
     }
 
     fn total_entries(&self) -> u64 {
-        self.manifests.values().map(|m| m.files.len() as u64).sum()
+        self.manifests
+            .read()
+            .unwrap()
+            .values()
+            .map(|m| m.files.len() as u64)
+            .sum()
     }
 
     /// Drop one manifest's references; returns (freed bytes, freed blobs).
-    fn release_manifest(&mut self, manifest: &Manifest) -> Result<(u64, usize), StoreError> {
+    fn release_manifest(&self, manifest: &Manifest) -> Result<(u64, usize), StoreError> {
         let mut freed = 0u64;
         let mut blobs = 0usize;
         for (record, digest) in &manifest.files {
@@ -81,7 +95,8 @@ impl ImageStore for MirageStore {
         "Mirage"
     }
 
-    fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+    fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        let _name_guard = self.names.lock(&vmi.name);
         let t0 = self.env.clock.now();
         let mut report = PublishReport {
             image: vmi.name.clone(),
@@ -107,8 +122,10 @@ impl ImageStore for MirageStore {
                     .collect()
             });
 
-        // Index matching + storing new content.
-        let unique_before = self.cas.unique_bytes();
+        // Index matching + storing new content. `bytes_added` is tracked
+        // op-locally (this publish's new puts), so concurrent publishes
+        // of distinct images each report their own contribution.
+        let mut added_content = 0u64;
         let mut new_files = 0usize;
         let mut files = Vec::with_capacity(hashed.len());
         report
@@ -120,14 +137,14 @@ impl ImageStore for MirageStore {
                 for (record, digest, content) in hashed {
                     if self.cas.put_with_digest(digest, &content) {
                         new_files += 1;
+                        added_content += content.len() as u64;
                     }
                     files.push((record, digest));
                 }
             });
         report.units_stored = new_files;
-        let added_content = self.cas.unique_bytes() - unique_before;
         let entries_before = self.total_entries();
-        let old = self.manifests.insert(
+        let old = self.manifests.write().unwrap().insert(
             vmi.name.clone(),
             Manifest {
                 files,
@@ -153,13 +170,13 @@ impl ImageStore for MirageStore {
     }
 
     fn retrieve(
-        &mut self,
+        &self,
         _catalog: &Catalog,
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError> {
         let t0 = self.env.clock.now();
-        let manifest = self
-            .manifests
+        let manifests = self.manifests.read().unwrap();
+        let manifest = manifests
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
         let mut report = RetrieveReport {
@@ -194,11 +211,14 @@ impl ImageStore for MirageStore {
         Ok((vmi, report))
     }
 
-    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+    fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
+        let _name_guard = self.names.lock(name);
         let t0 = self.env.clock.now();
         let entries_before = self.total_entries();
         let manifest = self
             .manifests
+            .write()
+            .unwrap()
             .remove(name)
             .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
         let (freed_content, blobs) = self.release_manifest(&manifest)?;
@@ -223,7 +243,7 @@ impl ImageStore for MirageStore {
         // Every blob's refcount must equal the number of manifest entries
         // referencing it (counting multiplicity), with no orphans.
         let mut expected: FxHashMap<Digest, u32> = FxHashMap::default();
-        for m in self.manifests.values() {
+        for m in self.manifests.read().unwrap().values() {
             for (_, digest) in &m.files {
                 *expected.entry(*digest).or_insert(0) += 1;
             }
@@ -231,6 +251,13 @@ impl ImageStore for MirageStore {
         self.cas
             .audit_refs(&expected)
             .map_err(|e| format!("Mirage CAS: {e}"))
+    }
+
+    fn check_integrity_deep(&self) -> Result<(), String> {
+        self.check_integrity()?;
+        self.cas
+            .check_integrity(true)
+            .map_err(|e| format!("Mirage CAS content: {e}"))
     }
 }
 
@@ -242,7 +269,7 @@ mod tests {
     #[test]
     fn cross_image_file_dedup() {
         let w = World::small();
-        let mut store = MirageStore::new(w.env());
+        let store = MirageStore::new(w.env());
         store.publish(&w.catalog, &w.build_image("mini")).unwrap();
         let after_mini = store.repo_bytes();
         let redis = w.build_image("redis");
@@ -263,7 +290,7 @@ mod tests {
     #[test]
     fn publish_time_scales_with_files_not_dedup() {
         let w = World::small();
-        let mut store = MirageStore::new(w.env());
+        let store = MirageStore::new(w.env());
         let mini = w.build_image("mini");
         store.publish(&w.catalog, &mini).unwrap();
         // Publishing the identical image again still pays scan + match.
@@ -275,7 +302,7 @@ mod tests {
     #[test]
     fn retrieve_roundtrip_and_penalty() {
         let w = World::small();
-        let mut store = MirageStore::new(w.env());
+        let store = MirageStore::new(w.env());
         let redis = w.build_image("redis");
         store.publish(&w.catalog, &redis).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
@@ -293,16 +320,31 @@ mod tests {
     #[test]
     fn corrupted_blob_detected() {
         let w = World::small();
-        let mut store = MirageStore::new(w.env());
+        let store = MirageStore::new(w.env());
         let redis = w.build_image("redis");
         store.publish(&w.catalog, &redis).unwrap();
-        // Corrupt one stored blob.
-        let digest = store.manifests["redis"].files[0].1;
+        // Corrupt one stored blob (truncation — what the hot-path length
+        // check catches on read).
+        let digest = store.manifests.read().unwrap()["redis"].files[0].1;
         assert!(store.cas.corrupt_for_test(&digest));
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
         assert!(matches!(
             store.retrieve(&w.catalog, &req),
             Err(StoreError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn bitflip_caught_by_deep_audit_only() {
+        let w = World::small();
+        let store = MirageStore::new(w.env());
+        let redis = w.build_image("redis");
+        store.publish(&w.catalog, &redis).unwrap();
+        let digest = store.manifests.read().unwrap()["redis"].files[0].1;
+        assert!(store.cas.corrupt_bitflip_for_test(&digest));
+        // Refcounts still coherent: the cheap audit passes…
+        store.check_integrity().unwrap();
+        // …the deep content audit does not.
+        assert!(store.check_integrity_deep().is_err());
     }
 }

@@ -1,11 +1,13 @@
 //! The Qcow2 baseline: one qcow2 file per image, no dedup, no compression.
 
+use std::sync::{Mutex, RwLock};
+
 use crate::snapshot::VmiSnapshot;
 use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
 use xpl_store::{
-    DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    DeleteReport, ImageStore, NameLocks, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
 };
 use xpl_util::FxHashMap;
 
@@ -15,23 +17,30 @@ struct Entry {
 }
 
 /// Plain qcow2 image repository.
+///
+/// Concurrency: per-image stripes serialize same-name operations; the
+/// image index is a short-critical-section `RwLock` (serialization and
+/// charging happen outside it), so distinct images publish, retrieve and
+/// delete in parallel.
 pub struct QcowStore {
     env: SimEnv,
-    images: FxHashMap<String, Entry>,
-    order: Vec<String>,
+    images: RwLock<FxHashMap<String, Entry>>,
+    order: Mutex<Vec<String>>,
+    names: NameLocks,
 }
 
 impl QcowStore {
     pub fn new(env: SimEnv) -> Self {
         QcowStore {
             env,
-            images: FxHashMap::default(),
-            order: Vec::new(),
+            images: RwLock::new(FxHashMap::default()),
+            order: Mutex::new(Vec::new()),
+            names: NameLocks::new(),
         }
     }
 
     pub fn image_count(&self) -> usize {
-        self.images.len()
+        self.images.read().unwrap().len()
     }
 }
 
@@ -40,7 +49,8 @@ impl ImageStore for QcowStore {
         "Qcow2"
     }
 
-    fn publish(&mut self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+    fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        let _name_guard = self.names.lock(&vmi.name);
         let t0 = self.env.clock.now();
         let mut report = PublishReport {
             image: vmi.name.clone(),
@@ -58,7 +68,7 @@ impl ImageStore for QcowStore {
         });
         report.bytes_added = bytes.len() as u64;
         report.units_stored = 1;
-        match self.images.insert(
+        match self.images.write().unwrap().insert(
             vmi.name.clone(),
             Entry {
                 bytes,
@@ -67,20 +77,20 @@ impl ImageStore for QcowStore {
         ) {
             // Re-publish replaces the previous file of the same name.
             Some(old) => report.bytes_freed = old.bytes.len() as u64,
-            None => self.order.push(vmi.name.clone()),
+            None => self.order.lock().unwrap().push(vmi.name.clone()),
         }
         report.duration = self.env.clock.since(t0);
         Ok(report)
     }
 
     fn retrieve(
-        &mut self,
+        &self,
         _catalog: &Catalog,
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError> {
         let t0 = self.env.clock.now();
-        let entry = self
-            .images
+        let images = self.images.read().unwrap();
+        let entry = images
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
         let mut report = RetrieveReport {
@@ -102,13 +112,16 @@ impl ImageStore for QcowStore {
         Ok((vmi, report))
     }
 
-    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+    fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
+        let _name_guard = self.names.lock(name);
         let t0 = self.env.clock.now();
         let entry = self
             .images
+            .write()
+            .unwrap()
             .remove(name)
             .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
-        self.order.retain(|n| n != name);
+        self.order.lock().unwrap().retain(|n| n != name);
         self.env.repo.charge_db_write(1); // unlink is metadata work
         Ok(DeleteReport {
             image: name.to_string(),
@@ -119,19 +132,26 @@ impl ImageStore for QcowStore {
     }
 
     fn repo_bytes(&self) -> u64 {
-        self.images.values().map(|e| e.bytes.len() as u64).sum()
+        self.images
+            .read()
+            .unwrap()
+            .values()
+            .map(|e| e.bytes.len() as u64)
+            .sum()
     }
 
     fn check_integrity(&self) -> Result<(), String> {
-        if self.order.len() != self.images.len() {
+        let images = self.images.read().unwrap();
+        let order = self.order.lock().unwrap();
+        if order.len() != images.len() {
             return Err(format!(
                 "order list has {} names but {} images stored",
-                self.order.len(),
-                self.images.len()
+                order.len(),
+                images.len()
             ));
         }
-        for name in &self.order {
-            if !self.images.contains_key(name) {
+        for name in order.iter() {
+            if !images.contains_key(name) {
                 return Err(format!("ordered name {name} has no stored image"));
             }
         }
@@ -147,7 +167,7 @@ mod tests {
     #[test]
     fn publish_accumulates_full_size() {
         let w = World::small();
-        let mut store = QcowStore::new(w.env());
+        let store = QcowStore::new(w.env());
         let mini = w.build_image("mini");
         let redis = w.build_image("redis");
         store.publish(&w.catalog, &mini).unwrap();
@@ -161,7 +181,7 @@ mod tests {
     #[test]
     fn retrieve_roundtrip() {
         let w = World::small();
-        let mut store = QcowStore::new(w.env());
+        let store = QcowStore::new(w.env());
         let redis = w.build_image("redis");
         store.publish(&w.catalog, &redis).unwrap();
         let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
@@ -177,7 +197,7 @@ mod tests {
     #[test]
     fn missing_image_not_found() {
         let w = World::small();
-        let mut store = QcowStore::new(w.env());
+        let store = QcowStore::new(w.env());
         let req = xpl_store::RetrieveRequest {
             name: "ghost".into(),
             base: w.template.attrs.clone(),
@@ -188,5 +208,23 @@ mod tests {
             store.retrieve(&w.catalog, &req),
             Err(StoreError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn distinct_images_publish_from_threads() {
+        let w = World::small();
+        let store = QcowStore::new(w.env());
+        let images: Vec<Vmi> = ["mini", "redis", "nginx", "lamp"]
+            .iter()
+            .map(|n| w.build_image(n))
+            .collect();
+        let (store_ref, catalog) = (&store, &w.catalog);
+        std::thread::scope(|s| {
+            for vmi in &images {
+                s.spawn(move || store_ref.publish(catalog, vmi).unwrap());
+            }
+        });
+        assert_eq!(store.image_count(), 4);
+        store.check_integrity().unwrap();
     }
 }

@@ -33,11 +33,11 @@ fn bench_publish_retrieve(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("expelliarmus-publish", |b| {
         b.iter(|| {
-            let mut repo = ExpelliarmusRepo::new(world.env());
+            let repo = ExpelliarmusRepo::new(world.env());
             repo.publish(&world.catalog, &lamp).unwrap()
         })
     });
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     repo.publish(&world.catalog, &lamp).unwrap();
     let req = RetrieveRequest::for_image(&lamp, &world.catalog);
     g.bench_function("expelliarmus-retrieve", |b| {

@@ -32,8 +32,8 @@ pub fn chunk_size_sweep(
 ) -> Vec<ChunkSweepRow> {
     let mut rows = Vec::new();
     for &block in blocks_real {
-        let mut fixed = FixedBlockDedupStore::new(world.env(), block);
-        let mut cdc = CdcDedupStore::new(world.env(), block.next_power_of_two());
+        let fixed = FixedBlockDedupStore::new(world.env(), block);
+        let cdc = CdcDedupStore::new(world.env(), block.next_power_of_two());
         for name in image_names {
             let vmi = world.build_image(name);
             fixed.publish(&world.catalog, &vmi).expect("fixed");

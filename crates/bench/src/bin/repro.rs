@@ -11,13 +11,21 @@
 //! repro fig5b         Figure 5b (retrieval comparison)
 //! repro ablations     chunk-size sweep + master-graph speedup
 //! repro churn [--seed N] [--ops N] [--scale small|standard] [--json F]
+//!             [--threads N]
 //!                     trace-driven lifecycle replay + differential oracle
-//!                     (exits 1 on any oracle violation)
+//!                     (exits 1 on any oracle violation). With --threads
+//!                     the concurrent driver replays store replicas and
+//!                     per-image retrieval groups on the worker pool; the
+//!                     report is byte-identical for every thread count.
 //! repro bench [--quick] [--json F]
 //!                     wall-clock substrate microbenchmarks → BENCH.json
 //! repro bench --check F
 //!                     validate an existing BENCH.json (nonzero throughputs)
-//! repro all [dir]     everything; JSON results into dir (default results/)
+//! repro all [dir] [--threads N]
+//!                     everything; JSON results into dir (default results/).
+//!                     Multi-store sweeps run one store per pool worker
+//!                     (JSON byte-identical to a sequential run);
+//!                     --threads pins the pool size.
 //! ```
 //!
 //! `--world small` swaps the paper-scale world for the fast 4-image
@@ -53,6 +61,17 @@ fn positionals(args: &[String]) -> Vec<String> {
     out
 }
 
+/// `--threads N`, strictly: an unparseable value is an error, not a
+/// silent fall-back onto a different driver.
+fn parse_threads(args: &[String]) -> Option<usize> {
+    flag_value(args, "--threads").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid --threads value: {s:?} (expected a positive integer)");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn run_churn_cmd(args: &[String]) -> ! {
     let seed: u64 = flag_value(args, "--seed")
         .and_then(|s| s.parse().ok())
@@ -64,8 +83,17 @@ fn run_churn_cmd(args: &[String]) -> ! {
         Some("standard") => churn::ChurnConfig::standard(seed, ops),
         _ => churn::ChurnConfig::small(seed, ops),
     };
-    eprintln!("[repro] churn replay: seed={seed:#x} ops={ops}");
-    let report = churn::run_churn(&cfg);
+    let threads = parse_threads(args);
+    let report = match threads {
+        Some(n) => {
+            eprintln!("[repro] churn replay: seed={seed:#x} ops={ops} threads={n}");
+            churn::run_churn_threads(&cfg, n)
+        }
+        None => {
+            eprintln!("[repro] churn replay: seed={seed:#x} ops={ops}");
+            churn::run_churn(&cfg)
+        }
+    };
     println!("CHURN: {} ops replayed against 5 stores", report.ops);
     println!(
         "  mix: {} publish / {} retrieve / {} upgrade / {} delete / {} burst ({} retrievals)",
@@ -175,48 +203,60 @@ fn main() {
     };
     eprintln!("[repro] world ready in {:.1}s", t0.elapsed().as_secs_f64());
 
+    // Pin the worker pool for every experiment launched from this thread
+    // (multi-store sweeps fan stores out across it; results are
+    // byte-identical at any size).
+    let run = || run_experiment(cmd, &args, &world);
+    match parse_threads(&args) {
+        Some(n) => rayon::with_num_threads(n.max(1), run),
+        None => run(),
+    }
+    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn run_experiment(cmd: &str, args: &[String], world: &World) {
     match cmd {
         "table2" => {
-            let r = table2(&world);
+            let r = table2(world);
             println!("{}", render::render_table2(&r));
         }
         "fig3a" => {
-            let r = fig3_sizes(&world, Fig3Scenario::FourImages);
+            let r = fig3_sizes(world, Fig3Scenario::FourImages);
             println!("{}", render::render_fig3("FIGURE 3a", &r));
         }
         "fig3b" => {
-            let r = fig3_sizes(&world, Fig3Scenario::Nineteen);
+            let r = fig3_sizes(world, Fig3Scenario::Nineteen);
             println!("{}", render::render_fig3("FIGURE 3b", &r));
         }
         "fig3c" => {
-            let n: u32 = positionals(&args)
+            let n: u32 = positionals(args)
                 .get(1)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(40);
-            let r = fig3_sizes(&world, Fig3Scenario::IdeBuilds(n));
+            let r = fig3_sizes(world, Fig3Scenario::IdeBuilds(n));
             println!("{}", render::render_fig3("FIGURE 3c", &r));
         }
         "fig4a" => {
-            let r = fig4a_publish(&world);
+            let r = fig4a_publish(world);
             println!("{}", render::render_publish("FIGURE 4a", &r));
         }
         "fig4b" => {
-            let r = fig4b_publish(&world);
+            let r = fig4b_publish(world);
             println!("{}", render::render_publish("FIGURE 4b", &r));
         }
         "fig5a" => {
-            let r = fig5a_breakdown(&world);
+            let r = fig5a_breakdown(world);
             println!("{}", render::render_fig5a(&r));
         }
         "fig5b" => {
-            let r = fig5b_retrieval(&world);
+            let r = fig5b_retrieval(world);
             println!("{}", render::render_fig5b(&r));
         }
         "ablations" => {
-            run_ablations(&world);
+            run_ablations(world);
         }
         "all" => {
-            let pos = positionals(&args);
+            let pos = positionals(args);
             let dir = pos.get(1).map(String::as_str).unwrap_or("results");
             std::fs::create_dir_all(dir).expect("create results dir");
             let save = |name: &str, json: String| {
@@ -227,43 +267,42 @@ fn main() {
                 eprintln!("[repro] wrote {path}");
             };
 
-            let r = table2(&world);
+            let r = table2(world);
             println!("{}", render::render_table2(&r));
             save("table2", serde_json::to_string_pretty(&r).unwrap());
 
-            let r = fig3_sizes(&world, Fig3Scenario::FourImages);
+            let r = fig3_sizes(world, Fig3Scenario::FourImages);
             println!("{}", render::render_fig3("FIGURE 3a", &r));
             save("fig3a", serde_json::to_string_pretty(&r).unwrap());
 
-            let r = fig3_sizes(&world, Fig3Scenario::Nineteen);
+            let r = fig3_sizes(world, Fig3Scenario::Nineteen);
             println!("{}", render::render_fig3("FIGURE 3b", &r));
             save("fig3b", serde_json::to_string_pretty(&r).unwrap());
 
-            let r = fig3_sizes(&world, Fig3Scenario::IdeBuilds(40));
+            let r = fig3_sizes(world, Fig3Scenario::IdeBuilds(40));
             println!("{}", render::render_fig3("FIGURE 3c", &r));
             save("fig3c", serde_json::to_string_pretty(&r).unwrap());
 
-            let r = fig4a_publish(&world);
+            let r = fig4a_publish(world);
             println!("{}", render::render_publish("FIGURE 4a", &r));
             save("fig4a", serde_json::to_string_pretty(&r).unwrap());
 
-            let r = fig4b_publish(&world);
+            let r = fig4b_publish(world);
             println!("{}", render::render_publish("FIGURE 4b", &r));
             save("fig4b", serde_json::to_string_pretty(&r).unwrap());
 
-            let r = fig5a_breakdown(&world);
+            let r = fig5a_breakdown(world);
             println!("{}", render::render_fig5a(&r));
             save("fig5a", serde_json::to_string_pretty(&r).unwrap());
 
-            let r = fig5b_retrieval(&world);
+            let r = fig5b_retrieval(world);
             println!("{}", render::render_fig5b(&r));
             save("fig5b", serde_json::to_string_pretty(&r).unwrap());
 
-            run_ablations(&world);
+            run_ablations(world);
         }
         _ => unreachable!("command validated against KNOWN before the world is built"),
     }
-    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
 }
 
 fn run_ablations(world: &World) {

@@ -26,7 +26,32 @@
 //! Violations are collected, not panicked, so a single run reports every
 //! divergence; callers (the `repro churn` subcommand, CI, the
 //! integration suite) assert the list is empty.
+//!
+//! # Concurrent replay ([`run_churn_threads`])
+//!
+//! The `--threads` mode replays the same trace with the worker pool.
+//! The trace is split into maximal runs of *mutations*
+//! (publish/upgrade/delete) and *retrievals* (retrieve/burst):
+//!
+//! * mutation runs execute in trace order **per store**, with the five
+//!   store replicas advancing in parallel — each replica owns its
+//!   simulated environment, so its per-op reports and ledger checks are
+//!   bit-identical to a sequential replay;
+//! * retrieval runs are partitioned by image-name **conflict group**:
+//!   each (replica × image) group replays its retrievals in trace order
+//!   on the pool, while distinct images — now genuinely concurrent
+//!   through the stores' shared-access (`&self`) interfaces — proceed in
+//!   parallel. Retrievals are read-only, so the differential
+//!   fingerprints are exact and thread-count independent.
+//!
+//! The run boundaries are the oracle's **quiesce points**: refcount
+//! audits run after every mutation (still serial per store) and once per
+//! store at the end of each retrieval run; a full deep audit (every CAS
+//! blob re-hashed) closes the replay. The resulting [`ChurnReport`] is
+//! **byte-identical for any thread count** — pinned by a test at 1, 2
+//! and 8 threads.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
 use xpl_core::ExpelliarmusRepo;
@@ -93,6 +118,7 @@ pub struct ChurnReport {
 }
 
 /// What the oracle remembers about a live image.
+#[derive(Clone)]
 struct LiveImage {
     request: RetrieveRequest,
     semantic_fp: Digest,
@@ -118,6 +144,19 @@ fn five_stores(env: impl Fn() -> SimEnv) -> Vec<Box<dyn ImageStore>> {
     ]
 }
 
+fn fresh_replicas() -> Vec<Replica> {
+    five_stores(SimEnv::testbed)
+        .into_iter()
+        .map(|store| Replica {
+            store,
+            expected_bytes: 0,
+            added_total: 0,
+            freed_total: 0,
+            sim_seconds: 0.0,
+        })
+        .collect()
+}
+
 /// Generate the trace for a config (exposed so tests can assert
 /// reproducibility without replaying).
 pub fn churn_trace(cfg: &ChurnConfig) -> (ScaledWorld, Trace) {
@@ -132,19 +171,155 @@ pub fn churn_trace(cfg: &ChurnConfig) -> (ScaledWorld, Trace) {
     (world, trace)
 }
 
-/// Replay `cfg` and return the oracle's report.
+/// Apply one publish/upgrade to one replica with the full per-op oracle
+/// (cost, ledger). Shared by the sequential and concurrent drivers.
+fn apply_publish(
+    r: &mut Replica,
+    world: &ScaledWorld,
+    vmi: &xpl_guestfs::Vmi,
+    image: &str,
+    step: usize,
+    violations: &mut Vec<String>,
+    checks: &mut u64,
+) {
+    match r.store.publish(&world.catalog, vmi) {
+        Ok(report) => {
+            *checks += 1;
+            if report.duration.as_nanos() == 0 {
+                violations.push(format!(
+                    "step {step} {}: publish {image} cost nothing",
+                    r.store.name()
+                ));
+            }
+            r.added_total += report.bytes_added;
+            r.freed_total += report.bytes_freed;
+            r.sim_seconds += report.duration.as_secs_f64();
+            let want =
+                r.expected_bytes as i128 + report.bytes_added as i128 - report.bytes_freed as i128;
+            let actual = r.store.repo_bytes();
+            if want != actual as i128 {
+                violations.push(format!(
+                    "step {step} {}: publish {image} ledger: want {want}, \
+                     have {actual} (added {}, freed {})",
+                    r.store.name(),
+                    report.bytes_added,
+                    report.bytes_freed
+                ));
+            }
+            r.expected_bytes = actual;
+        }
+        Err(e) => violations.push(format!(
+            "step {step} {}: publish {image} failed: {e}",
+            r.store.name()
+        )),
+    }
+}
+
+/// Apply one delete to one replica with the full per-op oracle (ledger,
+/// deleted-name probe on monolithic stores).
+fn apply_delete(
+    r: &mut Replica,
+    world: &ScaledWorld,
+    image: &str,
+    probe: &RetrieveRequest,
+    step: usize,
+    violations: &mut Vec<String>,
+    checks: &mut u64,
+) {
+    let before = r.store.repo_bytes();
+    match r.store.delete(image) {
+        Ok(report) => {
+            *checks += 1;
+            r.freed_total += report.bytes_freed;
+            r.sim_seconds += report.duration.as_secs_f64();
+            let after = r.store.repo_bytes();
+            if before.saturating_sub(report.bytes_freed) != after {
+                violations.push(format!(
+                    "step {step} {}: delete {image} freed {} but {before} -> {after}",
+                    r.store.name(),
+                    report.bytes_freed
+                ));
+            }
+            r.expected_bytes = after;
+            // Deleted names must be unretrievable from monolithic stores
+            // (Expelliarmus may still assemble functionally — the paper's
+            // point).
+            if r.store.name() != "Expelliarmus" {
+                match r.store.retrieve(&world.catalog, probe) {
+                    Err(StoreError::NotFound(_)) => {}
+                    Ok(_) => violations.push(format!(
+                        "step {step} {}: retrieved deleted {image}",
+                        r.store.name()
+                    )),
+                    Err(e) => violations.push(format!(
+                        "step {step} {}: deleted {image} gave {e}, want NotFound",
+                        r.store.name()
+                    )),
+                }
+            }
+        }
+        Err(e) => violations.push(format!(
+            "step {step} {}: delete {image} failed: {e}",
+            r.store.name()
+        )),
+    }
+}
+
+/// Retrieve one image from one replica and run the differential checks.
+fn check_retrieve(
+    r: &Replica,
+    world: &ScaledWorld,
+    expect: &LiveImage,
+    image: &str,
+    step: usize,
+    violations: &mut Vec<String>,
+    checks: &mut u64,
+) {
+    let before = r.store.repo_bytes();
+    match r.store.retrieve(&world.catalog, &expect.request) {
+        Ok((vmi, report)) => {
+            *checks += 1;
+            let semantic = oracle::semantic_fingerprint(&world.catalog, &vmi);
+            if semantic != expect.semantic_fp {
+                violations.push(format!(
+                    "step {step} {}: {image} semantic fingerprint diverged",
+                    r.store.name()
+                ));
+            }
+            if r.store.name() != "Expelliarmus" {
+                let full = oracle::full_fingerprint(&world.catalog, &vmi);
+                if full != expect.full_fp {
+                    violations.push(format!(
+                        "step {step} {}: {image} full fingerprint diverged",
+                        r.store.name()
+                    ));
+                }
+            }
+            if report.bytes_read == 0 || report.duration.as_nanos() == 0 {
+                violations.push(format!(
+                    "step {step} {}: free retrieval of {image}",
+                    r.store.name()
+                ));
+            }
+            if r.store.repo_bytes() != before {
+                violations.push(format!(
+                    "step {step} {}: retrieval of {image} changed repo size",
+                    r.store.name()
+                ));
+            }
+        }
+        Err(e) => violations.push(format!(
+            "step {step} {}: retrieve {image} failed: {e}",
+            r.store.name()
+        )),
+    }
+}
+
+/// Replay `cfg` sequentially and return the oracle's report (the
+/// original per-op-integrity driver; `repro churn` without `--threads`).
 pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
     let (world, trace) = churn_trace(cfg);
-    let mut replicas: Vec<Replica> = five_stores(SimEnv::testbed)
-        .into_iter()
-        .map(|store| Replica {
-            store,
-            expected_bytes: 0,
-            added_total: 0,
-            freed_total: 0,
-            sim_seconds: 0.0,
-        })
-        .collect();
+    let mut replicas = fresh_replicas();
     let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
     let mut violations: Vec<String> = Vec::new();
     let mut checks = 0u64;
@@ -161,37 +336,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                 }
                 let vmi = world.build(image, *generation);
                 for r in replicas.iter_mut() {
-                    match r.store.publish(&world.catalog, &vmi) {
-                        Ok(report) => {
-                            checks += 1;
-                            if report.duration.as_nanos() == 0 {
-                                violations.push(format!(
-                                    "step {step} {}: publish {image} cost nothing",
-                                    r.store.name()
-                                ));
-                            }
-                            r.added_total += report.bytes_added;
-                            r.freed_total += report.bytes_freed;
-                            r.sim_seconds += report.duration.as_secs_f64();
-                            let want = r.expected_bytes as i128 + report.bytes_added as i128
-                                - report.bytes_freed as i128;
-                            let actual = r.store.repo_bytes();
-                            if want != actual as i128 {
-                                violations.push(format!(
-                                    "step {step} {}: publish {image} ledger: want {want}, \
-                                     have {actual} (added {}, freed {})",
-                                    r.store.name(),
-                                    report.bytes_added,
-                                    report.bytes_freed
-                                ));
-                            }
-                            r.expected_bytes = actual;
-                        }
-                        Err(e) => violations.push(format!(
-                            "step {step} {}: publish {image} failed: {e}",
-                            r.store.name()
-                        )),
-                    }
+                    apply_publish(r, &world, &vmi, image, step, &mut violations, &mut checks);
                 }
                 live.insert(
                     image.clone(),
@@ -206,7 +351,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                 retrieves += 1;
                 retrieve_all(
                     &world,
-                    &mut replicas,
+                    &replicas,
                     &live,
                     image,
                     step,
@@ -220,7 +365,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                     burst_retrieves += 1;
                     retrieve_all(
                         &world,
-                        &mut replicas,
+                        &replicas,
                         &live,
                         image,
                         step,
@@ -231,45 +376,9 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
             }
             TraceOp::Delete { image } => {
                 deletes += 1;
+                let probe = &live.get(image).expect("trace only deletes live").request;
                 for r in replicas.iter_mut() {
-                    let before = r.store.repo_bytes();
-                    match r.store.delete(image) {
-                        Ok(report) => {
-                            checks += 1;
-                            r.freed_total += report.bytes_freed;
-                            r.sim_seconds += report.duration.as_secs_f64();
-                            let after = r.store.repo_bytes();
-                            if before.saturating_sub(report.bytes_freed) != after {
-                                violations.push(format!(
-                                    "step {step} {}: delete {image} freed {} but {before} -> {after}",
-                                    r.store.name(),
-                                    report.bytes_freed
-                                ));
-                            }
-                            r.expected_bytes = after;
-                            // Deleted names must be unretrievable from
-                            // monolithic stores (Expelliarmus may still
-                            // assemble functionally — the paper's point).
-                            if r.store.name() != "Expelliarmus" {
-                                let probe = live.get(image).expect("trace only deletes live");
-                                match r.store.retrieve(&world.catalog, &probe.request) {
-                                    Err(StoreError::NotFound(_)) => {}
-                                    Ok(_) => violations.push(format!(
-                                        "step {step} {}: retrieved deleted {image}",
-                                        r.store.name()
-                                    )),
-                                    Err(e) => violations.push(format!(
-                                        "step {step} {}: deleted {image} gave {e}, want NotFound",
-                                        r.store.name()
-                                    )),
-                                }
-                            }
-                        }
-                        Err(e) => violations.push(format!(
-                            "step {step} {}: delete {image} failed: {e}",
-                            r.store.name()
-                        )),
-                    }
+                    apply_delete(r, &world, image, probe, step, &mut violations, &mut checks);
                 }
                 live.remove(image);
             }
@@ -284,6 +393,14 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                     op.render()
                 ));
             }
+        }
+    }
+
+    // Closing deep audit: every CAS blob re-hashed, once per store.
+    for r in &replicas {
+        checks += 1;
+        if let Err(v) = r.store.check_integrity_deep() {
+            violations.push(format!("final {}: deep integrity: {v}", r.store.name()));
         }
     }
 
@@ -316,7 +433,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
 #[allow(clippy::too_many_arguments)]
 fn retrieve_all(
     world: &ScaledWorld,
-    replicas: &mut [Replica],
+    replicas: &[Replica],
     live: &FxHashMap<String, LiveImage>,
     image: &str,
     step: usize,
@@ -330,45 +447,308 @@ fn retrieve_all(
             return;
         }
     };
-    for r in replicas.iter_mut() {
-        let before = r.store.repo_bytes();
-        match r.store.retrieve(&world.catalog, &expect.request) {
-            Ok((vmi, report)) => {
-                *checks += 1;
-                let semantic = oracle::semantic_fingerprint(&world.catalog, &vmi);
-                if semantic != expect.semantic_fp {
-                    violations.push(format!(
-                        "step {step} {}: {image} semantic fingerprint diverged",
-                        r.store.name()
-                    ));
+    for r in replicas.iter() {
+        check_retrieve(r, world, expect, image, step, violations, checks);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent replay
+// ---------------------------------------------------------------------
+
+/// One precomputed mutation of a mutation run.
+enum WriteStep {
+    Publish {
+        step: usize,
+        image: String,
+        vmi_idx: usize,
+    },
+    Delete {
+        step: usize,
+        image: String,
+        probe: RetrieveRequest,
+    },
+}
+
+/// One retrieval of a retrieval run (bursts are expanded).
+struct ReadStep {
+    step: usize,
+    image: String,
+}
+
+enum Run {
+    Writes(Vec<WriteStep>),
+    Reads(Vec<ReadStep>),
+}
+
+fn is_write(op: &TraceOp) -> bool {
+    matches!(
+        op,
+        TraceOp::Publish { .. } | TraceOp::Upgrade { .. } | TraceOp::Delete { .. }
+    )
+}
+
+/// Replay `cfg` with `threads` pool workers: store replicas advance in
+/// parallel, and within retrieval runs, per-image conflict groups fan
+/// out across the pool. The report is byte-identical for every
+/// `threads` value (see the module docs for why).
+pub fn run_churn_threads(cfg: &ChurnConfig, threads: usize) -> ChurnReport {
+    rayon::with_num_threads(threads.max(1), || run_churn_concurrent_inner(cfg))
+}
+
+fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
+    let (world, trace) = churn_trace(cfg);
+    let mut replicas = fresh_replicas();
+    let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
+    let mut vmis: Vec<xpl_guestfs::Vmi> = Vec::new();
+    // Fingerprints of each publish, parallel to `vmis` — computed once
+    // here and reused when the execution loop refreshes its view.
+    let mut publish_fps: Vec<LiveImage> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut checks = 0u64;
+    let (mut publishes, mut retrieves, mut upgrades, mut deletes, mut bursts) = (0, 0, 0, 0, 0);
+    let mut burst_retrieves = 0usize;
+
+    // ---- Partition the trace into write/read runs, precomputing the
+    // deterministic payloads (built images, delete probes, live-image
+    // fingerprints) in trace order on the coordinator. ----------------
+    let mut runs: Vec<Run> = Vec::new();
+    for (step, op) in trace.ops.iter().enumerate() {
+        let want_write = is_write(op);
+        let start_new = match runs.last() {
+            Some(Run::Writes(_)) => !want_write,
+            Some(Run::Reads(_)) => want_write,
+            None => true,
+        };
+        if start_new {
+            runs.push(if want_write {
+                Run::Writes(Vec::new())
+            } else {
+                Run::Reads(Vec::new())
+            });
+        }
+        match (runs.last_mut().unwrap(), op) {
+            (Run::Writes(steps), TraceOp::Publish { image, generation })
+            | (Run::Writes(steps), TraceOp::Upgrade { image, generation }) => {
+                if matches!(op, TraceOp::Publish { .. }) {
+                    publishes += 1;
+                } else {
+                    upgrades += 1;
                 }
-                if r.store.name() != "Expelliarmus" {
-                    let full = oracle::full_fingerprint(&world.catalog, &vmi);
-                    if full != expect.full_fp {
+                let vmi = world.build(image, *generation);
+                let expect = LiveImage {
+                    request: RetrieveRequest::for_image(&vmi, &world.catalog),
+                    semantic_fp: oracle::semantic_fingerprint(&world.catalog, &vmi),
+                    full_fp: oracle::full_fingerprint(&world.catalog, &vmi),
+                };
+                live.insert(image.clone(), expect.clone());
+                steps.push(WriteStep::Publish {
+                    step,
+                    image: image.clone(),
+                    vmi_idx: vmis.len(),
+                });
+                vmis.push(vmi);
+                publish_fps.push(expect);
+            }
+            (Run::Writes(steps), TraceOp::Delete { image }) => {
+                deletes += 1;
+                let probe = live
+                    .get(image)
+                    .expect("trace only deletes live")
+                    .request
+                    .clone();
+                live.remove(image);
+                steps.push(WriteStep::Delete {
+                    step,
+                    image: image.clone(),
+                    probe,
+                });
+            }
+            (Run::Reads(steps), TraceOp::Retrieve { image }) => {
+                retrieves += 1;
+                steps.push(ReadStep {
+                    step,
+                    image: image.clone(),
+                });
+            }
+            (Run::Reads(steps), TraceOp::Burst { image, count }) => {
+                bursts += 1;
+                for _ in 0..*count {
+                    burst_retrieves += 1;
+                    steps.push(ReadStep {
+                        step,
+                        image: image.clone(),
+                    });
+                }
+            }
+            _ => unreachable!("run kind matches op kind by construction"),
+        }
+    }
+
+    // The precompute above consumed `live` transitions; rebuild the
+    // replay-time view incrementally while executing runs below. The
+    // final `live` (after the loop) is what the summary needs, so keep
+    // it; per-run expectations are resolved against `fingerprints`,
+    // which tracks the latest publish of each image and is updated in
+    // run order.
+    let mut fingerprints: FxHashMap<String, LiveImage> = FxHashMap::default();
+
+    for run in &runs {
+        match run {
+            Run::Writes(steps) => {
+                // Update the oracle's view in trace order first (publish
+                // payloads were precomputed; fingerprints resolve to the
+                // *latest* generation at each point of a read run, which
+                // is exactly the state after this whole write run).
+                for ws in steps {
+                    match ws {
+                        WriteStep::Publish { image, vmi_idx, .. } => {
+                            fingerprints.insert(image.clone(), publish_fps[*vmi_idx].clone());
+                        }
+                        WriteStep::Delete { image, .. } => {
+                            fingerprints.remove(image);
+                        }
+                    }
+                }
+                // Each replica applies the whole run in trace order; the
+                // five replicas advance in parallel. Every mutation is
+                // followed by the same per-op integrity audit as the
+                // sequential driver.
+                let results: Vec<(Vec<String>, u64)> = replicas
+                    .iter_mut()
+                    .collect::<Vec<&mut Replica>>()
+                    .into_par_iter()
+                    .map(|r| {
+                        let mut v = Vec::new();
+                        let mut c = 0u64;
+                        for ws in steps {
+                            match ws {
+                                WriteStep::Publish {
+                                    step,
+                                    image,
+                                    vmi_idx,
+                                } => {
+                                    apply_publish(
+                                        r,
+                                        &world,
+                                        &vmis[*vmi_idx],
+                                        image,
+                                        *step,
+                                        &mut v,
+                                        &mut c,
+                                    );
+                                }
+                                WriteStep::Delete { step, image, probe } => {
+                                    apply_delete(r, &world, image, probe, *step, &mut v, &mut c);
+                                }
+                            }
+                            c += 1;
+                            if let Err(e) = r.store.check_integrity() {
+                                v.push(format!(
+                                    "{}: integrity after mutation: {e}",
+                                    r.store.name()
+                                ));
+                            }
+                        }
+                        (v, c)
+                    })
+                    .collect();
+                for (v, c) in results {
+                    violations.extend(v);
+                    checks += c;
+                }
+            }
+            Run::Reads(steps) => {
+                // Conflict groups: one per image name, retrievals in
+                // trace order within a group, groups × replicas on the
+                // pool.
+                let mut group_order: Vec<&str> = Vec::new();
+                let mut groups: FxHashMap<&str, Vec<&ReadStep>> = FxHashMap::default();
+                for rs in steps {
+                    groups
+                        .entry(rs.image.as_str())
+                        .or_insert_with(|| {
+                            group_order.push(rs.image.as_str());
+                            Vec::new()
+                        })
+                        .push(rs);
+                }
+                let mut tasks: Vec<(&Replica, &[&ReadStep])> = Vec::new();
+                for r in replicas.iter() {
+                    for image in &group_order {
+                        tasks.push((r, &groups[image]));
+                    }
+                }
+                let results: Vec<(Vec<String>, u64)> = tasks
+                    .into_par_iter()
+                    .map(|(r, group)| {
+                        let mut v = Vec::new();
+                        let mut c = 0u64;
+                        for rs in group {
+                            match fingerprints.get(&rs.image) {
+                                Some(expect) => {
+                                    check_retrieve(
+                                        r, &world, expect, &rs.image, rs.step, &mut v, &mut c,
+                                    );
+                                }
+                                None => v.push(format!(
+                                    "step {}: trace retrieved dead image {}",
+                                    rs.step, rs.image
+                                )),
+                            }
+                        }
+                        (v, c)
+                    })
+                    .collect();
+                for (v, c) in results {
+                    violations.extend(v);
+                    checks += c;
+                }
+                // Quiesce audit: one integrity check per store.
+                for r in &replicas {
+                    checks += 1;
+                    if let Err(v) = r.store.check_integrity() {
                         violations.push(format!(
-                            "step {step} {}: {image} full fingerprint diverged",
+                            "{}: integrity at retrieval-run quiesce: {v}",
                             r.store.name()
                         ));
                     }
                 }
-                if report.bytes_read == 0 || report.duration.as_nanos() == 0 {
-                    violations.push(format!(
-                        "step {step} {}: free retrieval of {image}",
-                        r.store.name()
-                    ));
-                }
-                if r.store.repo_bytes() != before {
-                    violations.push(format!(
-                        "step {step} {}: retrieval of {image} changed repo size",
-                        r.store.name()
-                    ));
-                }
             }
-            Err(e) => violations.push(format!(
-                "step {step} {}: retrieve {image} failed: {e}",
-                r.store.name()
-            )),
         }
+    }
+
+    // Closing deep audit: every CAS blob re-hashed, once per store.
+    for r in &replicas {
+        checks += 1;
+        if let Err(v) = r.store.check_integrity_deep() {
+            violations.push(format!("final {}: deep integrity: {v}", r.store.name()));
+        }
+    }
+
+    ChurnReport {
+        seed: cfg.seed,
+        ops: trace.ops.len(),
+        publishes,
+        retrieves,
+        upgrades,
+        deletes,
+        bursts,
+        burst_retrieves,
+        oracle_checks: checks,
+        trace_sha256: trace.digest_hex(),
+        stores: replicas
+            .iter()
+            .map(|r| StoreSummary {
+                store: r.store.name().to_string(),
+                final_repo_bytes: r.store.repo_bytes(),
+                final_images: live.len(),
+                bytes_added_total: r.added_total,
+                bytes_freed_total: r.freed_total,
+                sim_seconds: r.sim_seconds,
+            })
+            .collect(),
+        violations,
     }
 }
 
@@ -393,5 +773,33 @@ mod tests {
         let (_, a) = churn_trace(&cfg);
         let (_, b) = churn_trace(&cfg);
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn concurrent_short_churn_is_clean() {
+        let report = run_churn_threads(&ChurnConfig::small(0xBEEF, 60), 4);
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+        assert_eq!(report.ops, 60);
+        assert_eq!(report.stores.len(), 5);
+    }
+
+    #[test]
+    fn concurrent_mode_final_state_matches_sequential() {
+        // The per-op check structure differs between the two drivers
+        // (quiesce points vs. after-every-op), but the replayed end
+        // state — repository bytes, totals, live images — must agree.
+        let cfg = ChurnConfig::small(0x5EED, 80);
+        let seq = run_churn(&cfg);
+        let conc = run_churn_threads(&cfg, 4);
+        assert!(seq.violations.is_empty(), "{:#?}", seq.violations);
+        assert!(conc.violations.is_empty(), "{:#?}", conc.violations);
+        for (a, b) in seq.stores.iter().zip(&conc.stores) {
+            assert_eq!(a.store, b.store);
+            assert_eq!(a.final_repo_bytes, b.final_repo_bytes, "{}", a.store);
+            assert_eq!(a.final_images, b.final_images);
+            assert_eq!(a.bytes_added_total, b.bytes_added_total, "{}", a.store);
+            assert_eq!(a.bytes_freed_total, b.bytes_freed_total, "{}", a.store);
+            assert_eq!(a.sim_seconds, b.sim_seconds, "{}", a.store);
+        }
     }
 }

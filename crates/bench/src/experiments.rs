@@ -1,8 +1,16 @@
 //! Experiment runners for every table and figure.
+//!
+//! Multi-store sweeps (Figures 3, 4, 5b) fan the stores out across the
+//! worker pool: each store owns its simulated environment and publishes
+//! the same prebuilt image sequence in order, so the per-store series —
+//! and the JSON written by `repro all` — are byte-identical to a
+//! sequential run regardless of pool size.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
 use xpl_core::{ExpelliarmusRepo, PublishMode};
+use xpl_guestfs::Vmi;
 use xpl_store::{ImageStore, RetrieveRequest};
 use xpl_util::bytesize::nominal_gb;
 use xpl_workloads::World;
@@ -27,7 +35,7 @@ pub struct Table2Result {
 /// Reproduce Table II: publish the 19 images in order into Expelliarmus,
 /// then retrieve each; report characteristics and times.
 pub fn table2(world: &World) -> Table2Result {
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     let mut rows = Vec::new();
     let mut retrieve_reqs = Vec::new();
     for name in world.image_names() {
@@ -70,7 +78,7 @@ pub struct Fig3Result {
 }
 
 /// Reproduce Figure 3 (a/b/c): cumulative repository growth across the
-/// five encoding schemes.
+/// five encoding schemes, one pool worker per store.
 pub fn fig3_sizes(world: &World, scenario: Fig3Scenario) -> Fig3Result {
     let names: Vec<String> = match scenario {
         Fig3Scenario::FourImages => ["Mini", "Base", "Desktop", "IDE"]
@@ -80,46 +88,38 @@ pub fn fig3_sizes(world: &World, scenario: Fig3Scenario) -> Fig3Result {
         Fig3Scenario::Nineteen => world.image_names().iter().map(|s| s.to_string()).collect(),
         Fig3Scenario::IdeBuilds(n) => (0..n).map(|k| format!("IDE-build-{k:02}")).collect(),
     };
-
-    let mut qcow = QcowStore::new(world.env());
-    let mut gzip = GzipStore::new(world.env());
-    let mut mirage = MirageStore::new(world.env());
-    let mut hemera = HemeraStore::new(world.env());
-    let mut xpl = ExpelliarmusRepo::new(world.env());
-
-    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for name in &names {
-        let vmi = match scenario {
+    let vmis: Vec<Vmi> = names
+        .iter()
+        .map(|name| match scenario {
             Fig3Scenario::IdeBuilds(_) => {
                 let k: u32 = name.rsplit('-').next().unwrap().parse().unwrap();
                 world.ide_build(k)
             }
             _ => world.build_image(name),
-        };
-        qcow.publish(&world.catalog, &vmi).expect("qcow publish");
-        gzip.publish(&world.catalog, &vmi).expect("gzip publish");
-        mirage
-            .publish(&world.catalog, &vmi)
-            .expect("mirage publish");
-        hemera
-            .publish(&world.catalog, &vmi)
-            .expect("hemera publish");
-        xpl.publish(&world.catalog, &vmi).expect("xpl publish");
-        curves[0].push(nominal_gb(qcow.repo_bytes()));
-        curves[1].push(nominal_gb(gzip.repo_bytes()));
-        curves[2].push(nominal_gb(mirage.repo_bytes()));
-        curves[3].push(nominal_gb(hemera.repo_bytes()));
-        curves[4].push(nominal_gb(xpl.repo_bytes()));
-    }
+        })
+        .collect();
+
+    let stores: Vec<Box<dyn ImageStore>> = vec![
+        Box::new(QcowStore::new(world.env())),
+        Box::new(GzipStore::new(world.env())),
+        Box::new(MirageStore::new(world.env())),
+        Box::new(HemeraStore::new(world.env())),
+        Box::new(ExpelliarmusRepo::new(world.env())),
+    ];
+    let series: Vec<(String, Vec<f64>)> = stores
+        .into_par_iter()
+        .map(|store| {
+            let mut curve = Vec::with_capacity(vmis.len());
+            for vmi in &vmis {
+                store.publish(&world.catalog, vmi).expect("publish");
+                curve.push(nominal_gb(store.repo_bytes()));
+            }
+            (store.name().to_string(), curve)
+        })
+        .collect();
     Fig3Result {
         images: names,
-        series: vec![
-            ("Qcow2".into(), curves[0].clone()),
-            ("Qcow2+Gzip".into(), curves[1].clone()),
-            ("Mirage".into(), curves[2].clone()),
-            ("Hemera".into(), curves[3].clone()),
-            ("Expelliarmus".into(), curves[4].clone()),
-        ],
+        series,
     }
 }
 
@@ -144,53 +144,45 @@ pub fn fig4b_publish(world: &World) -> PublishTimesResult {
 }
 
 fn publish_times(world: &World, names: &[&str], with_semantic: bool) -> PublishTimesResult {
-    let mut xpl = ExpelliarmusRepo::new(world.env());
-    let mut sem = with_semantic
-        .then(|| ExpelliarmusRepo::with_mode(world.env(), PublishMode::SemanticDecomposition));
-    let mut mirage = MirageStore::new(world.env());
-    let mut hemera = HemeraStore::new(world.env());
-
-    let mut xpl_s = Vec::new();
-    let mut sem_s = Vec::new();
-    let mut mir_s = Vec::new();
-    let mut hem_s = Vec::new();
-    for name in names {
-        let vmi = world.build_image(name);
-        xpl_s.push(
-            xpl.publish(&world.catalog, &vmi)
-                .expect("xpl")
-                .duration
-                .as_secs_f64(),
-        );
-        if let Some(sem) = sem.as_mut() {
-            sem_s.push(
-                sem.publish(&world.catalog, &vmi)
-                    .expect("sem")
-                    .duration
-                    .as_secs_f64(),
-            );
-        }
-        mir_s.push(
-            mirage
-                .publish(&world.catalog, &vmi)
-                .expect("mirage")
-                .duration
-                .as_secs_f64(),
-        );
-        hem_s.push(
-            hemera
-                .publish(&world.catalog, &vmi)
-                .expect("hemera")
-                .duration
-                .as_secs_f64(),
-        );
-    }
-    let mut series = vec![("Expelliarmus".to_string(), xpl_s)];
+    let vmis: Vec<Vmi> = names.iter().map(|n| world.build_image(n)).collect();
+    let mut stores: Vec<(String, Box<dyn ImageStore>)> = vec![(
+        "Expelliarmus".to_string(),
+        Box::new(ExpelliarmusRepo::new(world.env())),
+    )];
     if with_semantic {
-        series.push(("Semantic".to_string(), sem_s));
+        stores.push((
+            "Semantic".to_string(),
+            Box::new(ExpelliarmusRepo::with_mode(
+                world.env(),
+                PublishMode::SemanticDecomposition,
+            )),
+        ));
     }
-    series.push(("Mirage".to_string(), mir_s));
-    series.push(("Hemera".to_string(), hem_s));
+    stores.push((
+        "Mirage".to_string(),
+        Box::new(MirageStore::new(world.env())),
+    ));
+    stores.push((
+        "Hemera".to_string(),
+        Box::new(HemeraStore::new(world.env())),
+    ));
+
+    let series: Vec<(String, Vec<f64>)> = stores
+        .into_par_iter()
+        .map(|(label, store)| {
+            let times: Vec<f64> = vmis
+                .iter()
+                .map(|vmi| {
+                    store
+                        .publish(&world.catalog, vmi)
+                        .expect("publish")
+                        .duration
+                        .as_secs_f64()
+                })
+                .collect();
+            (label, times)
+        })
+        .collect();
     PublishTimesResult {
         images: names.iter().map(|s| s.to_string()).collect(),
         series,
@@ -206,7 +198,7 @@ pub struct Fig5aResult {
 }
 
 pub fn fig5a_breakdown(world: &World) -> Fig5aResult {
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     let mut reqs = Vec::new();
     for name in world.image_names() {
         let vmi = world.build_image(name);
@@ -241,57 +233,44 @@ pub struct Fig5bResult {
 }
 
 pub fn fig5b_retrieval(world: &World) -> Fig5bResult {
-    let mut mirage = MirageStore::new(world.env());
-    let mut hemera = HemeraStore::new(world.env());
-    let mut xpl = ExpelliarmusRepo::new(world.env());
-    let mut reqs = Vec::new();
-    for name in world.image_names() {
-        let vmi = world.build_image(name);
-        mirage.publish(&world.catalog, &vmi).expect("mirage");
-        hemera.publish(&world.catalog, &vmi).expect("hemera");
-        xpl.publish(&world.catalog, &vmi).expect("xpl");
-        reqs.push((
-            name.to_string(),
-            RetrieveRequest::for_image(&vmi, &world.catalog),
-        ));
-    }
-    let mut images = Vec::new();
-    let mut mir_s = Vec::new();
-    let mut hem_s = Vec::new();
-    let mut xpl_s = Vec::new();
-    for (name, req) in reqs {
-        mir_s.push(
-            mirage
-                .retrieve(&world.catalog, &req)
-                .expect("mirage")
-                .1
-                .duration
-                .as_secs_f64(),
-        );
-        hem_s.push(
-            hemera
-                .retrieve(&world.catalog, &req)
-                .expect("hemera")
-                .1
-                .duration
-                .as_secs_f64(),
-        );
-        xpl_s.push(
-            xpl.retrieve(&world.catalog, &req)
-                .expect("xpl")
-                .1
-                .duration
-                .as_secs_f64(),
-        );
-        images.push(name);
-    }
+    let built: Vec<(String, Vmi, RetrieveRequest)> = world
+        .image_names()
+        .iter()
+        .map(|name| {
+            let vmi = world.build_image(name);
+            let req = RetrieveRequest::for_image(&vmi, &world.catalog);
+            (name.to_string(), vmi, req)
+        })
+        .collect();
+
+    let stores: Vec<Box<dyn ImageStore>> = vec![
+        Box::new(MirageStore::new(world.env())),
+        Box::new(HemeraStore::new(world.env())),
+        Box::new(ExpelliarmusRepo::new(world.env())),
+    ];
+    let series: Vec<(String, Vec<f64>)> = stores
+        .into_par_iter()
+        .map(|store| {
+            for (_, vmi, _) in &built {
+                store.publish(&world.catalog, vmi).expect("publish");
+            }
+            let times: Vec<f64> = built
+                .iter()
+                .map(|(_, _, req)| {
+                    store
+                        .retrieve(&world.catalog, req)
+                        .expect("retrieve")
+                        .1
+                        .duration
+                        .as_secs_f64()
+                })
+                .collect();
+            (store.name().to_string(), times)
+        })
+        .collect();
     Fig5bResult {
-        images,
-        series: vec![
-            ("Mirage".into(), mir_s),
-            ("Hemera".into(), hem_s),
-            ("Expelliarmus".into(), xpl_s),
-        ],
+        images: built.into_iter().map(|(name, _, _)| name).collect(),
+        series,
     }
 }
 
@@ -318,5 +297,24 @@ mod tests {
             "semantic must beat raw"
         );
         assert!(last("Mirage") < last("Qcow2"));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_byte_for_byte() {
+        // `repro all`'s acceptance pin: the five-store sweep must emit
+        // identical JSON whether the pool runs one worker or many.
+        let w = World::small();
+        let par = rayon::with_num_threads(4, || fig3_sizes(&w, Fig3Scenario::Nineteen));
+        let seq = rayon::with_num_threads(1, || fig3_sizes(&w, Fig3Scenario::Nineteen));
+        assert_eq!(
+            serde_json::to_string_pretty(&par).unwrap(),
+            serde_json::to_string_pretty(&seq).unwrap()
+        );
+        let p4 = rayon::with_num_threads(4, || fig4b_publish(&w));
+        let s4 = rayon::with_num_threads(1, || fig4b_publish(&w));
+        assert_eq!(
+            serde_json::to_string_pretty(&p4).unwrap(),
+            serde_json::to_string_pretty(&s4).unwrap()
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! criterion shim): warm up once, then run enough iterations to fill a
 //! time budget.
 
+use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
 use xpl_chunking::rabin::{chunk_cdc, CdcParams};
@@ -52,6 +53,13 @@ pub struct EndToEnd {
     /// Images published into a fresh Expelliarmus repository.
     pub publish_images: usize,
     pub publish_wall_s: f64,
+    /// The same catalog published into all five stores: one store per
+    /// pool worker (`&self` publishes) vs. the pool pinned to one
+    /// thread. The concurrency dividend of the shared-access refactor.
+    pub five_store_publish_sequential_wall_s: f64,
+    pub five_store_publish_concurrent_wall_s: f64,
+    /// `sequential / concurrent`; ≈ 1.0 on single-core hosts.
+    pub five_store_publish_speedup: f64,
     /// Churn replay (all five stores, differential oracle on).
     pub churn_ops: usize,
     pub churn_scale: String,
@@ -184,12 +192,38 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     let world = World::small();
     let names = world.image_names();
     let t0 = Instant::now();
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     for name in &names {
         let vmi = world.build_image(name);
         repo.publish(&world.catalog, &vmi).expect("publish");
     }
     let publish_wall_s = t0.elapsed().as_secs_f64();
+
+    // Five-store publish sweep: pool of one vs. one worker per store.
+    // Images are prebuilt so only store work is timed, and each store's
+    // *internal* parallelism (Mirage/Hemera scan+hash, parallel gzip) is
+    // pinned to one thread in both legs — the measured difference is
+    // store-level fan-out through the `&self` interfaces, nothing else.
+    let vmis: Vec<_> = names.iter().map(|n| world.build_image(n)).collect();
+    let sweep = |threads: usize| {
+        rayon::with_num_threads(threads, || {
+            let stores = five_store_set(&world);
+            let t = Instant::now();
+            let _: Vec<()> = stores
+                .into_par_iter()
+                .map(|store| {
+                    rayon::with_num_threads(1, || {
+                        for vmi in &vmis {
+                            store.publish(&world.catalog, vmi).expect("publish");
+                        }
+                    })
+                })
+                .collect();
+            t.elapsed().as_secs_f64()
+        })
+    };
+    let five_seq = sweep(1);
+    let five_conc = sweep(rayon::current_num_threads().clamp(2, 5));
 
     let churn_ops = if quick { 40 } else { 500 };
     let cfg = if quick {
@@ -207,7 +241,7 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     );
 
     BenchReport {
-        schema_version: 1,
+        schema_version: 2,
         quick,
         host_cpus: std::thread::available_parallelism()
             .map(|n| n.get())
@@ -217,11 +251,26 @@ pub fn run_microbench(quick: bool) -> BenchReport {
         end_to_end: EndToEnd {
             publish_images: names.len(),
             publish_wall_s,
+            five_store_publish_sequential_wall_s: five_seq,
+            five_store_publish_concurrent_wall_s: five_conc,
+            five_store_publish_speedup: five_seq / five_conc,
             churn_ops,
             churn_scale: if quick { "small" } else { "standard" }.to_string(),
             churn_wall_s,
         },
     }
+}
+
+/// The five evaluated stores over fresh environments (bench-local copy;
+/// the churn module's equivalent is private to its oracle).
+fn five_store_set(world: &World) -> Vec<Box<dyn ImageStore>> {
+    vec![
+        Box::new(xpl_baselines::QcowStore::new(world.env())),
+        Box::new(xpl_baselines::GzipStore::new(world.env())),
+        Box::new(xpl_baselines::MirageStore::new(world.env())),
+        Box::new(xpl_baselines::HemeraStore::new(world.env())),
+        Box::new(ExpelliarmusRepo::new(world.env())),
+    ]
 }
 
 /// Validate a `BENCH.json` produced by [`run_microbench`]: every
@@ -234,8 +283,8 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         .get("schema_version")
         .and_then(|s| s.as_f64())
         .ok_or("missing schema_version")?;
-    if schema != 1.0 {
-        return Err(format!("unsupported schema_version {schema} (expected 1)"));
+    if schema != 2.0 {
+        return Err(format!("unsupported schema_version {schema} (expected 2)"));
     }
     let kernels = v
         .get("kernels")
@@ -276,7 +325,13 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
             return Err(format!("{}/{}: {t} not positive", path.0, path.1));
         }
     }
-    for field in ["publish_wall_s", "churn_wall_s"] {
+    for field in [
+        "publish_wall_s",
+        "five_store_publish_sequential_wall_s",
+        "five_store_publish_concurrent_wall_s",
+        "five_store_publish_speedup",
+        "churn_wall_s",
+    ] {
         let t = v
             .get("end_to_end")
             .and_then(|e| e.get(field))
@@ -327,6 +382,13 @@ pub fn render(report: &BenchReport) -> String {
         s,
         "publish          {} images in {:.3}s",
         e.publish_images, e.publish_wall_s
+    );
+    let _ = writeln!(
+        s,
+        "publish-5-store  sequential {:.3}s, concurrent {:.3}s, speedup {:.2}x",
+        e.five_store_publish_sequential_wall_s,
+        e.five_store_publish_concurrent_wall_s,
+        e.five_store_publish_speedup
     );
     let _ = writeln!(
         s,

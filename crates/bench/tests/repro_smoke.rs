@@ -61,6 +61,36 @@ fn churn_subcommand_emits_json_and_passes_oracle() {
 }
 
 #[test]
+fn churn_threads_flag_is_thread_count_invariant() {
+    // The concurrent driver through the CLI: --threads 1 and --threads 4
+    // must print the same report and write the same JSON.
+    let path =
+        |t: usize| std::env::temp_dir().join(format!("churn-mt-{}-{t}.json", std::process::id()));
+    let run = |threads: usize| {
+        let p = path(threads);
+        let out = repro()
+            .args(["churn", "--seed", "7", "--ops", "40"])
+            .args(["--threads", &threads.to_string()])
+            .args(["--json", p.to_str().unwrap()])
+            .output()
+            .expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "oracle must pass at {threads} threads; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&p).expect("churn JSON written");
+        std::fs::remove_file(&p).ok();
+        (String::from_utf8_lossy(&out.stdout).into_owned(), json)
+    };
+    let (stdout1, json1) = run(1);
+    let (stdout4, json4) = run(4);
+    assert_eq!(json1, json4, "JSON must be byte-identical across pools");
+    assert_eq!(stdout1, stdout4);
+    assert!(stdout1.contains("oracle: PASS"), "{stdout1}");
+}
+
+#[test]
 fn churn_is_deterministic_across_processes() {
     let run = || {
         let out = repro()

@@ -7,11 +7,11 @@
 //! paper reports <100 ms of similarity computation per VMI, which is what
 //! the `sim_per_vertex` charge reproduces.
 
-use crate::repo::RepoState;
+use crate::repo::SemanticState;
 use xpl_guestfs::{GuestHandle, Vmi};
 use xpl_pkg::Catalog;
 use xpl_semgraph::SemanticGraph;
-use xpl_simio::SimDuration;
+use xpl_simio::{SimDuration, SimEnv};
 
 /// Result of analyzing an uploaded image.
 pub struct Analysis {
@@ -23,9 +23,12 @@ pub struct Analysis {
     pub best_master: Option<String>,
 }
 
-/// Analyze `vmi` through `handle`, consulting the current masters.
+/// Analyze `vmi` through `handle`, consulting the current masters. The
+/// caller passes the semantic section it already holds (publish runs
+/// under the mutation gate, so the read guard is uncontended).
 pub fn analyze(
-    state: &RepoState,
+    env: &SimEnv,
+    semantic: &SemanticState,
     catalog: &Catalog,
     handle: &GuestHandle<'_>,
     vmi: &Vmi,
@@ -54,13 +57,12 @@ pub fn analyze(
     // Similarity against each master with the same attribute quadruple.
     let key = vmi.base.key();
     let mut best: Option<(String, f64)> = None;
-    for base in state.bases_with_attrs(&key) {
-        if let Some(master) = state.masters.get(&base.id) {
+    for base in semantic.bases_with_attrs(&key) {
+        if let Some(master) = semantic.masters.get(&base.id) {
             let compared =
                 graph.package_count() + master.package_count() + master.base_vertices.len();
-            state.env.local.charge_fixed(SimDuration(
-                state.env.costs.sim_per_vertex.0 * compared as u64,
-            ));
+            env.local
+                .charge_fixed(SimDuration(env.costs.sim_per_vertex.0 * compared as u64));
             let s = master.similarity_to(&graph);
             if best.as_ref().is_none_or(|(_, b)| s > *b) {
                 best = Some((base.id.clone(), s));
@@ -93,7 +95,8 @@ mod tests {
         let env = repo.env().clone();
         let handle = GuestHandle::launch(&env, &mut mini);
         let vmi_copy = handle.vmi().clone();
-        let a = analyze(&repo.state, &w.catalog, &handle, &vmi_copy);
+        let sem = repo.state.semantic.read().unwrap();
+        let a = analyze(&env, &sem, &w.catalog, &handle, &vmi_copy);
         assert_eq!(a.similarity, 0.0);
         assert!(a.best_master.is_none());
         assert!(a.graph.package_count() > 3);
@@ -102,7 +105,7 @@ mod tests {
     #[test]
     fn second_similar_image_scores_high() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         let mini = w.build_image("mini");
         repo.publish(&w.catalog, &mini).unwrap();
 
@@ -110,7 +113,8 @@ mod tests {
         let env = repo.env().clone();
         let handle = GuestHandle::launch(&env, &mut redis);
         let vmi_copy = handle.vmi().clone();
-        let a = analyze(&repo.state, &w.catalog, &handle, &vmi_copy);
+        let sem = repo.state.semantic.read().unwrap();
+        let a = analyze(&env, &sem, &w.catalog, &handle, &vmi_copy);
         assert!(
             a.similarity > 0.5,
             "redis vs mini-master similarity {}",
@@ -124,14 +128,15 @@ mod tests {
         // The paper claims <100 ms similarity cost per VMI; verify the
         // charged time for the analysis phase is of that order.
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
         let mut redis = w.build_image("redis");
         let env = repo.env().clone();
         let handle = GuestHandle::launch(&env, &mut redis);
         let vmi_copy = handle.vmi().clone();
+        let sem = repo.state.semantic.read().unwrap();
         let t0 = env.clock.now();
-        analyze(&repo.state, &w.catalog, &handle, &vmi_copy);
+        analyze(&env, &sem, &w.catalog, &handle, &vmi_copy);
         let dt = env.clock.since(t0).as_secs_f64();
         assert!(dt < 0.2, "analysis charged {dt}s");
     }

@@ -6,6 +6,13 @@
 //! from the image (lines 7–11); select a base image (line 14); store the
 //! new base + master graph, or merge into the selected base's master
 //! (lines 15–21); absorb and delete replaced bases (lines 22–28).
+//!
+//! Publishing holds the repository's operation gate in write mode for
+//! its whole run: Algorithm 1 is order-sensitive (similarity, base
+//! selection and master consolidation all read the evolving repository),
+//! so publishes serialize — and because retrievals hold the same gate in
+//! read mode, a publish can never release a replaced generation's CAS
+//! blobs while an assembly is reading them.
 
 use crate::analyzer;
 use crate::repo::{IndexedPackage, RepoState, StoredBase, StoredData};
@@ -31,10 +38,11 @@ pub enum PublishMode {
 
 /// Run Algorithm 1 for `vmi`.
 pub fn publish(
-    state: &mut RepoState,
+    state: &RepoState,
     catalog: &Catalog,
     vmi: &Vmi,
 ) -> Result<PublishReport, StoreError> {
+    let _gate = state.op_gate.write().unwrap();
     let env = state.env.clone();
     let t0 = env.clock.now();
     let bytes_before = state.repo_bytes();
@@ -52,7 +60,8 @@ pub fn publish(
     // ---- Semantic analysis (§IV-B). --------------------------------
     let vmi_snapshot = handle.vmi().clone();
     let analysis = report.breakdown.measure(&env.clock, "analyze", || {
-        analyzer::analyze(state, catalog, &handle, &vmi_snapshot)
+        let semantic = state.semantic.read().unwrap();
+        analyzer::analyze(&env, &semantic, catalog, &handle, &vmi_snapshot)
     });
     report.similarity = analysis.similarity;
     let graph = analysis.graph;
@@ -71,8 +80,13 @@ pub fn publish(
             for v in &primary_sub.vertices {
                 let meta = catalog.get(v.pkg);
                 let identity = meta.identity();
-                if let Some(indexed) = state.package_index.get(&identity) {
-                    let digest = indexed.digest;
+                let indexed_digest = state
+                    .package_index
+                    .read()
+                    .unwrap()
+                    .get(&identity)
+                    .map(|p| p.digest);
+                if let Some(digest) = indexed_digest {
                     if state.mode == PublishMode::SemanticDecomposition {
                         // The variant rebuilds the package anyway; the CAS
                         // dedups it, and the put doubles as this image's ref.
@@ -93,7 +107,7 @@ pub fn publish(
                 // installed size) and store it.
                 let deb = handle.export_deb(catalog, v.pkg);
                 state.packages.put_with_digest(deb.digest, &deb.bytes);
-                state.package_index.insert(
+                state.package_index.write().unwrap().insert(
                     identity.clone(),
                     IndexedPackage {
                         digest: deb.digest,
@@ -101,7 +115,7 @@ pub fn publish(
                         installed_size: meta.installed_size,
                     },
                 );
-                let _ = state.db.insert(
+                let _ = state.db.lock().unwrap().insert(
                     "packages",
                     vec![
                         Value::from(identity),
@@ -128,7 +142,11 @@ pub fn publish(
             stored.files.push(f);
             stored.digests.push(digest);
         }
-        state.data_index.insert(handle.vmi().name.clone(), stored)
+        state
+            .data_index
+            .write()
+            .unwrap()
+            .insert(handle.vmi().name.clone(), stored)
     });
 
     // ---- Strip the image down to the base (lines 7–11). --------------
@@ -153,14 +171,19 @@ pub fn publish(
     let base_graph = graph.base_subgraph();
     let base_attrs = handle.vmi().base.clone();
     let selection = report.breakdown.measure(&env.clock, "select base", || {
-        select_base_image(state, &base_attrs, &base_graph, &primary_sub)
+        let semantic = state.semantic.read().unwrap();
+        select_base_image(&semantic, &base_attrs, &base_graph, &primary_sub)
     });
 
     let base_id = match &selection.chosen_existing {
         None => {
             // Store the incoming base (lines 15–17): reset, repack,
             // upload, create its master graph.
-            let id = format!("base:{}:{}", base_attrs.key(), state.bases.len());
+            let id = format!(
+                "base:{}:{}",
+                base_attrs.key(),
+                state.semantic.read().unwrap().bases.len()
+            );
             report.breakdown.measure(&env.clock, "store base", || {
                 handle.sysprep_reset();
                 let work = handle.vmi_mut();
@@ -174,7 +197,7 @@ pub fn publish(
                         * qcow_bytes.saturating_mul(xpl_util::SCALE_FACTOR),
                 ));
                 env.local.charge_copy_to(&env.repo, qcow_bytes);
-                let _ = state.db.insert(
+                let _ = state.db.lock().unwrap().insert(
                     "bases",
                     vec![
                         Value::from(id.clone()),
@@ -182,7 +205,8 @@ pub fn publish(
                         Value::from(qcow_bytes),
                     ],
                 );
-                state.bases.push(StoredBase {
+                let mut semantic = state.semantic.write().unwrap();
+                semantic.bases.push(StoredBase {
                     id: id.clone(),
                     attrs: work.base.clone(),
                     fs: work.fs.clone(),
@@ -190,7 +214,7 @@ pub fn publish(
                     qcow_bytes,
                     base_graph: base_graph.clone(),
                 });
-                state
+                semantic
                     .masters
                     .insert(id.clone(), MasterGraph::create(&graph));
             });
@@ -198,7 +222,8 @@ pub fn publish(
         }
         Some(id) => {
             // Merge into the existing master (lines 19–21).
-            let master = state
+            let mut semantic = state.semantic.write().unwrap();
+            let master = semantic
                 .masters
                 .get_mut(id)
                 .ok_or_else(|| StoreError::Corrupt(format!("master missing for base {id}")))?;
@@ -211,20 +236,25 @@ pub fn publish(
     let image_name = work.name.clone();
 
     // ---- Absorb and delete replaced bases (lines 22–28). -------------
-    for replaced_id in &selection.replace {
-        if replaced_id == &base_id {
-            continue;
-        }
-        if let Some(replaced_master) = state.masters.get(replaced_id).cloned() {
-            if let Some(master) = state.masters.get_mut(&base_id) {
-                master.absorb_master(&replaced_master);
+    {
+        let mut semantic = state.semantic.write().unwrap();
+        for replaced_id in &selection.replace {
+            if replaced_id == &base_id {
+                continue;
             }
+            if let Some(replaced_master) = semantic.masters.get(replaced_id).cloned() {
+                if let Some(master) = semantic.masters.get_mut(&base_id) {
+                    master.absorb_master(&replaced_master);
+                }
+            }
+            semantic.remove_base(replaced_id);
         }
-        state.remove_base(replaced_id);
     }
 
     let new_row = state
         .db
+        .lock()
+        .unwrap()
         .insert(
             "images",
             vec![
@@ -234,17 +264,22 @@ pub fn publish(
             ],
         )
         .ok();
-    if !state.published.iter().any(|n| n == &image_name) {
-        state.published.push(image_name.clone());
+    {
+        let mut published = state.published.write().unwrap();
+        if !published.iter().any(|n| n == &image_name) {
+            published.push(image_name.clone());
+        }
     }
 
     // ---- Release the replaced generation (re-publish / upgrade). -----
     // The new generation already holds its references, so content shared
     // across generations survives the release.
-    if let Some(old_refs) = state
+    let old_refs = state
         .image_packages
-        .insert(image_name.clone(), package_refs)
-    {
+        .write()
+        .unwrap()
+        .insert(image_name.clone(), package_refs);
+    if let Some(old_refs) = old_refs {
         for digest in old_refs {
             state.release_package_ref(&digest)?;
         }
@@ -257,13 +292,13 @@ pub fn publish(
                 .map_err(|_| StoreError::Corrupt(format!("stale data blob {digest}")))?;
         }
     }
-    if let Ok(rows) = state
-        .db
-        .find_by("images", "name", &Value::from(image_name.clone()))
     {
-        for row in rows {
-            if Some(row) != new_row {
-                let _ = state.db.delete("images", row);
+        let mut db = state.db.lock().unwrap();
+        if let Ok(rows) = db.find_by("images", "name", &Value::from(image_name.clone())) {
+            for row in rows {
+                if Some(row) != new_row {
+                    let _ = db.delete("images", row);
+                }
             }
         }
     }
@@ -285,7 +320,7 @@ mod tests {
     #[test]
     fn first_publish_stores_base_and_packages() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         let redis = w.build_image("redis");
         let report = repo.publish(&w.catalog, &redis).unwrap();
         assert_eq!(repo.base_count(), 1);
@@ -301,7 +336,7 @@ mod tests {
     #[test]
     fn second_publish_shares_base() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
         let size_after_mini = repo.repo_bytes();
         let report = repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
@@ -318,7 +353,7 @@ mod tests {
     #[test]
     fn duplicate_publish_adds_almost_nothing() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
         let before = repo.repo_bytes();
         let report = repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
@@ -330,8 +365,8 @@ mod tests {
     #[test]
     fn semantic_mode_exports_everything_but_stores_once() {
         let w = World::small();
-        let mut full = ExpelliarmusRepo::new(w.env());
-        let mut sem = ExpelliarmusRepo::with_mode(w.env(), PublishMode::SemanticDecomposition);
+        let full = ExpelliarmusRepo::new(w.env());
+        let sem = ExpelliarmusRepo::with_mode(w.env(), PublishMode::SemanticDecomposition);
         for name in ["redis", "lamp"] {
             full.publish(&w.catalog, &w.build_image(name)).unwrap();
             sem.publish(&w.catalog, &w.build_image(name)).unwrap();
@@ -348,7 +383,7 @@ mod tests {
     #[test]
     fn publish_time_dominated_by_exports() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
         let lamp = repo.publish(&w.catalog, &w.build_image("lamp")).unwrap();
         let export = lamp.breakdown.get("export packages");

@@ -4,6 +4,35 @@
 //! (content-addressed `.deb` blobs + identity index), a user-data store,
 //! the stored base images (one qcow2 per surviving base), the master
 //! graphs, and a metadata database.
+//!
+//! # Concurrency model
+//!
+//! [`RepoState`] is no longer one big `&mut` value: each section is
+//! independently lockable so an operation holds only the shards it
+//! touches —
+//!
+//! * the package and user-data CAS are digest-sharded and internally
+//!   synchronized (`xpl_store::cas`);
+//! * `package_index`, `data_index`, `published` and `image_packages` are
+//!   `RwLock`s held for map access only;
+//! * `semantic` (stored bases + master graphs) is one `RwLock`, because
+//!   base selection and master consolidation read and write them as a
+//!   unit;
+//! * the metadata database is a `Mutex` (row operations are short).
+//!
+//! Retrievals take only read guards and run concurrently with each
+//! other and hold the `op_gate` in read mode, so a same-name delete or
+//! upgrade-publish can never free CAS blobs out from under an in-flight
+//! assembly. Publishes and deletes hold `op_gate` in write mode:
+//! Algorithm 1 is order-sensitive (similarity scores, base selection and
+//! master consolidation all depend on what is already stored), so
+//! repository mutations serialize — which also keeps replayed traces
+//! deterministic. Lock order: `op_gate` → `semantic` →
+//! `package_index` → `data_index` → `published` → `image_packages` →
+//! `db`; guards of later locks are never held while acquiring earlier
+//! ones.
+
+use std::sync::{Mutex, RwLock};
 
 use xpl_guestfs::{FsTree, Vmi};
 use xpl_metadb::{ColumnDef, Database, Schema, Value};
@@ -48,28 +77,63 @@ pub struct StoredData {
     pub digests: Vec<Digest>,
 }
 
+/// The semantic section of the repository: stored bases and their master
+/// graphs. Selection (Algorithm 2) and consolidation (Algorithm 1 lines
+/// 22–28) read and write these together, so they share one lock.
+#[derive(Default)]
+pub struct SemanticState {
+    pub bases: Vec<StoredBase>,
+    /// base id → master graph.
+    pub masters: FxHashMap<String, MasterGraph>,
+}
+
+impl SemanticState {
+    pub fn base_by_id(&self, id: &str) -> Option<&StoredBase> {
+        self.bases.iter().find(|b| b.id == id)
+    }
+
+    pub fn bases_with_attrs(&self, key: &str) -> Vec<&StoredBase> {
+        self.bases.iter().filter(|b| b.attrs.key() == key).collect()
+    }
+
+    pub fn remove_base(&mut self, id: &str) -> Option<StoredBase> {
+        let pos = self.bases.iter().position(|b| b.id == id)?;
+        self.masters.remove(id);
+        Some(self.bases.remove(pos))
+    }
+
+    pub fn qcow_bytes_total(&self) -> u64 {
+        self.bases.iter().map(|b| b.qcow_bytes).sum()
+    }
+}
+
 /// Internal repository state shared by the algorithm modules.
 pub struct RepoState {
     pub env: SimEnv,
     pub mode: PublishMode,
-    /// `.deb` blobs.
+    /// `.deb` blobs (digest-sharded, internally synchronized).
     pub packages: ContentStore,
     /// identity (`name=version/arch`) → blob + metadata.
-    pub package_index: FxHashMap<String, IndexedPackage>,
+    pub package_index: RwLock<FxHashMap<String, IndexedPackage>>,
     /// User-data blobs.
     pub data_store: ContentStore,
     /// image name → its user-data manifest.
-    pub data_index: FxHashMap<String, StoredData>,
-    pub bases: Vec<StoredBase>,
-    /// base id → master graph.
-    pub masters: FxHashMap<String, MasterGraph>,
+    pub data_index: RwLock<FxHashMap<String, StoredData>>,
+    /// Stored bases + master graphs.
+    pub semantic: RwLock<SemanticState>,
     /// Metadata DB (charged against the repository device).
-    pub db: Database,
+    pub db: Mutex<Database>,
     /// Image names published (for duplicate detection / stats).
-    pub published: Vec<String>,
+    pub published: RwLock<Vec<String>>,
     /// image name → package blob digests its latest publish references.
     /// The churn oracle checks CAS refcounts against this exact map.
-    pub image_packages: FxHashMap<String, Vec<Digest>>,
+    pub image_packages: RwLock<FxHashMap<String, Vec<Digest>>>,
+    /// The operation gate: publish/delete hold it in write mode
+    /// (Algorithm 1 is order-sensitive, so mutations serialize — and a
+    /// mutation can release CAS blobs, which must never happen under an
+    /// in-flight retrieval); retrievals hold it in read mode and run
+    /// concurrently with each other.
+    pub op_gate: RwLock<()>,
 }
 
 impl RepoState {
@@ -105,13 +169,13 @@ impl RepoState {
         RepoState {
             packages: ContentStore::new(std::sync::Arc::clone(&env.repo)),
             data_store: ContentStore::new(std::sync::Arc::clone(&env.repo)),
-            package_index: FxHashMap::default(),
-            data_index: FxHashMap::default(),
-            bases: Vec::new(),
-            masters: FxHashMap::default(),
-            db,
-            published: Vec::new(),
-            image_packages: FxHashMap::default(),
+            package_index: RwLock::new(FxHashMap::default()),
+            data_index: RwLock::new(FxHashMap::default()),
+            semantic: RwLock::new(SemanticState::default()),
+            db: Mutex::new(db),
+            published: RwLock::new(Vec::new()),
+            image_packages: RwLock::new(FxHashMap::default()),
+            op_gate: RwLock::new(()),
             env,
             mode,
         }
@@ -120,7 +184,7 @@ impl RepoState {
     /// Release one image reference to a package blob. When the last
     /// reference drops, the blob, its identity index entries and its
     /// metadata rows go with it. Returns freed bytes.
-    pub fn release_package_ref(&mut self, digest: &Digest) -> Result<u64, StoreError> {
+    pub fn release_package_ref(&self, digest: &Digest) -> Result<u64, StoreError> {
         let freed = self
             .packages
             .release(digest)
@@ -128,20 +192,20 @@ impl RepoState {
         if freed > 0 {
             // Linear scan over the index, but only on last-ref frees — the
             // cold path of delete/upgrade, never publish or retrieve.
-            let identities: Vec<String> = self
-                .package_index
-                .iter()
-                .filter(|(_, p)| p.digest == *digest)
-                .map(|(identity, _)| identity.clone())
-                .collect();
+            let identities: Vec<String> = {
+                let index = self.package_index.read().unwrap();
+                index
+                    .iter()
+                    .filter(|(_, p)| p.digest == *digest)
+                    .map(|(identity, _)| identity.clone())
+                    .collect()
+            };
             for identity in identities {
-                self.package_index.remove(&identity);
-                if let Ok(rows) = self
-                    .db
-                    .find_by("packages", "identity", &Value::from(identity))
-                {
+                self.package_index.write().unwrap().remove(&identity);
+                let mut db = self.db.lock().unwrap();
+                if let Ok(rows) = db.find_by("packages", "identity", &Value::from(identity)) {
                     for row in rows {
-                        let _ = self.db.delete("packages", row);
+                        let _ = db.delete("packages", row);
                     }
                 }
             }
@@ -149,27 +213,13 @@ impl RepoState {
         Ok(freed)
     }
 
-    pub fn base_by_id(&self, id: &str) -> Option<&StoredBase> {
-        self.bases.iter().find(|b| b.id == id)
-    }
-
-    pub fn bases_with_attrs(&self, key: &str) -> Vec<&StoredBase> {
-        self.bases.iter().filter(|b| b.attrs.key() == key).collect()
-    }
-
-    pub fn remove_base(&mut self, id: &str) -> Option<StoredBase> {
-        let pos = self.bases.iter().position(|b| b.id == id)?;
-        self.masters.remove(id);
-        Some(self.bases.remove(pos))
-    }
-
     /// Repository footprint: package blobs + data blobs + base qcow2s +
     /// metadata payload.
     pub fn repo_bytes(&self) -> u64 {
         self.packages.unique_bytes()
             + self.data_store.unique_bytes()
-            + self.bases.iter().map(|b| b.qcow_bytes).sum::<u64>()
-            + self.db.payload_bytes()
+            + self.semantic.read().unwrap().qcow_bytes_total()
+            + self.db.lock().unwrap().payload_bytes()
     }
 }
 
@@ -195,15 +245,23 @@ impl ExpelliarmusRepo {
     }
 
     pub fn base_count(&self) -> usize {
-        self.state.bases.len()
+        self.state.semantic.read().unwrap().bases.len()
     }
 
     pub fn package_count(&self) -> usize {
-        self.state.package_index.len()
+        self.state.package_index.read().unwrap().len()
     }
 
-    pub fn masters(&self) -> impl Iterator<Item = &MasterGraph> {
-        self.state.masters.values()
+    /// Snapshot of the master graphs (cloned out of the semantic lock).
+    pub fn masters(&self) -> Vec<MasterGraph> {
+        self.state
+            .semantic
+            .read()
+            .unwrap()
+            .masters
+            .values()
+            .cloned()
+            .collect()
     }
 
     pub fn env(&self) -> &SimEnv {
@@ -218,16 +276,16 @@ impl ExpelliarmusRepo {
     ///    mutually compatible masters (the selection algorithm must have
     ///    consolidated them).
     pub fn check_invariants(&self) -> Result<(), String> {
-        if self.state.masters.len() != self.state.bases.len() {
+        let sem = self.state.semantic.read().unwrap();
+        if sem.masters.len() != sem.bases.len() {
             return Err(format!(
                 "{} masters vs {} bases",
-                self.state.masters.len(),
-                self.state.bases.len()
+                sem.masters.len(),
+                sem.bases.len()
             ));
         }
-        for base in &self.state.bases {
-            let master = self
-                .state
+        for base in &sem.bases {
+            let master = sem
                 .masters
                 .get(&base.id)
                 .ok_or_else(|| format!("base {} has no master", base.id))?;
@@ -249,37 +307,50 @@ impl ImageStore for ExpelliarmusRepo {
         "Expelliarmus"
     }
 
-    fn publish(&mut self, catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
-        crate::publish::publish(&mut self.state, catalog, vmi)
+    fn publish(&self, catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
+        crate::publish::publish(&self.state, catalog, vmi)
     }
 
     fn retrieve(
-        &mut self,
+        &self,
         catalog: &Catalog,
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError> {
-        crate::retrieve::retrieve(&mut self.state, catalog, request)
+        crate::retrieve::retrieve(&self.state, catalog, request)
     }
 
-    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError> {
+    fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
+        let _gate = self.state.op_gate.write().unwrap();
         let env = self.state.env.clone();
         let t0 = env.clock.now();
         let before = self.state.repo_bytes();
-        let known = self.state.image_packages.contains_key(name)
-            || self.state.data_index.contains_key(name)
-            || self.state.published.iter().any(|n| n == name);
+        // One guard per probe (guards of `||` operands live to the end of
+        // the statement — keep them from overlapping out of lock order).
+        let in_packages = { self.state.image_packages.read().unwrap().contains_key(name) };
+        let in_data = { self.state.data_index.read().unwrap().contains_key(name) };
+        let in_published = {
+            self.state
+                .published
+                .read()
+                .unwrap()
+                .iter()
+                .any(|n| n == name)
+        };
+        let known = in_packages || in_data || in_published;
         if !known {
             return Err(StoreError::NotFound(name.to_string()));
         }
         let mut units = 0usize;
-        if let Some(refs) = self.state.image_packages.remove(name) {
+        let refs = self.state.image_packages.write().unwrap().remove(name);
+        if let Some(refs) = refs {
             for digest in refs {
                 if self.state.release_package_ref(&digest)? > 0 {
                     units += 1;
                 }
             }
         }
-        if let Some(data) = self.state.data_index.remove(name) {
+        let data = self.state.data_index.write().unwrap().remove(name);
+        if let Some(data) = data {
             for digest in &data.digests {
                 let freed = self
                     .state
@@ -291,10 +362,13 @@ impl ImageStore for ExpelliarmusRepo {
                 }
             }
         }
-        self.state.published.retain(|n| n != name);
-        if let Ok(rows) = self.state.db.find_by("images", "name", &Value::from(name)) {
-            for row in rows {
-                let _ = self.state.db.delete("images", row);
+        self.state.published.write().unwrap().retain(|n| n != name);
+        {
+            let mut db = self.state.db.lock().unwrap();
+            if let Ok(rows) = db.find_by("images", "name", &Value::from(name)) {
+                for row in rows {
+                    let _ = db.delete("images", row);
+                }
             }
         }
         // Stored bases and master graphs are shared substrate across all
@@ -317,7 +391,7 @@ impl ImageStore for ExpelliarmusRepo {
         let st = &self.state;
         // Package CAS refcounts == live image references, exactly.
         let mut expected: FxHashMap<Digest, u32> = FxHashMap::default();
-        for refs in st.image_packages.values() {
+        for refs in st.image_packages.read().unwrap().values() {
             for d in refs {
                 *expected.entry(*d).or_insert(0) += 1;
             }
@@ -325,14 +399,14 @@ impl ImageStore for ExpelliarmusRepo {
         st.packages
             .audit_refs(&expected)
             .map_err(|e| format!("package CAS: {e}"))?;
-        for (identity, p) in &st.package_index {
+        for (identity, p) in st.package_index.read().unwrap().iter() {
             if !st.packages.contains(&p.digest) {
                 return Err(format!("index entry {identity} points at a missing blob"));
             }
         }
         // Data CAS refcounts == live data manifests.
         let mut expected_data: FxHashMap<Digest, u32> = FxHashMap::default();
-        for data in st.data_index.values() {
+        for data in st.data_index.read().unwrap().values() {
             for d in &data.digests {
                 *expected_data.entry(*d).or_insert(0) += 1;
             }
@@ -340,12 +414,28 @@ impl ImageStore for ExpelliarmusRepo {
         st.data_store
             .audit_refs(&expected_data)
             .map_err(|e| format!("data CAS: {e}"))?;
-        for name in st.data_index.keys() {
-            if !st.published.iter().any(|n| n == name) {
-                return Err(format!("data manifest for unpublished image {name}"));
+        {
+            let data_index = st.data_index.read().unwrap();
+            let published = st.published.read().unwrap();
+            for name in data_index.keys() {
+                if !published.iter().any(|n| n == name) {
+                    return Err(format!("data manifest for unpublished image {name}"));
+                }
             }
         }
         Ok(())
+    }
+
+    fn check_integrity_deep(&self) -> Result<(), String> {
+        self.check_integrity()?;
+        self.state
+            .packages
+            .check_integrity(true)
+            .map_err(|e| format!("package CAS content: {e}"))?;
+        self.state
+            .data_store
+            .check_integrity(true)
+            .map_err(|e| format!("data CAS content: {e}"))
     }
 }
 

@@ -21,11 +21,25 @@ pub const PHASES: [&str; 4] = [
 ];
 
 /// Run Algorithm 3 for `request`.
+///
+/// Retrieval is a read-only operation: it holds the operation gate in
+/// read mode (any number of retrievals run concurrently; mutations —
+/// which can release CAS blobs — wait for the write side) plus read
+/// guards on the semantic section and the package index, held across
+/// the assembly because the stored base is borrowed out of the guard.
+///
+/// Per-op metrics caveat: `duration` and `bytes_read` come from the
+/// store's shared clock and device counters, so under *concurrent*
+/// retrievals each report is an upper bound that may include a
+/// neighbour's charges; with retrievals serialized they are exact. The
+/// churn oracle therefore treats them as nonzero-ness witnesses, and
+/// the figure pipelines (5a/5b) measure with one retrieval in flight.
 pub fn retrieve(
-    state: &mut RepoState,
+    state: &RepoState,
     catalog: &Catalog,
     request: &RetrieveRequest,
 ) -> Result<(Vmi, RetrieveReport), StoreError> {
+    let _gate = state.op_gate.read().unwrap();
     let env = state.env.clone();
     let t0 = env.clock.now();
     let reads_before = env.repo.stats().bytes_read;
@@ -34,15 +48,19 @@ pub fn retrieve(
         ..Default::default()
     };
 
+    // Read guards for the whole assembly, in lock order (semantic →
+    // package_index). Publishes wait; other retrievals share.
+    let semantic = state.semantic.read().unwrap();
+    let package_index = state.package_index.read().unwrap();
+
     // ---- Locate a base + master serving this request (line 1–2). -----
     let key = request.base.key();
-    let base_idx = state
+    let base = semantic
         .bases
         .iter()
-        .position(|b| b.attrs.key() == key)
+        .find(|b| b.attrs.key() == key)
         .ok_or_else(|| StoreError::NotFound(format!("no base image for {key}")))?;
-    let base = &state.bases[base_idx];
-    let master = state
+    let master = semantic
         .masters
         .get(&base.id)
         .ok_or_else(|| StoreError::Corrupt(format!("master missing for {}", base.id)))?;
@@ -75,10 +93,9 @@ pub fn retrieve(
         }
         // Prefer the exact exported version; fall back to any exported
         // version of the same package (semantically similar assembly).
-        if state.package_index.contains_key(&meta.identity()) {
+        if package_index.contains_key(&meta.identity()) {
             to_install.push(id);
-        } else if let Some(alt) = state
-            .package_index
+        } else if let Some(alt) = package_index
             .values()
             .find(|p| catalog.get(p.package).name == meta.name)
         {
@@ -119,7 +136,7 @@ pub fn retrieve(
     });
 
     // ---- Phase 4: import (data + packages). -----------------------------
-    let data = state.data_index.get(&request.name).cloned();
+    let data = state.data_index.read().unwrap().get(&request.name).cloned();
     report
         .breakdown
         .measure(&env.clock, PHASES[3], || -> Result<(), StoreError> {
@@ -147,12 +164,10 @@ pub fn retrieve(
             // install through the guest package manager.
             for id in &to_install {
                 let meta = catalog.get(*id);
-                let indexed = state
-                    .package_index
+                let indexed = package_index
                     .get(&meta.identity())
                     .or_else(|| {
-                        state
-                            .package_index
+                        package_index
                             .values()
                             .find(|p| catalog.get(p.package).name == meta.name)
                     })
@@ -192,7 +207,7 @@ mod tests {
     #[test]
     fn roundtrip_restores_package_set() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         let original = w.build_image("lamp");
         repo.publish(&w.catalog, &original).unwrap();
         let req = RetrieveRequest::for_image(&original, &w.catalog);
@@ -212,7 +227,7 @@ mod tests {
     #[test]
     fn retrieval_has_four_phases() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         let redis = w.build_image("redis");
         repo.publish(&w.catalog, &redis).unwrap();
         let (_vmi, report) = repo
@@ -231,7 +246,7 @@ mod tests {
         // Publish redis and nginx separately, then request an image with
         // BOTH — never uploaded as such. Monolithic stores cannot do this.
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("redis")).unwrap();
         repo.publish(&w.catalog, &w.build_image("nginx")).unwrap();
         let req = RetrieveRequest {
@@ -248,7 +263,7 @@ mod tests {
     #[test]
     fn missing_package_is_clean_error() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
         let req = RetrieveRequest {
             name: "wants-redis".into(),
@@ -265,7 +280,7 @@ mod tests {
     #[test]
     fn empty_repo_retrieval_fails() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         let req = RetrieveRequest {
             name: "x".into(),
             base: w.template.attrs.clone(),

@@ -11,7 +11,7 @@
 //! destructure `j` (not `i` again), and `replaceList` must be reset per
 //! candidate `i`; both are corrected here.
 
-use crate::repo::RepoState;
+use crate::repo::SemanticState;
 use xpl_pkg::BaseImageAttrs;
 use xpl_semgraph::{compatibility, SemanticGraph};
 
@@ -44,7 +44,7 @@ struct Candidate {
 /// * `attrs`/`base_graph` — the incoming base image after decomposition.
 /// * `primary_subgraph` — the incoming image's `G_I[PS]`.
 pub fn select_base_image(
-    state: &RepoState,
+    semantic: &SemanticState,
     attrs: &BaseImageAttrs,
     base_graph: &SemanticGraph,
     primary_subgraph: &SemanticGraph,
@@ -57,9 +57,9 @@ pub fn select_base_image(
         replace: Vec::new(),
         base_size: base_graph.total_size(),
     }];
-    for stored in state.bases_with_attrs(&attrs.key()) {
+    for stored in semantic.bases_with_attrs(&attrs.key()) {
         if attrs.similarity(&stored.attrs) == 1.0 {
-            if let Some(master) = state.masters.get(&stored.id) {
+            if let Some(master) = semantic.masters.get(&stored.id) {
                 candidates.push(Candidate {
                     id: Some(stored.id.clone()),
                     base_graph: stored.base_graph.clone(),
@@ -173,7 +173,8 @@ mod tests {
         let repo = ExpelliarmusRepo::new(w.env());
         let (base_g, prim_g) = graph_of(&w, "redis");
         let attrs = w.template.attrs.clone();
-        let sel = select_base_image(&repo.state, &attrs, &base_g, &prim_g);
+        let sem = repo.state.semantic.read().unwrap();
+        let sel = select_base_image(&sem, &attrs, &base_g, &prim_g);
         assert_eq!(sel.chosen_existing, None);
         assert!(sel.replace.is_empty());
     }
@@ -181,13 +182,14 @@ mod tests {
     #[test]
     fn compatible_stored_base_reused() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
         assert_eq!(repo.base_count(), 1);
 
         let (base_g, prim_g) = graph_of(&w, "redis");
         let attrs = w.template.attrs.clone();
-        let sel = select_base_image(&repo.state, &attrs, &base_g, &prim_g);
+        let sem = repo.state.semantic.read().unwrap();
+        let sel = select_base_image(&sem, &attrs, &base_g, &prim_g);
         assert!(
             sel.chosen_existing.is_some(),
             "should reuse the stored base"
@@ -197,14 +199,15 @@ mod tests {
     #[test]
     fn incompatible_attrs_not_considered() {
         let w = World::small();
-        let mut repo = ExpelliarmusRepo::new(w.env());
+        let repo = ExpelliarmusRepo::new(w.env());
         repo.publish(&w.catalog, &w.build_image("mini")).unwrap();
 
         let (mut base_g, prim_g) = graph_of(&w, "redis");
         let mut attrs = w.template.attrs.clone();
         attrs.version = "18.04".into();
         base_g.base = attrs.clone();
-        let sel = select_base_image(&repo.state, &attrs, &base_g, &prim_g);
+        let sem = repo.state.semantic.read().unwrap();
+        let sel = select_base_image(&sem, &attrs, &base_g, &prim_g);
         assert_eq!(
             sel.chosen_existing, None,
             "different quadruple must store new base"
@@ -263,12 +266,13 @@ mod replacement_tests {
     /// Inject a stored base + master directly into repository state
     /// (bypasses publish, to construct multi-base scenarios that the
     /// single-flavour worlds cannot reach).
-    fn inject_base(repo: &mut ExpelliarmusRepo, id: &str, bg: SemanticGraph, ps: SemanticGraph) {
+    fn inject_base(repo: &ExpelliarmusRepo, id: &str, bg: SemanticGraph, ps: SemanticGraph) {
         let mut full = SemanticGraph::from_parts(id, bg.base.clone(), bg.vertices.clone(), vec![]);
         full.vertices.extend(ps.vertices.iter().cloned());
         let full = SemanticGraph::from_parts(id, bg.base.clone(), full.vertices, vec![]);
         let master = xpl_semgraph::MasterGraph::create(&full);
-        repo.state.bases.push(StoredBase {
+        let mut sem = repo.state.semantic.write().unwrap();
+        sem.bases.push(StoredBase {
             id: id.to_string(),
             attrs: bg.base.clone(),
             fs: xpl_guestfs::FsTree::new(),
@@ -276,7 +280,7 @@ mod replacement_tests {
             qcow_bytes: bg.total_size(),
             base_graph: bg,
         });
-        repo.state.masters.insert(id.to_string(), master);
+        sem.masters.insert(id.to_string(), master);
     }
 
     #[test]
@@ -285,15 +289,15 @@ mod replacement_tests {
         // masters. The incoming base (same content class) must pick one
         // existing base and report the other as replaceable.
         let world = xpl_workloads::World::small();
-        let mut repo = ExpelliarmusRepo::new(world.env());
+        let repo = ExpelliarmusRepo::new(world.env());
         inject_base(
-            &mut repo,
+            &repo,
             "base:a",
             base_graph(&[]),
             prim_graph(&[("redis", "6.0")]),
         );
         inject_base(
-            &mut repo,
+            &repo,
             "base:b",
             base_graph(&[]),
             prim_graph(&[("nginx", "1.18")]),
@@ -301,12 +305,8 @@ mod replacement_tests {
 
         let incoming_bg = base_graph(&[]);
         let incoming_ps = prim_graph(&[("postgres", "9.5")]);
-        let sel = select_base_image(
-            &repo.state,
-            &incoming_bg.base.clone(),
-            &incoming_bg,
-            &incoming_ps,
-        );
+        let sem = repo.state.semantic.read().unwrap();
+        let sel = select_base_image(&sem, &incoming_bg.base.clone(), &incoming_bg, &incoming_ps);
         let chosen = sel.chosen_existing.expect("must reuse a stored base");
         assert!(chosen == "base:a" || chosen == "base:b");
         // The other stored base is redundant (compatible) → replace list.
@@ -319,17 +319,17 @@ mod replacement_tests {
         // base:b hosts a package pinned at a version that conflicts with
         // base:a's content → a cannot replace b.
         let world = xpl_workloads::World::small();
-        let mut repo = ExpelliarmusRepo::new(world.env());
+        let repo = ExpelliarmusRepo::new(world.env());
         // base:a ships libwidget 2.0 in its base.
         inject_base(
-            &mut repo,
+            &repo,
             "base:a",
             base_graph(&[("libwidget", "2.0")]),
             prim_graph(&[("redis", "6.0")]),
         );
         // base:b's master hosts a primary needing libwidget 1.0 exactly.
         inject_base(
-            &mut repo,
+            &repo,
             "base:b",
             base_graph(&[("libwidget", "1.0")]),
             prim_graph(&[("libwidget", "1.0")]),
@@ -338,12 +338,8 @@ mod replacement_tests {
         // Incoming base matches a's flavour.
         let incoming_bg = base_graph(&[("libwidget", "2.0")]);
         let incoming_ps = prim_graph(&[("mongo", "3.6")]);
-        let sel = select_base_image(
-            &repo.state,
-            &incoming_bg.base.clone(),
-            &incoming_bg,
-            &incoming_ps,
-        );
+        let sem = repo.state.semantic.read().unwrap();
+        let sel = select_base_image(&sem, &incoming_bg.base.clone(), &incoming_bg, &incoming_ps);
         // Whatever is chosen, base:b must not be replaced by a 2.0-flavour
         // base (its hosted package pins 1.0).
         if let Some(chosen) = &sel.chosen_existing {
@@ -360,7 +356,7 @@ mod replacement_tests {
         // End-to-end: two synthetic bases, then a real publish that can
         // consolidate them; invariants must hold afterwards.
         let world = xpl_workloads::World::small();
-        let mut repo = ExpelliarmusRepo::new(world.env());
+        let repo = ExpelliarmusRepo::new(world.env());
         use xpl_store::ImageStore;
         repo.publish(&world.catalog, &world.build_image("mini"))
             .unwrap();

@@ -116,16 +116,22 @@ impl From<ResolveError> for StoreError {
 }
 
 /// The interface of every evaluated VMI repository system.
-pub trait ImageStore {
+///
+/// All operations take `&self`: a store is a shared, internally
+/// synchronized service, not an exclusively owned value. Same-name
+/// operations serialize on a per-image stripe (see `xpl_store::stripe`);
+/// operations on distinct images proceed in parallel. The `Send + Sync`
+/// bound lets trait objects cross the worker pool.
+pub trait ImageStore: Send + Sync {
     /// Display name ("Qcow2", "Mirage", "Expelliarmus", …).
     fn name(&self) -> &'static str;
 
     /// Publish an image into the repository.
-    fn publish(&mut self, catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError>;
+    fn publish(&self, catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError>;
 
     /// Retrieve (reassemble) an image.
     fn retrieve(
-        &mut self,
+        &self,
         catalog: &Catalog,
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError>;
@@ -133,7 +139,7 @@ pub trait ImageStore {
     /// Delete a published image, releasing repository content no other
     /// live image references. Content shared with other images survives
     /// (refcounts guard it); monolithic stores simply unlink the entry.
-    fn delete(&mut self, name: &str) -> Result<DeleteReport, StoreError>;
+    fn delete(&self, name: &str) -> Result<DeleteReport, StoreError>;
 
     /// Current repository footprint in materialized bytes (×1024 =
     /// nominal; the Figure 3 y-axis).
@@ -144,6 +150,14 @@ pub trait ImageStore {
     /// churn oracle to call after every simulated operation.
     fn check_integrity(&self) -> Result<(), String> {
         Ok(())
+    }
+
+    /// Everything [`ImageStore::check_integrity`] audits plus full
+    /// content verification (re-hash every stored blob). Too expensive
+    /// for the per-operation oracle; run at quiesce points and at the
+    /// end of a replay.
+    fn check_integrity_deep(&self) -> Result<(), String> {
+        self.check_integrity()
     }
 }
 

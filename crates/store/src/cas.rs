@@ -1,25 +1,53 @@
-//! Charged content-addressed blob store.
+//! Charged content-addressed blob store — sharded for shared-access
+//! concurrency.
 //!
 //! Blobs are keyed by SHA-256 digest and refcounted; `put` of an existing
 //! digest is a dedup hit (no bytes written). Every operation charges the
 //! owning [`SimDevice`].
+//!
+//! # Concurrency model
+//!
+//! The store is split into [`SHARD_COUNT`] segments addressed by the
+//! first byte of the digest, each behind its own `RwLock`, so `put`,
+//! `get`, `add_ref` and `release` on *different* digests proceed in
+//! parallel and only same-shard writers contend. Aggregate statistics
+//! (`unique_bytes`, `dedup_hits`) are relaxed atomics readable without
+//! any lock. All operations take `&self`; the type is `Send + Sync` and
+//! shared freely across the worker pool.
+//!
+//! # Integrity
+//!
+//! `get` performs a *cheap* integrity check (stored length vs. the length
+//! recorded at `put` time — catches truncation) on the hot path; the full
+//! recompute-the-digest check is opt-in via [`ContentStore::verify`] /
+//! [`ContentStore::check_integrity`] with `deep = true`, which is what
+//! store-level `check_integrity_deep` audits call. Both surface
+//! [`CasError::DigestMismatch`].
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use xpl_simio::SimDevice;
 use xpl_util::{Digest, FxHashMap, Sha256};
 
+/// Number of digest-addressed segments. A power of two so the shard of a
+/// digest is a mask of its first byte.
+pub const SHARD_COUNT: usize = 16;
+
 struct Blob {
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
+    /// Length recorded when the blob was stored; `get` checks the held
+    /// bytes still match it (cheap truncation detection).
+    stored_len: u64,
     refs: u32,
 }
 
 /// The store.
 pub struct ContentStore {
     device: Arc<SimDevice>,
-    blobs: FxHashMap<Digest, Blob>,
-    unique_bytes: u64,
-    dedup_hits: u64,
+    shards: Vec<RwLock<FxHashMap<Digest, Blob>>>,
+    unique_bytes: AtomicU64,
+    dedup_hits: AtomicU64,
 }
 
 /// CAS errors.
@@ -30,38 +58,51 @@ pub enum CasError {
     DigestMismatch(Digest),
 }
 
+fn shard_of(digest: &Digest) -> usize {
+    (digest.0[0] as usize) & (SHARD_COUNT - 1)
+}
+
 impl ContentStore {
     pub fn new(device: Arc<SimDevice>) -> Self {
         ContentStore {
             device,
-            blobs: FxHashMap::default(),
-            unique_bytes: 0,
-            dedup_hits: 0,
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+            unique_bytes: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
         }
+    }
+
+    fn shard(&self, digest: &Digest) -> &RwLock<FxHashMap<Digest, Blob>> {
+        &self.shards[shard_of(digest)]
     }
 
     /// Store bytes; returns `(digest, was_new)`. Dedup hits only charge a
     /// metadata lookup.
-    pub fn put(&mut self, bytes: &[u8]) -> (Digest, bool) {
+    pub fn put(&self, bytes: &[u8]) -> (Digest, bool) {
         let digest = Sha256::digest(bytes);
         (digest, self.put_with_digest(digest, bytes))
     }
 
     /// Store with a precomputed digest (hot path for generated content).
-    pub fn put_with_digest(&mut self, digest: Digest, bytes: &[u8]) -> bool {
-        if let Some(b) = self.blobs.get_mut(&digest) {
+    pub fn put_with_digest(&self, digest: Digest, bytes: &[u8]) -> bool {
+        let mut shard = self.shard(&digest).write().unwrap();
+        if let Some(b) = shard.get_mut(&digest) {
             b.refs += 1;
-            self.dedup_hits += 1;
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
             self.device.charge_db_read(1); // index hit
             return false;
         }
         self.device.charge_create(bytes.len() as u64);
         self.device.charge_write(bytes.len() as u64);
-        self.unique_bytes += bytes.len() as u64;
-        self.blobs.insert(
+        self.unique_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        shard.insert(
             digest,
             Blob {
-                bytes: bytes.to_vec(),
+                bytes: Arc::new(bytes.to_vec()),
+                stored_len: bytes.len() as u64,
                 refs: 1,
             },
         );
@@ -71,11 +112,12 @@ impl ContentStore {
     /// Record a reference to existing content without providing bytes
     /// (used when the caller knows only the digest+size and the blob is
     /// already present).
-    pub fn add_ref(&mut self, digest: Digest) -> Result<(), CasError> {
-        match self.blobs.get_mut(&digest) {
+    pub fn add_ref(&self, digest: Digest) -> Result<(), CasError> {
+        let mut shard = self.shard(&digest).write().unwrap();
+        match shard.get_mut(&digest) {
             Some(b) => {
                 b.refs += 1;
-                self.dedup_hits += 1;
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
                 self.device.charge_db_read(1);
                 Ok(())
             }
@@ -84,65 +126,94 @@ impl ContentStore {
     }
 
     pub fn contains(&self, digest: &Digest) -> bool {
-        self.blobs.contains_key(digest)
+        self.shard(digest).read().unwrap().contains_key(digest)
     }
 
-    /// Read a blob back (charges open + read) and verify integrity.
-    pub fn get(&self, digest: &Digest) -> Result<&[u8], CasError> {
-        let b = self.blobs.get(digest).ok_or(CasError::NotFound(*digest))?;
+    /// Read a blob back (charges open + read). The hot path only checks
+    /// the cheap length invariant; bit-level verification is the opt-in
+    /// [`ContentStore::verify`] / deep [`ContentStore::check_integrity`].
+    pub fn get(&self, digest: &Digest) -> Result<Arc<Vec<u8>>, CasError> {
+        let shard = self.shard(digest).read().unwrap();
+        let b = shard.get(digest).ok_or(CasError::NotFound(*digest))?;
         self.device.charge_open(b.bytes.len() as u64);
         self.device.charge_read(b.bytes.len() as u64);
-        if Sha256::digest(&b.bytes) != *digest {
+        if b.bytes.len() as u64 != b.stored_len {
             return Err(CasError::DigestMismatch(*digest));
         }
-        Ok(&b.bytes)
+        Ok(Arc::clone(&b.bytes))
+    }
+
+    /// Full integrity check of one blob: recompute the SHA-256 and compare
+    /// to the key (charges nothing — an audit, not a simulated read).
+    pub fn verify(&self, digest: &Digest) -> Result<(), CasError> {
+        let shard = self.shard(digest).read().unwrap();
+        let b = shard.get(digest).ok_or(CasError::NotFound(*digest))?;
+        if b.bytes.len() as u64 != b.stored_len || Sha256::digest(&b.bytes) != *digest {
+            return Err(CasError::DigestMismatch(*digest));
+        }
+        Ok(())
     }
 
     /// Size of a stored blob without reading it.
     pub fn size_of(&self, digest: &Digest) -> Option<u64> {
-        self.blobs.get(digest).map(|b| b.bytes.len() as u64)
+        self.shard(digest)
+            .read()
+            .unwrap()
+            .get(digest)
+            .map(|b| b.bytes.len() as u64)
     }
 
     /// Drop one reference; frees the blob at zero. Returns freed bytes.
-    pub fn release(&mut self, digest: &Digest) -> Result<u64, CasError> {
-        let b = self
-            .blobs
-            .get_mut(digest)
-            .ok_or(CasError::NotFound(*digest))?;
+    pub fn release(&self, digest: &Digest) -> Result<u64, CasError> {
+        let mut shard = self.shard(digest).write().unwrap();
+        let b = shard.get_mut(digest).ok_or(CasError::NotFound(*digest))?;
         b.refs -= 1;
         if b.refs == 0 {
             let freed = b.bytes.len() as u64;
-            self.blobs.remove(digest);
-            self.unique_bytes -= freed;
+            shard.remove(digest);
+            self.unique_bytes.fetch_sub(freed, Ordering::Relaxed);
             self.device.charge_db_write(1);
             return Ok(freed);
         }
         Ok(0)
     }
 
-    /// Unique stored payload bytes.
+    /// Unique stored payload bytes (lock-free read).
     pub fn unique_bytes(&self) -> u64 {
-        self.unique_bytes
+        self.unique_bytes.load(Ordering::Relaxed)
     }
 
     /// Reference count of a blob (introspection; charges nothing).
     pub fn refs_of(&self, digest: &Digest) -> Option<u32> {
-        self.blobs.get(digest).map(|b| b.refs)
+        self.shard(digest)
+            .read()
+            .unwrap()
+            .get(digest)
+            .map(|b| b.refs)
     }
 
-    /// Iterate `(digest, refs, len)` over every stored blob without
-    /// charging the device — the audit path of the churn oracle.
-    pub fn iter_refs(&self) -> impl Iterator<Item = (Digest, u32, u64)> + '_ {
-        self.blobs
-            .iter()
-            .map(|(d, b)| (*d, b.refs, b.bytes.len() as u64))
+    /// Snapshot `(digest, refs, len)` of every stored blob without
+    /// charging the device — the audit path of the churn oracle. Shards
+    /// are read one at a time, so concurrent operations on other shards
+    /// proceed; callers wanting a consistent view quiesce first.
+    pub fn snapshot_refs(&self) -> Vec<(Digest, u32, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().unwrap();
+            out.extend(
+                shard
+                    .iter()
+                    .map(|(d, b)| (*d, b.refs, b.bytes.len() as u64)),
+            );
+        }
+        out
     }
 
     /// Audit refcounts against an externally computed expectation (digest
     /// → live references). Reports orphans (stored but unreferenced),
     /// leaks (refcount above the live count), and missing blobs.
     pub fn audit_refs(&self, expected: &FxHashMap<Digest, u32>) -> Result<(), String> {
-        for (digest, refs, _) in self.iter_refs() {
+        for (digest, refs, _) in self.snapshot_refs() {
             match expected.get(&digest) {
                 None => return Err(format!("orphan blob {digest} with {refs} refs")),
                 Some(&want) if want != refs => {
@@ -159,18 +230,63 @@ impl ContentStore {
         Ok(())
     }
 
+    /// Structural self-audit: per-blob length coherence and the
+    /// `unique_bytes` ledger always; with `deep`, additionally recompute
+    /// every blob's digest (the opt-in full corruption sweep).
+    pub fn check_integrity(&self, deep: bool) -> Result<(), String> {
+        let mut summed = 0u64;
+        for shard in &self.shards {
+            let shard = shard.read().unwrap();
+            for (digest, b) in shard.iter() {
+                if b.bytes.len() as u64 != b.stored_len {
+                    return Err(format!(
+                        "blob {digest}: {} bytes held, {} recorded",
+                        b.bytes.len(),
+                        b.stored_len
+                    ));
+                }
+                if deep && Sha256::digest(&b.bytes) != *digest {
+                    return Err(format!("blob {digest}: content no longer matches digest"));
+                }
+                summed += b.stored_len;
+            }
+        }
+        let ledger = self.unique_bytes();
+        if summed != ledger {
+            return Err(format!(
+                "unique_bytes ledger {ledger} vs {summed} bytes stored"
+            ));
+        }
+        Ok(())
+    }
+
     pub fn blob_count(&self) -> usize {
-        self.blobs.len()
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     pub fn dedup_hits(&self) -> u64 {
-        self.dedup_hits
+        self.dedup_hits.load(Ordering::Relaxed)
     }
 
-    /// Test hook: corrupt a stored blob in place (failure injection).
-    pub fn corrupt_for_test(&mut self, digest: &Digest) -> bool {
-        if let Some(b) = self.blobs.get_mut(digest) {
-            if let Some(x) = b.bytes.first_mut() {
+    /// Test hook: truncate a stored blob in place (failure injection the
+    /// cheap `get`-path length check catches).
+    pub fn corrupt_for_test(&self, digest: &Digest) -> bool {
+        let mut shard = self.shard(digest).write().unwrap();
+        if let Some(b) = shard.get_mut(digest) {
+            if !b.bytes.is_empty() {
+                Arc::make_mut(&mut b.bytes).pop();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Test hook: flip a bit without changing the length (failure
+    /// injection only the deep digest check catches).
+    pub fn corrupt_bitflip_for_test(&self, digest: &Digest) -> bool {
+        let mut shard = self.shard(digest).write().unwrap();
+        if let Some(b) = shard.get_mut(digest) {
+            if let Some(x) = Arc::make_mut(&mut b.bytes).first_mut() {
                 *x ^= 0xFF;
                 return true;
             }
@@ -192,16 +308,16 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip() {
-        let (_e, mut cas) = store();
+        let (_e, cas) = store();
         let (d, new) = cas.put(b"hello");
         assert!(new);
-        assert_eq!(cas.get(&d).unwrap(), b"hello");
+        assert_eq!(cas.get(&d).unwrap().as_slice(), b"hello");
         assert_eq!(cas.unique_bytes(), 5);
     }
 
     #[test]
     fn duplicate_put_dedups() {
-        let (env, mut cas) = store();
+        let (env, cas) = store();
         cas.put(b"same-content");
         let before = env.repo.stats().bytes_written;
         let (_, new) = cas.put(b"same-content");
@@ -217,7 +333,7 @@ mod tests {
 
     #[test]
     fn release_refcounts() {
-        let (_e, mut cas) = store();
+        let (_e, cas) = store();
         let (d, _) = cas.put(b"refcounted");
         cas.put(b"refcounted"); // refs = 2
         assert_eq!(cas.release(&d).unwrap(), 0);
@@ -228,16 +344,36 @@ mod tests {
     }
 
     #[test]
-    fn corruption_detected_on_read() {
-        let (_e, mut cas) = store();
+    fn truncation_detected_on_read() {
+        let (_e, cas) = store();
         let (d, _) = cas.put(b"important-bytes");
         assert!(cas.corrupt_for_test(&d));
         assert_eq!(cas.get(&d).err(), Some(CasError::DigestMismatch(d)));
     }
 
     #[test]
+    fn bitflip_caught_only_by_deep_check() {
+        let (_e, cas) = store();
+        let (d, _) = cas.put(b"important-bytes");
+        assert!(cas.corrupt_bitflip_for_test(&d));
+        // Same length: the cheap hot-path check passes…
+        assert!(cas.get(&d).is_ok());
+        assert!(cas.check_integrity(false).is_ok());
+        // …the full digest recompute does not.
+        assert_eq!(cas.verify(&d), Err(CasError::DigestMismatch(d)));
+        assert!(cas.check_integrity(true).is_err());
+    }
+
+    #[test]
+    fn verify_missing_blob_is_not_found() {
+        let (_e, cas) = store();
+        let missing = Sha256::digest(b"nope");
+        assert_eq!(cas.verify(&missing), Err(CasError::NotFound(missing)));
+    }
+
+    #[test]
     fn add_ref_requires_existing() {
-        let (_e, mut cas) = store();
+        let (_e, cas) = store();
         let missing = Sha256::digest(b"nope");
         assert!(matches!(cas.add_ref(missing), Err(CasError::NotFound(_))));
         let (d, _) = cas.put(b"yes");
@@ -247,7 +383,7 @@ mod tests {
 
     #[test]
     fn charges_time_for_stores_and_reads() {
-        let (env, mut cas) = store();
+        let (env, cas) = store();
         let t0 = env.clock.now();
         let (d, _) = cas.put(&vec![7u8; 10_000]);
         assert!(env.clock.since(t0).as_nanos() > 0);
@@ -258,10 +394,46 @@ mod tests {
 
     #[test]
     fn size_of_reports_without_charges() {
-        let (env, mut cas) = store();
+        let (env, cas) = store();
         let (d, _) = cas.put(b"sized");
         let reads_before = env.repo.stats().bytes_read;
         assert_eq!(cas.size_of(&d), Some(5));
         assert_eq!(env.repo.stats().bytes_read, reads_before);
+    }
+
+    #[test]
+    fn blobs_spread_across_shards() {
+        let (_e, cas) = store();
+        for i in 0..256u32 {
+            cas.put(&i.to_le_bytes());
+        }
+        assert_eq!(cas.blob_count(), 256);
+        let populated = cas
+            .shards
+            .iter()
+            .filter(|s| !s.read().unwrap().is_empty())
+            .count();
+        assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
+        assert!(cas.check_integrity(true).is_ok());
+    }
+
+    #[test]
+    fn shared_access_from_threads() {
+        let (_e, cas) = store();
+        let payloads: Vec<Vec<u8>> = (0..64u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for p in &payloads {
+                        cas.put(p);
+                    }
+                });
+            }
+        });
+        assert_eq!(cas.blob_count(), 64);
+        for p in &payloads {
+            assert_eq!(cas.refs_of(&Sha256::digest(p)), Some(4));
+        }
+        assert!(cas.check_integrity(true).is_ok());
     }
 }

@@ -9,13 +9,18 @@
 //!   Figure 4/5 series.
 //! * [`oracle`] — canonical image fingerprints the churn replay driver
 //!   uses to compare retrievals differentially across stores.
+//! * [`stripe`] — striped per-image-name locks: every store serializes
+//!   same-name operations on one stripe while distinct images proceed in
+//!   parallel.
 
 pub mod api;
 pub mod cas;
 pub mod oracle;
+pub mod stripe;
 
 pub use api::{
     DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
 };
 pub use cas::ContentStore;
 pub use oracle::{full_fingerprint, semantic_fingerprint};
+pub use stripe::NameLocks;

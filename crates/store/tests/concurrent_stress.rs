@@ -1,0 +1,178 @@
+//! Concurrency stress tests for the sharded content store.
+//!
+//! Eight threads hammer `put` / `get` / `release` over deliberately
+//! overlapping digests (every thread works the same 24 payloads, so
+//! shard locks, refcount bumps and free-then-re-put races all trigger),
+//! then the final state is compared against a sequential replay of the
+//! exact same per-thread schedules:
+//!
+//! * `audit_refs` against the net reference counts the schedule implies
+//!   (puts − releases per digest) — no leaks, no orphans;
+//! * `unique_bytes` and `blob_count` equal to the sequential replay's;
+//! * the structural + deep (`re-hash every blob`) self-audit passes.
+//!
+//! The schedule is seeded and deterministic; only the interleaving
+//! varies between runs. Each thread releases at most what it has put so
+//! far, so a release can never underflow no matter the interleaving —
+//! which is exactly the discipline real stores follow (a manifest only
+//! releases references it holds).
+
+use std::sync::Arc;
+
+use xpl_simio::SimEnv;
+use xpl_store::cas::ContentStore;
+use xpl_util::{FxHashMap, Sha256, SplitMix64};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Put(usize),
+    Get(usize),
+    Release(usize),
+}
+
+/// Deterministic per-thread schedules over `payloads` indices.
+fn schedules(threads: usize, ops_per_thread: usize, payloads: usize, seed: u64) -> Vec<Vec<Op>> {
+    (0..threads)
+        .map(|t| {
+            let mut rng = SplitMix64::new(seed ^ (t as u64)).derive("cas-stress");
+            // Outstanding puts of this thread per payload: releases may
+            // only consume these, keeping every schedule underflow-free.
+            let mut held = vec![0u32; payloads];
+            let mut ops = Vec::with_capacity(ops_per_thread);
+            for _ in 0..ops_per_thread {
+                let p = rng.next_below(payloads as u64) as usize;
+                let roll = rng.next_f64();
+                if roll < 0.5 {
+                    held[p] += 1;
+                    ops.push(Op::Put(p));
+                } else if roll < 0.75 && held[p] > 0 {
+                    held[p] -= 1;
+                    ops.push(Op::Release(p));
+                } else if held[p] > 0 {
+                    ops.push(Op::Get(p));
+                } else {
+                    held[p] += 1;
+                    ops.push(Op::Put(p));
+                }
+            }
+            ops
+        })
+        .collect()
+}
+
+fn payload(i: usize) -> Vec<u8> {
+    // Distinct lengths so unique_bytes mismatches are loud.
+    let mut v = vec![0u8; 64 + i * 7];
+    for (j, b) in v.iter_mut().enumerate() {
+        *b = (i * 31 + j) as u8;
+    }
+    v
+}
+
+fn apply(cas: &ContentStore, payloads: &[Vec<u8>], op: Op) {
+    match op {
+        Op::Put(p) => {
+            cas.put(&payloads[p]);
+        }
+        Op::Get(p) => {
+            // The blob may have been freed by other threads' releases of
+            // their own refs plus ours — both outcomes are legal; only
+            // corruption (DigestMismatch) would be a bug.
+            let digest = Sha256::digest(&payloads[p]);
+            if let Err(e) = cas.get(&digest) {
+                assert!(
+                    matches!(e, xpl_store::cas::CasError::NotFound(_)),
+                    "get returned {e:?}"
+                );
+            }
+        }
+        Op::Release(p) => {
+            let digest = Sha256::digest(&payloads[p]);
+            cas.release(&digest)
+                .expect("schedule releases only held refs");
+        }
+    }
+}
+
+#[test]
+fn eight_threads_hammering_matches_sequential_replay() {
+    const THREADS: usize = 8;
+    const OPS: usize = 600;
+    const PAYLOADS: usize = 24;
+    let payloads: Vec<Vec<u8>> = (0..PAYLOADS).map(payload).collect();
+    let plans = schedules(THREADS, OPS, PAYLOADS, 0xCA5_57E55);
+
+    // Concurrent execution.
+    let env = SimEnv::testbed();
+    let concurrent = ContentStore::new(Arc::clone(&env.repo));
+    std::thread::scope(|s| {
+        for plan in &plans {
+            let cas = &concurrent;
+            let payloads = &payloads;
+            s.spawn(move || {
+                for &op in plan {
+                    apply(cas, payloads, op);
+                }
+            });
+        }
+    });
+
+    // Sequential replay of the same schedules.
+    let env2 = SimEnv::testbed();
+    let sequential = ContentStore::new(Arc::clone(&env2.repo));
+    for plan in &plans {
+        for &op in plan {
+            apply(&sequential, &payloads, op);
+        }
+    }
+
+    // Net references per digest straight from the schedules.
+    let mut expected: FxHashMap<_, u32> = FxHashMap::default();
+    for plan in &plans {
+        for &op in plan {
+            match op {
+                Op::Put(p) => *expected.entry(Sha256::digest(&payloads[p])).or_insert(0) += 1,
+                Op::Release(p) => *expected.get_mut(&Sha256::digest(&payloads[p])).unwrap() -= 1,
+                Op::Get(_) => {}
+            }
+        }
+    }
+    expected.retain(|_, refs| *refs > 0);
+
+    concurrent
+        .audit_refs(&expected)
+        .expect("concurrent refcounts match the schedule");
+    sequential
+        .audit_refs(&expected)
+        .expect("sequential refcounts match the schedule");
+    assert_eq!(concurrent.unique_bytes(), sequential.unique_bytes());
+    assert_eq!(concurrent.blob_count(), sequential.blob_count());
+    concurrent
+        .check_integrity(true)
+        .expect("deep audit after the hammering");
+}
+
+#[test]
+fn concurrent_add_ref_and_release_balance_out() {
+    let env = SimEnv::testbed();
+    let cas = ContentStore::new(Arc::clone(&env.repo));
+    let (digest, _) = cas.put(b"contended-blob");
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let cas = &cas;
+            s.spawn(move || {
+                for _ in 0..200 {
+                    cas.add_ref(digest).expect("blob stays live");
+                    cas.release(&digest).expect("ref we just took");
+                }
+            });
+        }
+    });
+    assert_eq!(cas.refs_of(&digest), Some(1), "only the original ref left");
+    assert_eq!(
+        cas.release(&digest).unwrap(),
+        b"contended-blob".len() as u64
+    );
+    assert_eq!(cas.blob_count(), 0);
+    assert_eq!(cas.unique_bytes(), 0);
+}

@@ -24,11 +24,11 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
 
-    let mut qcow = QcowStore::new(world.env());
-    let mut gzip = GzipStore::new(world.env());
-    let mut mirage = MirageStore::new(world.env());
-    let mut hemera = HemeraStore::new(world.env());
-    let mut xpl = ExpelliarmusRepo::new(world.env());
+    let qcow = QcowStore::new(world.env());
+    let gzip = GzipStore::new(world.env());
+    let mirage = MirageStore::new(world.env());
+    let hemera = HemeraStore::new(world.env());
+    let xpl = ExpelliarmusRepo::new(world.env());
 
     println!(
         "{:<14} {:>9} {:>11} {:>9} {:>9} {:>13} {:>11}",

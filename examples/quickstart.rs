@@ -28,7 +28,7 @@ fn main() {
 
     // Publish both. The second publish finds the base already stored and
     // only exports redis's packages.
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     for vmi in [&mini, &redis] {
         let report = repo.publish(&world.catalog, vmi).expect("publish");
         println!(

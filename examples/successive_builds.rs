@@ -19,9 +19,9 @@ fn main() {
     println!("building the standard world…");
     let world = World::standard();
 
-    let mut qcow = QcowStore::new(world.env());
-    let mut mirage = MirageStore::new(world.env());
-    let mut xpl = ExpelliarmusRepo::new(world.env());
+    let qcow = QcowStore::new(world.env());
+    let mirage = MirageStore::new(world.env());
+    let xpl = ExpelliarmusRepo::new(world.env());
 
     println!(
         "{:<14} {:>10} {:>10} {:>14} {:>12}",

@@ -4,7 +4,7 @@
 //! oracle, and the whole pipeline must be bit-reproducible from its
 //! seed.
 
-use expelliarmus::bench::churn::{churn_trace, run_churn, ChurnConfig};
+use expelliarmus::bench::churn::{churn_trace, run_churn, run_churn_threads, ChurnConfig};
 use expelliarmus::prelude::*;
 use expelliarmus::workloads::TraceOp;
 
@@ -57,12 +57,31 @@ fn same_seed_reproduces_trace_and_report_byte_identically() {
 }
 
 #[test]
+fn concurrent_replay_is_byte_identical_across_thread_counts() {
+    // The acceptance pin for the shared-access refactor: the concurrent
+    // driver's oracle report — ledgers, totals, simulated seconds,
+    // violation list, check counts — must not depend on the worker-pool
+    // size. 1 thread is the degenerate sequential schedule; 2 and 8
+    // exercise real interleavings of the per-image retrieval groups and
+    // the five store replicas.
+    let cfg = ChurnConfig::small(SEED, 200);
+    let one = serde_json::to_string_pretty(&run_churn_threads(&cfg, 1)).unwrap();
+    let two = serde_json::to_string_pretty(&run_churn_threads(&cfg, 2)).unwrap();
+    let eight = serde_json::to_string_pretty(&run_churn_threads(&cfg, 8)).unwrap();
+    assert_eq!(one, two, "2-thread replay diverged from 1-thread");
+    assert_eq!(one, eight, "8-thread replay diverged from 1-thread");
+    let report = run_churn_threads(&cfg, 8);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.retrieves > 0 && report.publishes > 0 && report.deletes > 0);
+}
+
+#[test]
 fn deleting_everything_returns_dedup_stores_to_metadata_only() {
     // Drain scenario: publish a handful of images into every store, then
     // delete them all. Content-addressed stores must free all payload
     // bytes (Expelliarmus keeps only its stored base + metadata).
     let world = World::small();
-    let mut stores: Vec<Box<dyn ImageStore>> = vec![
+    let stores: Vec<Box<dyn ImageStore>> = vec![
         Box::new(QcowStore::new(world.env())),
         Box::new(GzipStore::new(world.env())),
         Box::new(MirageStore::new(world.env())),
@@ -70,7 +89,7 @@ fn deleting_everything_returns_dedup_stores_to_metadata_only() {
         Box::new(FixedBlockDedupStore::new(world.env(), 256)),
         Box::new(CdcDedupStore::new(world.env(), 512)),
     ];
-    for store in stores.iter_mut() {
+    for store in stores.iter() {
         for name in world.image_names() {
             let vmi = world.build_image(name);
             store.publish(&world.catalog, &vmi).unwrap();
@@ -90,7 +109,7 @@ fn deleting_everything_returns_dedup_stores_to_metadata_only() {
     }
 
     // Expelliarmus: payload stores drain; the consolidated base remains.
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     for name in world.image_names() {
         repo.publish(&world.catalog, &world.build_image(name))
             .unwrap();

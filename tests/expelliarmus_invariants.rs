@@ -8,7 +8,7 @@ use expelliarmus::prelude::*;
 #[test]
 fn one_master_per_base_and_all_compatible() {
     let world = World::small();
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     for name in world.image_names() {
         repo.publish(&world.catalog, &world.build_image(name))
             .unwrap();
@@ -17,14 +17,15 @@ fn one_master_per_base_and_all_compatible() {
     }
     // All images share one attribute quadruple → exactly one base/master.
     assert_eq!(repo.base_count(), 1);
-    let master = repo.masters().next().unwrap();
+    let masters = repo.masters();
+    let master = masters.first().unwrap();
     assert_eq!(master.members.len(), world.image_names().len());
 }
 
 #[test]
 fn no_duplicate_base_for_same_quadruple() {
     let world = World::small();
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     // Publishing the same image set twice must not create extra bases.
     for _ in 0..2 {
         for name in world.image_names() {
@@ -38,7 +39,7 @@ fn no_duplicate_base_for_same_quadruple() {
 #[test]
 fn repo_growth_is_package_bound_after_first_base() {
     let world = World::small();
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     repo.publish(&world.catalog, &world.build_image("mini"))
         .unwrap();
     let base_size = repo.repo_bytes();
@@ -61,8 +62,8 @@ fn repo_growth_is_package_bound_after_first_base() {
 #[test]
 fn semantic_mode_same_storage_more_time() {
     let world = World::small();
-    let mut aware = ExpelliarmusRepo::new(world.env());
-    let mut naive = ExpelliarmusRepo::with_mode(world.env(), PublishMode::SemanticDecomposition);
+    let aware = ExpelliarmusRepo::new(world.env());
+    let naive = ExpelliarmusRepo::with_mode(world.env(), PublishMode::SemanticDecomposition);
     let mut aware_total = 0.0;
     let mut naive_total = 0.0;
     for name in world.image_names() {
@@ -93,7 +94,7 @@ fn semantic_mode_same_storage_more_time() {
 #[test]
 fn retrieval_phases_are_ordered_like_fig5a() {
     let world = World::small();
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     let lamp = world.build_image("lamp");
     repo.publish(&world.catalog, &lamp).unwrap();
     let (_vmi, report) = repo
@@ -120,7 +121,7 @@ fn retrieval_phases_are_ordered_like_fig5a() {
 fn similarity_column_shape() {
     // First image similarity 0; a near-duplicate scores near 1.
     let world = World::small();
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     let first = repo
         .publish(&world.catalog, &world.build_image("redis"))
         .unwrap();
@@ -138,7 +139,7 @@ fn similarity_column_shape() {
 #[test]
 fn functional_assembly_combines_repositories_packages() {
     let world = World::small();
-    let mut repo = ExpelliarmusRepo::new(world.env());
+    let repo = ExpelliarmusRepo::new(world.env());
     repo.publish(&world.catalog, &world.build_image("redis"))
         .unwrap();
     repo.publish(&world.catalog, &world.build_image("lamp"))

@@ -19,7 +19,7 @@ fn all_stores(world: &World) -> Vec<Box<dyn ImageStore>> {
 #[test]
 fn every_store_roundtrips_every_image() {
     let world = World::small();
-    for mut store in all_stores(&world) {
+    for store in all_stores(&world) {
         for name in world.image_names() {
             let vmi = world.build_image(name);
             store
@@ -53,11 +53,11 @@ fn every_store_roundtrips_every_image() {
 #[test]
 fn storage_hierarchy_matches_figure3() {
     let world = World::small();
-    let mut qcow = QcowStore::new(world.env());
-    let mut gzip = GzipStore::new(world.env());
-    let mut mirage = MirageStore::new(world.env());
-    let mut hemera = HemeraStore::new(world.env());
-    let mut xpl = ExpelliarmusRepo::new(world.env());
+    let qcow = QcowStore::new(world.env());
+    let gzip = GzipStore::new(world.env());
+    let mirage = MirageStore::new(world.env());
+    let hemera = HemeraStore::new(world.env());
+    let xpl = ExpelliarmusRepo::new(world.env());
     for name in world.image_names() {
         let vmi = world.build_image(name);
         qcow.publish(&world.catalog, &vmi).unwrap();
@@ -88,7 +88,7 @@ fn storage_hierarchy_matches_figure3() {
 fn monolithic_stores_cannot_serve_unknown_images() {
     let world = World::small();
     let vmi = world.build_image("redis");
-    for mut store in all_stores(&world) {
+    for store in all_stores(&world) {
         store.publish(&world.catalog, &vmi).unwrap();
         let req = RetrieveRequest {
             name: "never-published".into(),
@@ -114,7 +114,7 @@ fn monolithic_stores_cannot_serve_unknown_images() {
 fn repeated_publish_is_idempotent_for_dedup_stores() {
     let world = World::small();
     let vmi = world.build_image("lamp");
-    for mut store in all_stores(&world) {
+    for store in all_stores(&world) {
         store.publish(&world.catalog, &vmi).unwrap();
         let size1 = store.repo_bytes();
         store.publish(&world.catalog, &vmi).unwrap();
@@ -141,13 +141,13 @@ fn every_store_agrees_differentially_on_every_image() {
     // the same semantic fingerprint, and snapshot stores must reproduce
     // the exact full fingerprint of what was published.
     let world = World::small();
-    let mut stores = all_stores(&world);
+    let stores = all_stores(&world);
     for name in world.image_names() {
         let vmi = world.build_image(name);
         let want_semantic = semantic_fingerprint(&world.catalog, &vmi);
         let want_full = full_fingerprint(&world.catalog, &vmi);
         let req = RetrieveRequest::for_image(&vmi, &world.catalog);
-        for store in stores.iter_mut() {
+        for store in stores.iter() {
             store.publish(&world.catalog, &vmi).unwrap();
             let (got, _) = store.retrieve(&world.catalog, &req).unwrap();
             assert_eq!(
@@ -176,7 +176,7 @@ fn delete_frees_only_the_deleted_image() {
     // Publish three images everywhere, delete the middle one: the other
     // two must stay retrievable and every refcount audit must stay clean.
     let world = World::small();
-    for mut store in all_stores(&world) {
+    for store in all_stores(&world) {
         for name in ["mini", "redis", "lamp"] {
             store
                 .publish(&world.catalog, &world.build_image(name))
@@ -224,7 +224,7 @@ fn delete_frees_only_the_deleted_image() {
 #[test]
 fn publish_reports_are_consistent() {
     let world = World::small();
-    for mut store in all_stores(&world) {
+    for store in all_stores(&world) {
         let vmi = world.build_image("nginx");
         let report = store.publish(&world.catalog, &vmi).unwrap();
         assert_eq!(report.image, "nginx");
