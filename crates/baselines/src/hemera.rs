@@ -416,6 +416,10 @@ impl ImageStore for HemeraStore {
             .check_integrity(true)
             .map_err(|e| format!("Hemera CAS content: {e}"))
     }
+
+    fn cas_fingerprints(&self) -> Vec<(String, String)> {
+        vec![("files".to_string(), self.cas.state_fingerprint())]
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,23 @@ impl MirageStore {
         }
     }
 
+    /// Durable variant: the file CAS writes through to an
+    /// `xpl-persist` log-structured store, making Mirage the baseline
+    /// that runs fully durable alongside Expelliarmus in the churn
+    /// replay's `--durable` mode.
+    pub fn new_durable(
+        env: SimEnv,
+        durable: std::sync::Arc<xpl_persist::DurableContentStore>,
+    ) -> Self {
+        let cas = ContentStore::new_durable(std::sync::Arc::clone(&env.repo), durable);
+        MirageStore {
+            env,
+            cas,
+            manifests: RwLock::new(FxHashMap::default()),
+            names: NameLocks::new(),
+        }
+    }
+
     pub fn unique_files(&self) -> usize {
         self.cas.blob_count()
     }
@@ -258,6 +275,10 @@ impl ImageStore for MirageStore {
         self.cas
             .check_integrity(true)
             .map_err(|e| format!("Mirage CAS content: {e}"))
+    }
+
+    fn cas_fingerprints(&self) -> Vec<(String, String)> {
+        vec![("files".to_string(), self.cas.state_fingerprint())]
     }
 }
 

@@ -11,12 +11,23 @@
 //! repro fig5b         Figure 5b (retrieval comparison)
 //! repro ablations     chunk-size sweep + master-graph speedup
 //! repro churn [--seed N] [--ops N] [--scale small|standard] [--json F]
-//!             [--threads N]
+//!             [--threads N] [--durable] [--crashes K] [--crash-seed N]
 //!                     trace-driven lifecycle replay + differential oracle
 //!                     (exits 1 on any oracle violation). With --threads
 //!                     the concurrent driver replays store replicas and
 //!                     per-image retrieval groups on the worker pool; the
 //!                     report is byte-identical for every thread count.
+//!                     With --durable, Expelliarmus and Mirage write
+//!                     through to log-structured on-disk backends
+//!                     (xpl-persist) and the trace gains K (default 3)
+//!                     crash-recovery pairs; the oracle additionally
+//!                     checks every recovery converges to the uncrashed
+//!                     in-memory state.
+//! repro audit [--world small]
+//!                     publish the world into all five stores, delete a
+//!                     third of the images, then run every store's deep
+//!                     integrity audit (refcounts + full content re-hash);
+//!                     exits 1 if any store fails.
 //! repro bench [--quick] [--json F]
 //!                     wall-clock substrate microbenchmarks → BENCH.json
 //! repro bench --check F
@@ -79,18 +90,31 @@ fn run_churn_cmd(args: &[String]) -> ! {
     let ops: usize = flag_value(args, "--ops")
         .and_then(|s| s.parse().ok())
         .unwrap_or(500);
-    let cfg = match flag_value(args, "--scale").as_deref() {
+    let mut cfg = match flag_value(args, "--scale").as_deref() {
         Some("standard") => churn::ChurnConfig::standard(seed, ops),
         _ => churn::ChurnConfig::small(seed, ops),
     };
+    let durable = args.iter().any(|a| a == "--durable");
+    if durable {
+        let mut dcfg = churn::DurableCfg::default();
+        if let Some(k) = flag_value(args, "--crashes").and_then(|s| s.parse().ok()) {
+            dcfg.crashes = k;
+        }
+        if let Some(s) = flag_value(args, "--crash-seed").and_then(|s| s.parse().ok()) {
+            dcfg.crash_seed = s;
+        }
+        cfg = cfg.with_durable(dcfg);
+    }
     let threads = parse_threads(args);
     let report = match threads {
         Some(n) => {
-            eprintln!("[repro] churn replay: seed={seed:#x} ops={ops} threads={n}");
+            eprintln!(
+                "[repro] churn replay: seed={seed:#x} ops={ops} threads={n} durable={durable}"
+            );
             churn::run_churn_threads(&cfg, n)
         }
         None => {
-            eprintln!("[repro] churn replay: seed={seed:#x} ops={ops}");
+            eprintln!("[repro] churn replay: seed={seed:#x} ops={ops} durable={durable}");
             churn::run_churn(&cfg)
         }
     };
@@ -112,6 +136,24 @@ fn run_churn_cmd(args: &[String]) -> ! {
             s.store, s.final_repo_bytes, s.final_images, s.sim_seconds
         );
     }
+    if let Some(durable) = &report.durable {
+        println!(
+            "  durable: {} crash-recovery pairs injected",
+            report.crashes
+        );
+        for d in durable {
+            println!(
+                "  {:<14} {} recoveries, {} WAL records replayed, {} torn tails, \
+                 {} WAL appends, {} checkpoints",
+                d.store,
+                d.recoveries,
+                d.wal_records_replayed,
+                d.torn_tails,
+                d.wal_appends,
+                d.checkpoints
+            );
+        }
+    }
     if let Some(path) = flag_value(args, "--json") {
         let json = serde_json::to_string_pretty(&report).expect("serialize churn report");
         std::fs::File::create(&path)
@@ -128,6 +170,61 @@ fn run_churn_cmd(args: &[String]) -> ! {
         eprintln!("    {v}");
     }
     std::process::exit(1);
+}
+
+/// `repro audit` — the deep integrity audit (`check_integrity_deep`:
+/// refcount coherence + every stored blob re-hashed) across all five
+/// stores, after a publish + delete workload. Exits 1 if any store
+/// fails the audit.
+fn run_audit_cmd(args: &[String]) -> ! {
+    use xpl_store::ImageStore;
+    let world = if flag_value(args, "--world").as_deref() == Some("small") {
+        eprintln!("[repro] audit over the small world…");
+        World::small()
+    } else {
+        eprintln!("[repro] audit over the standard world…");
+        World::standard()
+    };
+    let names = world.image_names();
+    let stores: Vec<Box<dyn ImageStore>> = churn::five_stores(|| world.env());
+    let vmis: Vec<_> = names.iter().map(|n| world.build_image(n)).collect();
+    for store in &stores {
+        for vmi in &vmis {
+            store.publish(&world.catalog, vmi).unwrap_or_else(|e| {
+                eprintln!("audit setup: {} publish {}: {e}", store.name(), vmi.name);
+                std::process::exit(2);
+            });
+        }
+        // Exercise the release paths too: every third image is deleted.
+        for name in names.iter().step_by(3) {
+            store.delete(name).unwrap_or_else(|e| {
+                eprintln!("audit setup: {} delete {name}: {e}", store.name());
+                std::process::exit(2);
+            });
+        }
+    }
+    println!(
+        "AUDIT: deep integrity across {} stores ({} images published, {} deleted)",
+        stores.len(),
+        names.len(),
+        names.iter().step_by(3).count()
+    );
+    let mut failures = 0usize;
+    for store in &stores {
+        match store.check_integrity_deep() {
+            Ok(()) => println!("  {:<14} PASS", store.name()),
+            Err(e) => {
+                failures += 1;
+                println!("  {:<14} FAIL: {e}", store.name());
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("AUDIT: {failures} store(s) failed the deep audit");
+        std::process::exit(1);
+    }
+    println!("AUDIT: PASS");
+    std::process::exit(0);
 }
 
 fn run_bench_cmd(args: &[String]) -> ! {
@@ -174,6 +271,10 @@ fn main() {
         // Microbenchmarks build their own inputs.
         run_bench_cmd(&args);
     }
+    if cmd == "audit" {
+        // The audit builds its own world (honoring --world small).
+        run_audit_cmd(&args);
+    }
     const KNOWN: [&str; 10] = [
         "table2",
         "fig3a",
@@ -189,7 +290,7 @@ fn main() {
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown experiment: {cmd}");
         eprintln!(
-            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|bench|all]"
+            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|bench|audit|all]"
         );
         std::process::exit(2);
     }

@@ -50,23 +50,64 @@
 //! blob re-hashed) closes the replay. The resulting [`ChurnReport`] is
 //! **byte-identical for any thread count** — pinned by a test at 1, 2
 //! and 8 threads.
+//!
+//! # Durable replay with crash-recovery churn
+//!
+//! With [`ChurnConfig::with_durable`], Expelliarmus and Mirage run over
+//! `xpl-persist` write-through backends on fault-injecting in-memory
+//! media, and the trace gains seeded `Crash`/`Recover` pairs. A `Crash`
+//! power-cuts the replica's medium and tears each WAL tail with
+//! garbage; `Recover` reopens every durable section (manifest load +
+//! WAL replay, torn tail dropped), re-validates every recovered blob
+//! (magic, digest, CRC-32), and requires the recovered state to
+//! **converge** to the uncrashed in-memory CAS — fingerprint equality
+//! over blobs, refcounts and the size ledger. A final power-cut +
+//! recovery closes every durable replay. All durable work happens in
+//! the replica-serial mutation stream, so reports stay byte-identical
+//! at any thread count, and the end-of-replay
+//! [`ChurnReport::cas_fingerprints`] are identical between durable and
+//! purely in-memory replays of the same trace (what CI diffs).
+
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use serde::Serialize;
 use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
 use xpl_core::ExpelliarmusRepo;
+use xpl_persist::{DurableConfig, DurableContentStore, MemFs};
 use xpl_simio::SimEnv;
 use xpl_store::{oracle, ImageStore, RetrieveRequest, StoreError};
 use xpl_util::{Digest, FxHashMap};
 use xpl_workloads::{ScaleConfig, ScaledWorld, Trace, TraceConfig, TraceOp};
 
+/// Durable-replay parameters: how many crash-recovery pairs to inject
+/// and the seed that places them.
+#[derive(Clone, Copy, Debug)]
+pub struct DurableCfg {
+    pub crashes: usize,
+    pub crash_seed: u64,
+}
+
+impl Default for DurableCfg {
+    fn default() -> Self {
+        DurableCfg {
+            crashes: 3,
+            crash_seed: 42,
+        }
+    }
+}
+
 /// Replay parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ChurnConfig {
     pub seed: u64,
-    /// Trace length (a burst is one entry).
+    /// Trace length (a burst is one entry; injected crash-recovery
+    /// pairs come on top).
     pub ops: usize,
     pub scale: ScaleConfig,
+    /// `Some` runs Expelliarmus and Mirage over durable write-through
+    /// backends and injects crash-recovery churn.
+    pub durable: Option<DurableCfg>,
 }
 
 impl ChurnConfig {
@@ -76,6 +117,7 @@ impl ChurnConfig {
             seed,
             ops,
             scale: ScaleConfig::small(seed),
+            durable: None,
         }
     }
 
@@ -85,7 +127,14 @@ impl ChurnConfig {
             seed,
             ops,
             scale: ScaleConfig::standard(seed),
+            durable: None,
         }
+    }
+
+    /// Same replay, on durable backends with injected crashes.
+    pub fn with_durable(mut self, durable: DurableCfg) -> ChurnConfig {
+        self.durable = Some(durable);
+        self
     }
 }
 
@@ -100,6 +149,34 @@ pub struct StoreSummary {
     pub sim_seconds: f64,
 }
 
+/// Canonical fingerprint of one CAS section of one store at the end of
+/// the replay. Identical between the in-memory and durable replays of
+/// the same trace — the field CI diffs across the two modes.
+#[derive(Clone, Debug, Serialize)]
+pub struct CasFingerprint {
+    pub store: String,
+    pub section: String,
+    pub fingerprint: String,
+}
+
+/// Per-store durable-replay summary (deterministic: identical for any
+/// thread count).
+#[derive(Clone, Debug, Serialize)]
+pub struct DurableStoreSummary {
+    pub store: String,
+    pub sections: usize,
+    /// Crash-recovery cycles (injected + the closing reopen).
+    pub recoveries: u64,
+    pub wal_records_replayed: u64,
+    /// Torn WAL tails dropped cleanly during recovery.
+    pub torn_tails: u64,
+    /// Blobs alive across all recoveries (summed per recovery).
+    pub recovered_blobs: u64,
+    /// Total WAL records logged by write-through over the whole replay.
+    pub wal_appends: u64,
+    pub checkpoints: u64,
+}
+
 /// The JSON-serialized replay outcome.
 #[derive(Clone, Debug, Serialize)]
 pub struct ChurnReport {
@@ -111,9 +188,12 @@ pub struct ChurnReport {
     pub deletes: usize,
     pub bursts: usize,
     pub burst_retrieves: usize,
+    pub crashes: usize,
     pub oracle_checks: u64,
     pub trace_sha256: String,
     pub stores: Vec<StoreSummary>,
+    pub cas_fingerprints: Vec<CasFingerprint>,
+    pub durable: Option<Vec<DurableStoreSummary>>,
     pub violations: Vec<String>,
 }
 
@@ -125,16 +205,53 @@ struct LiveImage {
     full_fp: Digest,
 }
 
+/// The durable media and backends of one replica, plus deterministic
+/// recovery accounting.
+struct DurableAttachment {
+    vfs: Arc<MemFs>,
+    /// `(section, handle)` in the same order as the store's
+    /// `cas_fingerprints()`.
+    sections: Vec<(String, Arc<DurableContentStore>)>,
+    recoveries: u64,
+    wal_records_replayed: u64,
+    torn_tails: u64,
+    recovered_blobs: u64,
+}
+
 struct Replica {
     store: Box<dyn ImageStore>,
     expected_bytes: u64,
     added_total: u64,
     freed_total: u64,
     sim_seconds: f64,
+    durable: Option<DurableAttachment>,
 }
 
-/// The five evaluated stores over fresh simulated environments.
-fn five_stores(env: impl Fn() -> SimEnv) -> Vec<Box<dyn ImageStore>> {
+/// Durable backend geometry for the churn replay: small segments and a
+/// sub-trace checkpoint cadence so a standard run exercises segment
+/// rolling, manifest swaps *and* WAL replay.
+fn churn_durable_config(section: &str) -> DurableConfig {
+    DurableConfig {
+        prefix: section.to_string(),
+        segment_target_bytes: 1024 * 1024,
+        checkpoint_every_ops: 512,
+    }
+}
+
+fn durable_section(vfs: &Arc<MemFs>, section: &str) -> (String, Arc<DurableContentStore>) {
+    let (store, report) = DurableContentStore::open(
+        Arc::clone(vfs) as Arc<dyn xpl_persist::Vfs>,
+        churn_durable_config(section),
+    )
+    .expect("fresh durable store");
+    assert_eq!(report.blobs, 0, "fresh medium must be empty");
+    (section.to_string(), Arc::new(store))
+}
+
+/// The five evaluated stores over fresh simulated environments (the
+/// one construction point shared by the churn replay, the
+/// microbenchmarks and `repro audit`).
+pub fn five_stores(env: impl Fn() -> SimEnv) -> Vec<Box<dyn ImageStore>> {
     vec![
         Box::new(QcowStore::new(env())),
         Box::new(GzipStore::new(env())),
@@ -144,31 +261,197 @@ fn five_stores(env: impl Fn() -> SimEnv) -> Vec<Box<dyn ImageStore>> {
     ]
 }
 
-fn fresh_replicas() -> Vec<Replica> {
-    five_stores(SimEnv::testbed)
-        .into_iter()
-        .map(|store| Replica {
-            store,
-            expected_bytes: 0,
-            added_total: 0,
-            freed_total: 0,
-            sim_seconds: 0.0,
-        })
-        .collect()
+fn replica(store: Box<dyn ImageStore>, durable: Option<DurableAttachment>) -> Replica {
+    Replica {
+        store,
+        expected_bytes: 0,
+        added_total: 0,
+        freed_total: 0,
+        sim_seconds: 0.0,
+        durable,
+    }
+}
+
+/// The five replicas; with `durable`, Mirage and Expelliarmus write
+/// through to log-structured backends over fault-injecting in-memory
+/// media (each replica owns its medium).
+fn fresh_replicas(durable: bool) -> Vec<Replica> {
+    if !durable {
+        return five_stores(SimEnv::testbed)
+            .into_iter()
+            .map(|store| replica(store, None))
+            .collect();
+    }
+    let mirage_vfs = Arc::new(MemFs::new());
+    let mirage_files = durable_section(&mirage_vfs, "files");
+    let mirage = replica(
+        Box::new(MirageStore::new_durable(
+            SimEnv::testbed(),
+            Arc::clone(&mirage_files.1),
+        )),
+        Some(DurableAttachment {
+            vfs: mirage_vfs,
+            sections: vec![mirage_files],
+            recoveries: 0,
+            wal_records_replayed: 0,
+            torn_tails: 0,
+            recovered_blobs: 0,
+        }),
+    );
+    let xpl_vfs = Arc::new(MemFs::new());
+    let packages = durable_section(&xpl_vfs, "packages");
+    let data = durable_section(&xpl_vfs, "data");
+    let expelliarmus = replica(
+        Box::new(ExpelliarmusRepo::new_durable(
+            SimEnv::testbed(),
+            Arc::clone(&packages.1),
+            Arc::clone(&data.1),
+        )),
+        Some(DurableAttachment {
+            vfs: xpl_vfs,
+            sections: vec![packages, data],
+            recoveries: 0,
+            wal_records_replayed: 0,
+            torn_tails: 0,
+            recovered_blobs: 0,
+        }),
+    );
+    vec![
+        replica(Box::new(QcowStore::new(SimEnv::testbed())), None),
+        replica(Box::new(GzipStore::new(SimEnv::testbed())), None),
+        mirage,
+        replica(Box::new(HemeraStore::new(SimEnv::testbed())), None),
+        expelliarmus,
+    ]
 }
 
 /// Generate the trace for a config (exposed so tests can assert
-/// reproducibility without replaying).
+/// reproducibility without replaying). Durable configs additionally
+/// inject crash-recovery pairs at seeded positions.
 pub fn churn_trace(cfg: &ChurnConfig) -> (ScaledWorld, Trace) {
     let world = ScaledWorld::generate(&cfg.scale);
-    let trace = Trace::generate(
+    let mut trace = Trace::generate(
         &world.image_names(),
         &TraceConfig {
             seed: cfg.seed,
             ops: cfg.ops,
         },
     );
+    if let Some(durable) = &cfg.durable {
+        trace.inject_crashes(durable.crash_seed, durable.crashes);
+    }
     (world, trace)
+}
+
+/// Deterministic garbage appended to each WAL at a crash: a torn
+/// sector that recovery must drop cleanly.
+const TORN_TAIL_GARBAGE: [u8; 13] = [0xA5; 13];
+
+/// Power-cut one replica's durable medium and tear its WAL tails. A
+/// no-op for replicas without an attachment.
+fn apply_crash(r: &mut Replica) {
+    if let Some(att) = &mut r.durable {
+        att.vfs.power_cut();
+        for (_, handle) in &att.sections {
+            att.vfs
+                .inject_torn_tail(&handle.wal_file(), &TORN_TAIL_GARBAGE);
+        }
+    }
+}
+
+/// Reopen one replica's durable sections from the medium and check the
+/// recovered state converges to the live in-memory CAS: same blobs,
+/// refcounts and size ledger (fingerprint equality), with every
+/// recovered blob's content re-validated (magic, digest, CRC-32).
+fn apply_recover(r: &mut Replica, ctx: &str, violations: &mut Vec<String>, checks: &mut u64) {
+    let Replica { store, durable, .. } = r;
+    let Some(att) = durable else { return };
+    let live = store.cas_fingerprints();
+    for (i, (section, handle)) in att.sections.iter().enumerate() {
+        match handle.reopen_in_place() {
+            Ok(rep) => {
+                *checks += 1;
+                att.wal_records_replayed += rep.wal_records_replayed;
+                att.torn_tails += rep.torn_wal_tail as u64;
+                att.recovered_blobs += rep.blobs as u64;
+                if let Err(e) = handle.deep_verify() {
+                    violations.push(format!(
+                        "{ctx} {}: {section} recovery content sweep: {e}",
+                        store.name()
+                    ));
+                }
+                match live.get(i) {
+                    Some((live_section, live_fp)) if live_section == section => {
+                        if handle.state_fingerprint() != *live_fp {
+                            violations.push(format!(
+                                "{ctx} {}: recovered {section} diverged from \
+                                 the in-memory state",
+                                store.name()
+                            ));
+                        }
+                    }
+                    _ => violations.push(format!(
+                        "{ctx} {}: no live fingerprint for section {section}",
+                        store.name()
+                    )),
+                }
+            }
+            Err(e) => violations.push(format!(
+                "{ctx} {}: recovery of {section} failed: {e}",
+                store.name()
+            )),
+        }
+    }
+    att.recoveries += 1;
+}
+
+/// The closing durability check of a replay: power-cut every durable
+/// replica one last time (torn tails included) and require recovery to
+/// converge to the final in-memory state.
+fn final_recover_all(replicas: &mut [Replica], violations: &mut Vec<String>, checks: &mut u64) {
+    for r in replicas.iter_mut() {
+        apply_crash(r);
+        apply_recover(r, "final", violations, checks);
+    }
+}
+
+/// End-of-replay fingerprints of every store's CAS sections.
+fn collect_fingerprints(replicas: &[Replica]) -> Vec<CasFingerprint> {
+    let mut out = Vec::new();
+    for r in replicas {
+        for (section, fingerprint) in r.store.cas_fingerprints() {
+            out.push(CasFingerprint {
+                store: r.store.name().to_string(),
+                section,
+                fingerprint,
+            });
+        }
+    }
+    out
+}
+
+/// Durable summaries (None when the replay ran purely in memory).
+fn collect_durable_summaries(replicas: &[Replica]) -> Option<Vec<DurableStoreSummary>> {
+    let summaries: Vec<DurableStoreSummary> = replicas
+        .iter()
+        .filter_map(|r| {
+            r.durable.as_ref().map(|att| DurableStoreSummary {
+                store: r.store.name().to_string(),
+                sections: att.sections.len(),
+                recoveries: att.recoveries,
+                wal_records_replayed: att.wal_records_replayed,
+                torn_tails: att.torn_tails,
+                recovered_blobs: att.recovered_blobs,
+                wal_appends: att.sections.iter().map(|(_, h)| h.wal_appends()).sum(),
+                checkpoints: att.sections.iter().map(|(_, h)| h.checkpoints()).sum(),
+            })
+        })
+        .collect();
+    if summaries.is_empty() {
+        None
+    } else {
+        Some(summaries)
+    }
 }
 
 /// Apply one publish/upgrade to one replica with the full per-op oracle
@@ -319,7 +602,7 @@ fn check_retrieve(
 /// original per-op-integrity driver; `repro churn` without `--threads`).
 pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
     let (world, trace) = churn_trace(cfg);
-    let mut replicas = fresh_replicas();
+    let mut replicas = fresh_replicas(cfg.durable.is_some());
     let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
     let mut violations: Vec<String> = Vec::new();
     let mut checks = 0u64;
@@ -382,6 +665,17 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                 }
                 live.remove(image);
             }
+            TraceOp::Crash => {
+                for r in replicas.iter_mut() {
+                    apply_crash(r);
+                }
+            }
+            TraceOp::Recover => {
+                let ctx = format!("step {step}");
+                for r in replicas.iter_mut() {
+                    apply_recover(r, &ctx, &mut violations, &mut checks);
+                }
+            }
         }
         // Refcount / bookkeeping audit after every op, on every store.
         for r in &replicas {
@@ -395,6 +689,10 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
             }
         }
     }
+
+    // Closing durability check: one last power-cut + recovery must
+    // converge to the final in-memory state.
+    final_recover_all(&mut replicas, &mut violations, &mut checks);
 
     // Closing deep audit: every CAS blob re-hashed, once per store.
     for r in &replicas {
@@ -413,6 +711,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
         deletes,
         bursts,
         burst_retrieves,
+        crashes: trace.crashes(),
         oracle_checks: checks,
         trace_sha256: trace.digest_hex(),
         stores: replicas
@@ -426,6 +725,8 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                 sim_seconds: r.sim_seconds,
             })
             .collect(),
+        cas_fingerprints: collect_fingerprints(&replicas),
+        durable: collect_durable_summaries(&replicas),
         violations,
     }
 }
@@ -468,6 +769,10 @@ enum WriteStep {
         image: String,
         probe: RetrieveRequest,
     },
+    Crash,
+    Recover {
+        step: usize,
+    },
 }
 
 /// One retrieval of a retrieval run (bursts are expanded).
@@ -484,7 +789,11 @@ enum Run {
 fn is_write(op: &TraceOp) -> bool {
     matches!(
         op,
-        TraceOp::Publish { .. } | TraceOp::Upgrade { .. } | TraceOp::Delete { .. }
+        TraceOp::Publish { .. }
+            | TraceOp::Upgrade { .. }
+            | TraceOp::Delete { .. }
+            | TraceOp::Crash
+            | TraceOp::Recover
     )
 }
 
@@ -498,7 +807,7 @@ pub fn run_churn_threads(cfg: &ChurnConfig, threads: usize) -> ChurnReport {
 
 fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
     let (world, trace) = churn_trace(cfg);
-    let mut replicas = fresh_replicas();
+    let mut replicas = fresh_replicas(cfg.durable.is_some());
     let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
     let mut vmis: Vec<xpl_guestfs::Vmi> = Vec::new();
     // Fingerprints of each publish, parallel to `vmis` — computed once
@@ -581,6 +890,8 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                     });
                 }
             }
+            (Run::Writes(steps), TraceOp::Crash) => steps.push(WriteStep::Crash),
+            (Run::Writes(steps), TraceOp::Recover) => steps.push(WriteStep::Recover { step }),
             _ => unreachable!("run kind matches op kind by construction"),
         }
     }
@@ -608,6 +919,7 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                         WriteStep::Delete { image, .. } => {
                             fingerprints.remove(image);
                         }
+                        WriteStep::Crash | WriteStep::Recover { .. } => {}
                     }
                 }
                 // Each replica applies the whole run in trace order; the
@@ -640,6 +952,10 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                                 }
                                 WriteStep::Delete { step, image, probe } => {
                                     apply_delete(r, &world, image, probe, *step, &mut v, &mut c);
+                                }
+                                WriteStep::Crash => apply_crash(r),
+                                WriteStep::Recover { step } => {
+                                    apply_recover(r, &format!("step {step}"), &mut v, &mut c);
                                 }
                             }
                             c += 1;
@@ -718,6 +1034,10 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
         }
     }
 
+    // Closing durability check: one last power-cut + recovery must
+    // converge to the final in-memory state.
+    final_recover_all(&mut replicas, &mut violations, &mut checks);
+
     // Closing deep audit: every CAS blob re-hashed, once per store.
     for r in &replicas {
         checks += 1;
@@ -735,6 +1055,7 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
         deletes,
         bursts,
         burst_retrieves,
+        crashes: trace.crashes(),
         oracle_checks: checks,
         trace_sha256: trace.digest_hex(),
         stores: replicas
@@ -748,6 +1069,8 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                 sim_seconds: r.sim_seconds,
             })
             .collect(),
+        cas_fingerprints: collect_fingerprints(&replicas),
+        durable: collect_durable_summaries(&replicas),
         violations,
     }
 }
@@ -781,6 +1104,57 @@ mod tests {
         assert!(report.violations.is_empty(), "{:#?}", report.violations);
         assert_eq!(report.ops, 60);
         assert_eq!(report.stores.len(), 5);
+    }
+
+    #[test]
+    fn durable_short_churn_recovers_cleanly() {
+        let cfg = ChurnConfig::small(0xBEEF, 60).with_durable(DurableCfg {
+            crashes: 2,
+            crash_seed: 7,
+        });
+        let report = run_churn(&cfg);
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+        assert_eq!(report.crashes, 2);
+        let durable = report.durable.as_ref().expect("durable summaries");
+        assert_eq!(durable.len(), 2, "Mirage + Expelliarmus");
+        for d in durable {
+            assert_eq!(d.recoveries, 3, "{}: 2 injected + 1 final", d.store);
+            assert!(d.torn_tails >= 3, "{}: every crash tears WALs", d.store);
+            assert!(d.wal_appends > 0, "{}: write-through logged ops", d.store);
+        }
+        // Durable replay converges to the same end-state fingerprints
+        // as the purely in-memory replay of the same base trace.
+        let mem = run_churn(&ChurnConfig::small(0xBEEF, 60));
+        assert!(mem.durable.is_none());
+        assert_eq!(mem.cas_fingerprints.len(), report.cas_fingerprints.len());
+        for (a, b) in mem.cas_fingerprints.iter().zip(&report.cas_fingerprints) {
+            assert_eq!(a.store, b.store);
+            assert_eq!(a.section, b.section);
+            assert_eq!(a.fingerprint, b.fingerprint, "{}/{}", a.store, a.section);
+        }
+    }
+
+    #[test]
+    fn durable_concurrent_matches_sequential_durable() {
+        let cfg = ChurnConfig::small(0x5EED, 60).with_durable(DurableCfg {
+            crashes: 2,
+            crash_seed: 9,
+        });
+        let seq = run_churn(&cfg);
+        let conc = run_churn_threads(&cfg, 4);
+        assert!(seq.violations.is_empty(), "{:#?}", seq.violations);
+        assert!(conc.violations.is_empty(), "{:#?}", conc.violations);
+        for (a, b) in seq.cas_fingerprints.iter().zip(&conc.cas_fingerprints) {
+            assert_eq!(a.fingerprint, b.fingerprint, "{}/{}", a.store, a.section);
+        }
+        let (sd, cd) = (seq.durable.unwrap(), conc.durable.unwrap());
+        for (a, b) in sd.iter().zip(&cd) {
+            assert_eq!(a.store, b.store);
+            assert_eq!(a.recoveries, b.recoveries);
+            assert_eq!(a.wal_records_replayed, b.wal_records_replayed);
+            assert_eq!(a.wal_appends, b.wal_appends);
+            assert_eq!(a.checkpoints, b.checkpoints);
+        }
     }
 
     #[test]

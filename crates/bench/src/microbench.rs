@@ -16,10 +16,12 @@
 
 use rayon::prelude::*;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 use xpl_chunking::rabin::{chunk_cdc, CdcParams};
 use xpl_compress::{deflate, gzip_compress_parallel, gzip_decompress, inflate};
 use xpl_core::ExpelliarmusRepo;
+use xpl_persist::{DurableConfig, DurableContentStore, MemFs};
 use xpl_store::ImageStore;
 use xpl_util::{Crc32, Sha256};
 use xpl_workloads::World;
@@ -66,6 +68,23 @@ pub struct EndToEnd {
     pub churn_wall_s: f64,
 }
 
+/// Durable-persistence throughputs (the `xpl-persist` subsystem over
+/// the deterministic in-memory medium, so the numbers isolate the
+/// format + CRC + logging work from physical disk speed).
+#[derive(Clone, Debug, Serialize)]
+pub struct PersistBench {
+    /// Segment-append path: `put` of distinct payloads (record
+    /// framing, CRC-32, WAL logging, fsync accounting).
+    pub segment_append_mib_per_s: f64,
+    /// WAL replay during recovery, in records per second.
+    pub wal_replay_ops_per_s: f64,
+    pub wal_replay_records: u64,
+    /// One cold recovery: manifest load + WAL replay (torn tail
+    /// dropped) + full content re-validation of every recovered blob.
+    pub recovery_wall_s: f64,
+    pub recovery_blobs: usize,
+}
+
 /// The machine-readable `BENCH.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -75,6 +94,7 @@ pub struct BenchReport {
     pub host_cpus: usize,
     pub kernels: Vec<KernelBench>,
     pub parallel: ParallelBench,
+    pub persist: PersistBench,
     pub end_to_end: EndToEnd,
 }
 
@@ -188,6 +208,9 @@ pub fn run_microbench(quick: bool) -> BenchReport {
         speedup: t1 / tn,
     };
 
+    // --- durable persistence ---------------------------------------
+    let persist = persist_bench(quick, budget);
+
     // --- end to end -------------------------------------------------
     let world = World::small();
     let names = world.image_names();
@@ -207,7 +230,7 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     let vmis: Vec<_> = names.iter().map(|n| world.build_image(n)).collect();
     let sweep = |threads: usize| {
         rayon::with_num_threads(threads, || {
-            let stores = five_store_set(&world);
+            let stores = crate::churn::five_stores(|| world.env());
             let t = Instant::now();
             let _: Vec<()> = stores
                 .into_par_iter()
@@ -241,13 +264,14 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     );
 
     BenchReport {
-        schema_version: 2,
+        schema_version: 3,
         quick,
         host_cpus: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
         kernels,
         parallel,
+        persist,
         end_to_end: EndToEnd {
             publish_images: names.len(),
             publish_wall_s,
@@ -261,16 +285,107 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     }
 }
 
-/// The five evaluated stores over fresh environments (bench-local copy;
-/// the churn module's equivalent is private to its oracle).
-fn five_store_set(world: &World) -> Vec<Box<dyn ImageStore>> {
-    vec![
-        Box::new(xpl_baselines::QcowStore::new(world.env())),
-        Box::new(xpl_baselines::GzipStore::new(world.env())),
-        Box::new(xpl_baselines::MirageStore::new(world.env())),
-        Box::new(xpl_baselines::HemeraStore::new(world.env())),
-        Box::new(ExpelliarmusRepo::new(world.env())),
-    ]
+/// Benchmark the durable subsystem: segment-append throughput, WAL
+/// replay rate, and a cold crash-recovery wall time.
+fn persist_bench(quick: bool, budget: f64) -> PersistBench {
+    // Segment append: distinct payloads through the full put path
+    // (record framing + CRC + WAL append + fsync accounting). A fresh
+    // store per iteration so every put is a cold append.
+    let (count, blob_len) = if quick {
+        (8, 64 * 1024)
+    } else {
+        (64, 256 * 1024)
+    };
+    let payloads: Vec<Vec<u8>> = (0..count)
+        .map(|i| xpl_pkg::content::generate(1000 + i as u64, blob_len))
+        .collect();
+    let total_bytes = (count * blob_len) as f64;
+    let (_, append_median) = time_median(budget, || {
+        let vfs = Arc::new(MemFs::new());
+        let (store, _) =
+            DurableContentStore::open(vfs, DurableConfig::named("bench")).expect("fresh store");
+        for p in &payloads {
+            store.put(p).expect("bench put");
+        }
+    });
+    let segment_append_mib_per_s = total_bytes / (1024.0 * 1024.0) / append_median;
+
+    // WAL replay: record a run of small index ops with checkpoints
+    // disabled, then repeatedly recover from the medium. Each open()
+    // replays every record into a fresh index.
+    let wal_ops = if quick { 1_000 } else { 10_000 };
+    let wal_vfs = Arc::new(MemFs::new());
+    let mut cfg = DurableConfig::named("wal");
+    cfg.checkpoint_every_ops = 0;
+    {
+        let (store, _) =
+            DurableContentStore::open(Arc::clone(&wal_vfs) as _, cfg.clone()).expect("fresh store");
+        let mut digests = Vec::new();
+        for i in 0..wal_ops {
+            let (d, _) = store.put(&(i as u64).to_le_bytes()).expect("bench put");
+            digests.push(d);
+            if i % 3 == 0 {
+                store.add_ref(d).expect("bench add_ref");
+            }
+            if i % 5 == 4 {
+                store.release(&digests[i - 2]).expect("bench release");
+            }
+        }
+    }
+    let replay_records = {
+        let (_, report) =
+            DurableContentStore::open(Arc::clone(&wal_vfs) as _, cfg.clone()).expect("reopen");
+        report.wal_records_replayed
+    };
+    let (_, replay_median) = time_median(budget, || {
+        let (_store, report) =
+            DurableContentStore::open(Arc::clone(&wal_vfs) as _, cfg.clone()).expect("reopen");
+        assert_eq!(report.wal_records_replayed, replay_records);
+    });
+    let wal_replay_ops_per_s = replay_records as f64 / replay_median;
+
+    // Cold recovery: a checkpointed store with a live WAL suffix and a
+    // torn tail, recovered once (manifest + replay + full content
+    // sweep), timed wall-clock like the end-to-end runs. The fork
+    // keeps the timed run from mutating the recorded medium.
+    let (rec_blobs, rec_len) = if quick {
+        (256, 4 * 1024)
+    } else {
+        (2048, 8 * 1024)
+    };
+    let rec_vfs = Arc::new(MemFs::new());
+    let mut rec_cfg = DurableConfig::named("rec");
+    rec_cfg.checkpoint_every_ops = 0;
+    let live_wal = {
+        let (store, _) =
+            DurableContentStore::open(Arc::clone(&rec_vfs) as _, rec_cfg.clone()).expect("fresh");
+        for i in 0..rec_blobs {
+            store
+                .put(&xpl_pkg::content::generate(2000 + i as u64, rec_len))
+                .expect("bench put");
+            if i == rec_blobs / 2 {
+                store.checkpoint().expect("bench checkpoint");
+            }
+        }
+        store.wal_file() // the post-checkpoint generation
+    };
+    rec_vfs.inject_torn_tail(&live_wal, &[0xA5; 13]);
+    let timed = rec_vfs.fork();
+    let t0 = Instant::now();
+    let (recovered, report) =
+        DurableContentStore::open(Arc::new(timed) as _, rec_cfg).expect("recovery");
+    assert!(report.torn_wal_tail, "torn tail must be detected");
+    let verified = recovered.deep_verify().expect("recovered content verifies");
+    let recovery_wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(verified, rec_blobs);
+
+    PersistBench {
+        segment_append_mib_per_s,
+        wal_replay_ops_per_s,
+        wal_replay_records: replay_records,
+        recovery_wall_s,
+        recovery_blobs: verified,
+    }
 }
 
 /// Validate a `BENCH.json` produced by [`run_microbench`]: every
@@ -283,8 +398,8 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         .get("schema_version")
         .and_then(|s| s.as_f64())
         .ok_or("missing schema_version")?;
-    if schema != 2.0 {
-        return Err(format!("unsupported schema_version {schema} (expected 2)"));
+    if schema != 3.0 {
+        return Err(format!("unsupported schema_version {schema} (expected 3)"));
     }
     let kernels = v
         .get("kernels")
@@ -315,6 +430,9 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         ("parallel", "one_thread_mib_per_s"),
         ("parallel", "n_thread_mib_per_s"),
         ("parallel", "speedup"),
+        ("persist", "segment_append_mib_per_s"),
+        ("persist", "wal_replay_ops_per_s"),
+        ("persist", "recovery_wall_s"),
     ] {
         let t = v
             .get(path.0)
@@ -376,6 +494,17 @@ pub fn render(report: &BenchReport) -> String {
         s,
         "gzip-parallel    {:>12} bytes  1-thread {:.1} MiB/s, {}-thread {:.1} MiB/s, speedup {:.2}x",
         p.input_bytes, p.one_thread_mib_per_s, p.threads, p.n_thread_mib_per_s, p.speedup
+    );
+    let d = &report.persist;
+    let _ = writeln!(
+        s,
+        "persist          segment-append {:.1} MiB/s, WAL replay {:.0} ops/s ({} records), \
+         recovery {:.3}s ({} blobs)",
+        d.segment_append_mib_per_s,
+        d.wal_replay_ops_per_s,
+        d.wal_replay_records,
+        d.recovery_wall_s,
+        d.recovery_blobs
     );
     let e = &report.end_to_end;
     let _ = writeln!(

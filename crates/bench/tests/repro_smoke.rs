@@ -91,6 +91,78 @@ fn churn_threads_flag_is_thread_count_invariant() {
 }
 
 #[test]
+fn churn_durable_replays_with_crash_recovery() {
+    let path = std::env::temp_dir().join(format!("churn-durable-{}.json", std::process::id()));
+    let out = repro()
+        .args(["churn", "--seed", "7", "--ops", "40", "--durable"])
+        .args(["--crashes", "2", "--crash-seed", "42"])
+        .args(["--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "oracle must pass; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("oracle: PASS"), "{stdout}");
+    assert!(
+        stdout.contains("durable: 2 crash-recovery pairs injected"),
+        "{stdout}"
+    );
+    let json = std::fs::read_to_string(&path).expect("durable churn JSON written");
+    std::fs::remove_file(&path).ok();
+    for key in [
+        "\"cas_fingerprints\"",
+        "\"durable\"",
+        "\"wal_records_replayed\"",
+        "\"torn_tails\"",
+        "\"crashes\": 2",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
+    }
+
+    // The durable replay's converged fingerprints must equal the
+    // in-memory replay's (same base trace, no crash ops) — the diff CI
+    // performs at standard scale.
+    let mem = repro()
+        .args(["churn", "--seed", "7", "--ops", "40"])
+        .args(["--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(mem.status.success());
+    let mem_json = std::fs::read_to_string(&path).expect("in-memory churn JSON written");
+    std::fs::remove_file(&path).ok();
+    let fingerprints = |j: &str| -> Vec<String> {
+        j.lines()
+            .filter(|l| l.contains("\"fingerprint\""))
+            .map(|l| l.trim().to_string())
+            .collect()
+    };
+    let (durable_fps, mem_fps) = (fingerprints(&json), fingerprints(&mem_json));
+    assert!(!durable_fps.is_empty());
+    assert_eq!(durable_fps, mem_fps, "converged fingerprints must match");
+}
+
+#[test]
+fn audit_subcommand_passes_on_the_small_world() {
+    let out = repro()
+        .args(["audit", "--world", "small"])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("AUDIT: PASS"), "{stdout}");
+    for store in ["Qcow2", "Mirage", "Hemera", "Expelliarmus"] {
+        assert!(stdout.contains(store), "missing {store}: {stdout}");
+    }
+}
+
+#[test]
 fn churn_is_deterministic_across_processes() {
     let run = || {
         let out = repro()

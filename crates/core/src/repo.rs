@@ -138,6 +138,17 @@ pub struct RepoState {
 
 impl RepoState {
     pub fn new(env: SimEnv, mode: PublishMode) -> Self {
+        Self::with_durable(env, mode, None, None)
+    }
+
+    /// Repository whose package and user-data CAS write through to
+    /// durable log-structured backends (see `xpl_persist`).
+    pub fn with_durable(
+        env: SimEnv,
+        mode: PublishMode,
+        packages: Option<std::sync::Arc<xpl_persist::DurableContentStore>>,
+        data: Option<std::sync::Arc<xpl_persist::DurableContentStore>>,
+    ) -> Self {
         let mut db = Database::on_device(std::sync::Arc::clone(&env.repo));
         db.create_table(Schema::new(
             "packages",
@@ -166,9 +177,14 @@ impl RepoState {
             ],
         ))
         .expect("fresh db");
+        let attach =
+            |durable: Option<std::sync::Arc<xpl_persist::DurableContentStore>>| match durable {
+                Some(d) => ContentStore::new_durable(std::sync::Arc::clone(&env.repo), d),
+                None => ContentStore::new(std::sync::Arc::clone(&env.repo)),
+            };
         RepoState {
-            packages: ContentStore::new(std::sync::Arc::clone(&env.repo)),
-            data_store: ContentStore::new(std::sync::Arc::clone(&env.repo)),
+            packages: attach(packages),
+            data_store: attach(data),
             package_index: RwLock::new(FxHashMap::default()),
             data_index: RwLock::new(FxHashMap::default()),
             semantic: RwLock::new(SemanticState::default()),
@@ -241,6 +257,26 @@ impl ExpelliarmusRepo {
     pub fn with_mode(env: SimEnv, mode: PublishMode) -> Self {
         ExpelliarmusRepo {
             state: RepoState::new(env, mode),
+        }
+    }
+
+    /// Fully durable repository: the package and user-data CAS write
+    /// through to `xpl-persist` log-structured stores, so a crash of
+    /// the medium recovers (WAL replay over the manifest) to exactly
+    /// the in-memory content state — checked op-for-op by the churn
+    /// oracle's `Crash`/`Recover` handling.
+    pub fn new_durable(
+        env: SimEnv,
+        packages: std::sync::Arc<xpl_persist::DurableContentStore>,
+        data: std::sync::Arc<xpl_persist::DurableContentStore>,
+    ) -> Self {
+        ExpelliarmusRepo {
+            state: RepoState::with_durable(
+                env,
+                PublishMode::Expelliarmus,
+                Some(packages),
+                Some(data),
+            ),
         }
     }
 
@@ -436,6 +472,19 @@ impl ImageStore for ExpelliarmusRepo {
             .data_store
             .check_integrity(true)
             .map_err(|e| format!("data CAS content: {e}"))
+    }
+
+    fn cas_fingerprints(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "packages".to_string(),
+                self.state.packages.state_fingerprint(),
+            ),
+            (
+                "data".to_string(),
+                self.state.data_store.state_fingerprint(),
+            ),
+        ]
     }
 }
 

@@ -1,0 +1,48 @@
+//! Typed persistence errors.
+
+use xpl_util::Digest;
+
+/// Errors surfaced by the durable layer. Corruption is a value, not a
+/// panic: callers decide whether a damaged record is fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The backing medium rejected an operation (real I/O error on
+    /// [`crate::StdFs`], injected crash on [`crate::MemFs`]).
+    Io(String),
+    /// The simulated medium is crashed; every operation fails until the
+    /// harness reboots it ([`crate::MemFs::power_cut`]).
+    Crashed,
+    /// A file the recovery path needs does not exist.
+    Missing(String),
+    /// A segment record failed validation: bad magic, digest mismatch,
+    /// or CRC-32 failure over the payload.
+    CorruptRecord {
+        file: String,
+        offset: u64,
+        detail: String,
+    },
+    /// The manifest failed structural validation (magic/version/CRC).
+    CorruptManifest(String),
+    /// The in-memory index disagrees with the operation (e.g. releasing
+    /// a digest that was never stored).
+    NotFound(Digest),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Crashed => write!(f, "medium is crashed (awaiting recovery)"),
+            PersistError::Missing(name) => write!(f, "missing file {name}"),
+            PersistError::CorruptRecord {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt record in {file} at offset {offset}: {detail}"),
+            PersistError::CorruptManifest(e) => write!(f, "corrupt manifest: {e}"),
+            PersistError::NotFound(d) => write!(f, "digest {d} not in the store"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}

@@ -159,6 +159,17 @@ pub trait ImageStore: Send + Sync {
     fn check_integrity_deep(&self) -> Result<(), String> {
         self.check_integrity()
     }
+
+    /// Canonical fingerprints of this store's content-addressed
+    /// sections, as `(section, fingerprint)` pairs in a fixed order —
+    /// e.g. `[("packages", …), ("data", …)]` for Expelliarmus,
+    /// `[("files", …)]` for Mirage/Hemera. Snapshot stores with no CAS
+    /// return an empty list. The crash-recovery oracle compares these
+    /// against a recovered durable backend's fingerprints, and CI
+    /// diffs them between the durable and in-memory churn replays.
+    fn cas_fingerprints(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

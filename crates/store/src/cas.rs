@@ -23,10 +23,25 @@
 //! [`ContentStore::check_integrity`] with `deep = true`, which is what
 //! store-level `check_integrity_deep` audits call. Both surface
 //! [`CasError::DigestMismatch`].
+//!
+//! # Durability
+//!
+//! [`ContentStore::new_durable`] attaches an `xpl-persist`
+//! [`DurableContentStore`]: every mutation (`put`, `add_ref`,
+//! `release`) writes through to the log-structured on-disk store
+//! *before* the in-memory state changes, so the durable log always
+//! holds a superset-ordered record of the in-memory history and
+//! reopen-after-crash converges to the same blobs, refcounts and size
+//! ledger ([`ContentStore::state_fingerprint`] is the convergence
+//! check the churn oracle uses). A write-through failure is a panic:
+//! by construction the harness only crashes the medium at operation
+//! boundaries (and recovers before the next op), so an error here is a
+//! subsystem bug, not an injected fault.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use xpl_persist::{cas_state_fingerprint, DurableContentStore};
 use xpl_simio::SimDevice;
 use xpl_util::{Digest, FxHashMap, Sha256};
 
@@ -48,6 +63,8 @@ pub struct ContentStore {
     shards: Vec<RwLock<FxHashMap<Digest, Blob>>>,
     unique_bytes: AtomicU64,
     dedup_hits: AtomicU64,
+    /// Optional write-through durable backend (see module docs).
+    durable: Option<Arc<DurableContentStore>>,
 }
 
 /// CAS errors.
@@ -71,7 +88,29 @@ impl ContentStore {
                 .collect(),
             unique_bytes: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
+            durable: None,
         }
+    }
+
+    /// A store whose mutations write through to a durable
+    /// log-structured backend before touching memory.
+    pub fn new_durable(device: Arc<SimDevice>, durable: Arc<DurableContentStore>) -> Self {
+        let mut store = Self::new(device);
+        store.durable = Some(durable);
+        store
+    }
+
+    /// The attached durable backend, if any.
+    pub fn durable(&self) -> Option<&Arc<DurableContentStore>> {
+        self.durable.as_ref()
+    }
+
+    /// Canonical fingerprint of the logical state (blobs, refcounts,
+    /// size ledger) — comparable against
+    /// `DurableContentStore::state_fingerprint` to check that a
+    /// recovered on-disk store converged to this in-memory one.
+    pub fn state_fingerprint(&self) -> String {
+        cas_state_fingerprint(self.snapshot_refs(), self.unique_bytes())
     }
 
     fn shard(&self, digest: &Digest) -> &RwLock<FxHashMap<Digest, Blob>> {
@@ -88,6 +127,16 @@ impl ContentStore {
     /// Store with a precomputed digest (hot path for generated content).
     pub fn put_with_digest(&self, digest: Digest, bytes: &[u8]) -> bool {
         let mut shard = self.shard(&digest).write().unwrap();
+        if let Some(d) = &self.durable {
+            let was_new = d
+                .put_with_digest(digest, bytes)
+                .expect("durable write-through: put");
+            debug_assert_eq!(
+                was_new,
+                !shard.contains_key(&digest),
+                "durable backend diverged on put"
+            );
+        }
         if let Some(b) = shard.get_mut(&digest) {
             b.refs += 1;
             self.dedup_hits.fetch_add(1, Ordering::Relaxed);
@@ -116,6 +165,9 @@ impl ContentStore {
         let mut shard = self.shard(&digest).write().unwrap();
         match shard.get_mut(&digest) {
             Some(b) => {
+                if let Some(d) = &self.durable {
+                    d.add_ref(digest).expect("durable write-through: add_ref");
+                }
                 b.refs += 1;
                 self.dedup_hits.fetch_add(1, Ordering::Relaxed);
                 self.device.charge_db_read(1);
@@ -167,6 +219,14 @@ impl ContentStore {
     pub fn release(&self, digest: &Digest) -> Result<u64, CasError> {
         let mut shard = self.shard(digest).write().unwrap();
         let b = shard.get_mut(digest).ok_or(CasError::NotFound(*digest))?;
+        if let Some(d) = &self.durable {
+            let freed = d.release(digest).expect("durable write-through: release");
+            debug_assert_eq!(
+                freed,
+                if b.refs == 1 { b.stored_len } else { 0 },
+                "durable backend diverged on release"
+            );
+        }
         b.refs -= 1;
         if b.refs == 0 {
             let freed = b.bytes.len() as u64;
@@ -415,6 +475,34 @@ mod tests {
             .count();
         assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
         assert!(cas.check_integrity(true).is_ok());
+    }
+
+    #[test]
+    fn durable_write_through_tracks_every_mutation() {
+        use xpl_persist::{DurableConfig, DurableContentStore, MemFs};
+        let env = SimEnv::testbed();
+        let vfs = Arc::new(MemFs::new());
+        let (durable, _) =
+            DurableContentStore::open(vfs.clone(), DurableConfig::named("cas")).unwrap();
+        let durable = Arc::new(durable);
+        let cas = ContentStore::new_durable(Arc::clone(&env.repo), Arc::clone(&durable));
+
+        let (d1, _) = cas.put(b"alpha");
+        let (d2, _) = cas.put(b"beta");
+        cas.put(b"alpha"); // dedup hit → durable add_ref
+        cas.add_ref(d2).unwrap();
+        cas.release(&d2).unwrap();
+        cas.release(&d2).unwrap(); // beta dies on both sides
+        assert_eq!(cas.state_fingerprint(), durable.state_fingerprint());
+        assert_eq!(durable.refs_of(&d1), Some(2));
+        assert!(!durable.contains(&d2));
+
+        // Reopening from the medium converges to the same state.
+        let (reopened, report) =
+            DurableContentStore::open(vfs, DurableConfig::named("cas")).unwrap();
+        assert_eq!(report.wal_records_replayed, 6);
+        assert_eq!(reopened.state_fingerprint(), cas.state_fingerprint());
+        assert_eq!(reopened.get(&d1).unwrap(), b"alpha");
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub enum TraceOp {
     Delete { image: String },
     /// Flash crowd: `count` back-to-back retrievals.
     Burst { image: String, count: u32 },
+    /// Power-cut the durable medium (torn WAL tail, unsynced bytes
+    /// lost). A no-op for purely in-memory replicas.
+    Crash,
+    /// Reopen the durable store from the medium: manifest load + WAL
+    /// replay; the oracle checks the recovered state converges to the
+    /// uncrashed in-memory run.
+    Recover,
 }
 
 impl TraceOp {
@@ -38,6 +45,8 @@ impl TraceOp {
             TraceOp::Upgrade { image, generation } => format!("upgrade {image} gen={generation}"),
             TraceOp::Delete { image } => format!("delete {image}"),
             TraceOp::Burst { image, count } => format!("burst {image} x{count}"),
+            TraceOp::Crash => "crash".to_string(),
+            TraceOp::Recover => "recover".to_string(),
         }
     }
 }
@@ -115,6 +124,27 @@ impl Trace {
         }
     }
 
+    /// Inject `count` crash-recovery pairs at deterministic positions:
+    /// a `Crash` immediately followed by a `Recover`, never before the
+    /// first op (crashing an empty repository recovers trivially).
+    /// Positions derive from `seed` alone, so the same call on the
+    /// same trace is byte-identical.
+    pub fn inject_crashes(&mut self, seed: u64, count: usize) {
+        if self.ops.is_empty() || count == 0 {
+            return;
+        }
+        let mut rng = SplitMix64::new(seed).derive("crash-injection");
+        let mut positions: Vec<usize> = (0..count)
+            .map(|_| 1 + rng.next_below(self.ops.len() as u64) as usize)
+            .collect();
+        // Insert back-to-front so earlier positions stay valid.
+        positions.sort_unstable();
+        for &pos in positions.iter().rev() {
+            self.ops.insert(pos, TraceOp::Recover);
+            self.ops.insert(pos, TraceOp::Crash);
+        }
+    }
+
     /// Canonical textual form, one op per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -140,9 +170,18 @@ impl Trace {
                 TraceOp::Upgrade { .. } => m.2 += 1,
                 TraceOp::Delete { .. } => m.3 += 1,
                 TraceOp::Burst { .. } => m.4 += 1,
+                TraceOp::Crash | TraceOp::Recover => {}
             }
         }
         m
+    }
+
+    /// Count of injected crash-recovery pairs.
+    pub fn crashes(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Crash))
+            .count()
     }
 }
 
@@ -200,8 +239,32 @@ mod tests {
                 TraceOp::Delete { image } => {
                     assert!(live.remove(image.as_str()).is_some(), "delete dead {image}");
                 }
+                TraceOp::Crash | TraceOp::Recover => {}
             }
         }
+    }
+
+    #[test]
+    fn crash_injection_is_deterministic_and_paired() {
+        let cfg = TraceConfig { seed: 5, ops: 200 };
+        let mut a = Trace::generate(&names(12), &cfg);
+        let mut b = Trace::generate(&names(12), &cfg);
+        a.inject_crashes(42, 3);
+        b.inject_crashes(42, 3);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.crashes(), 3);
+        assert_eq!(a.ops.len(), 206);
+        // Every crash is immediately followed by its recover, and the
+        // trace never starts with one.
+        assert!(!matches!(a.ops[0], TraceOp::Crash | TraceOp::Recover));
+        for (i, op) in a.ops.iter().enumerate() {
+            if matches!(op, TraceOp::Crash) {
+                assert!(matches!(a.ops[i + 1], TraceOp::Recover), "at {i}");
+            }
+        }
+        let mut c = Trace::generate(&names(12), &cfg);
+        c.inject_crashes(43, 3);
+        assert_ne!(a.render(), c.render(), "different seed, different spots");
     }
 
     #[test]
