@@ -2,6 +2,15 @@
 //!
 //! Compression is *real* (our DEFLATE over the actual image stream), so
 //! Figure 3's Gzip ratios come out of the compressor, not a constant.
+//!
+//! New publishes store the *blocked* container (`xpl_compress::blocked`):
+//! independently-deflated 64 KiB blocks plus a CRC-checked index, which
+//! makes decompression parallel and lets [`ImageStore::retrieve_range`]
+//! serve a disk byte range by inflating only the blocks the range's
+//! clusters live in. Entries written by older versions as single-stream
+//! gzip stay readable — the retrieve path dispatches on the container
+//! magic ([`xpl_compress::decompress_auto`]), and legacy entries fall
+//! back to full-inflate slicing for range reads.
 
 use std::sync::RwLock;
 
@@ -60,6 +69,16 @@ impl GzipStore {
         let mid = entry.compressed.len() / 2;
         entry.compressed[mid] ^= 0x40;
     }
+
+    /// Test hook: rewrite an entry as the legacy single-stream gzip
+    /// format older repositories hold, to pin backward compatibility.
+    #[cfg(test)]
+    fn downgrade_to_legacy_for_test(&self, name: &str) {
+        let mut images = self.images.write().unwrap();
+        let entry = images.get_mut(name).unwrap();
+        let raw = xpl_compress::decompress_auto(&entry.compressed).unwrap();
+        entry.compressed = xpl_compress::gzip_compress_parallel(&raw);
+    }
 }
 
 impl ImageStore for GzipStore {
@@ -81,7 +100,7 @@ impl ImageStore for GzipStore {
                 costs::gzip_compress_per_byte(),
                 raw.len() as u64,
             ));
-            xpl_compress::gzip_compress_parallel(&raw)
+            xpl_compress::blocked_compress(&raw)
         });
         report.breakdown.measure(&self.env.clock, "upload", || {
             self.env
@@ -130,8 +149,8 @@ impl ImageStore for GzipStore {
                     costs::gzip_decompress_per_byte(),
                     entry.raw_len,
                 ));
-                xpl_compress::gzip_decompress(&entry.compressed)
-                    .map_err(|e| StoreError::Corrupt(format!("gzip: {e:?}")))
+                xpl_compress::decompress_auto(&entry.compressed)
+                    .map_err(|e| StoreError::Corrupt(format!("codec: {e}")))
             })?;
         // Verify the decompressed stream is the image we stored.
         if raw.len() as u64 != entry.raw_len {
@@ -142,6 +161,70 @@ impl ImageStore for GzipStore {
         self.env.local.charge_write(raw.len() as u64);
         report.duration = self.env.clock.since(t0);
         Ok((vmi, report))
+    }
+
+    fn retrieve_range(
+        &self,
+        catalog: &Catalog,
+        request: &RetrieveRequest,
+        start: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, RetrieveReport), StoreError> {
+        let t0 = self.env.clock.now();
+        let images = self.images.read().unwrap();
+        let entry = images
+            .get(&request.name)
+            .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
+        if !xpl_compress::is_blocked(&entry.compressed) {
+            // Legacy single-stream member: no seekability. Pay the full
+            // retrieval (decompress everything) and slice the disk.
+            drop(images);
+            let (vmi, report) = self.retrieve(catalog, request)?;
+            let size = vmi.disk.virtual_size();
+            let end = start.saturating_add(len).min(size);
+            let start = start.min(end);
+            let bytes = vmi
+                .disk
+                .read_at(start, (end - start) as usize)
+                .map_err(|e| StoreError::Corrupt(format!("range read: {e}")))?;
+            return Ok((bytes, report));
+        }
+        let mut report = RetrieveReport {
+            image: request.name.clone(),
+            ..Default::default()
+        };
+        // The seekable path: walk the serialized qcow stream's cluster
+        // mapping through a caching blocked reader, so only the
+        // compressed blocks the range's clusters live in are inflated.
+        let mut reader = xpl_compress::BlockedReader::new(&entry.compressed)
+            .map_err(|e| StoreError::Corrupt(format!("blocked: {e}")))?;
+        let bytes = report
+            .breakdown
+            .measure(&self.env.clock, "range inflate", || {
+                xpl_vdisk::read_serialized_range(
+                    |off, l| {
+                        reader
+                            .read_at(off, l)
+                            .map_err(|_| xpl_vdisk::QcowError::Corrupt("blocked block unreadable"))
+                    },
+                    start,
+                    len,
+                )
+                .map_err(|e| StoreError::Corrupt(format!("range: {e}")))
+            })?;
+        // Charge only what moved: the touched blocks' compressed bytes
+        // (plus the index) off the repo, decompress time for the bytes
+        // those blocks inflated to.
+        let touched = reader.compressed_bytes_touched();
+        self.env.repo.charge_open(touched);
+        self.env.repo.charge_copy_to(&self.env.local, touched);
+        self.env.local.charge_fixed(costs::scaled(
+            costs::gzip_decompress_per_byte(),
+            reader.uncompressed_bytes_inflated(),
+        ));
+        report.bytes_read = touched;
+        report.duration = self.env.clock.since(t0);
+        Ok((bytes, report))
     }
 
     fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
@@ -175,6 +258,25 @@ impl ImageStore for GzipStore {
         for (name, e) in self.images.read().unwrap().iter() {
             if e.raw_len > 0 && e.compressed.is_empty() {
                 return Err(format!("{name}: empty member for {} raw bytes", e.raw_len));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_integrity_deep(&self) -> Result<(), String> {
+        self.check_integrity()?;
+        // Full sweep: every member must inflate (per-block CRCs for
+        // blocked containers, trailer CRC for legacy gzip) to exactly
+        // the byte count recorded at publish time.
+        for (name, e) in self.images.read().unwrap().iter() {
+            let raw = xpl_compress::decompress_auto(&e.compressed)
+                .map_err(|err| format!("{name}: {err}"))?;
+            if raw.len() as u64 != e.raw_len {
+                return Err(format!(
+                    "{name}: inflated to {} bytes, recorded {}",
+                    raw.len(),
+                    e.raw_len
+                ));
             }
         }
         Ok(())
@@ -213,6 +315,82 @@ mod tests {
             got.installed_package_set(&w.catalog),
             redis.installed_package_set(&w.catalog)
         );
+    }
+
+    #[test]
+    fn range_read_matches_full_disk_slice_and_reads_less() {
+        let w = World::small();
+        let gz = GzipStore::new(w.env());
+        // Grow the image well past one 64 KiB compression block so a
+        // range can genuinely touch a subset of blocks.
+        let mut redis = w.build_image("redis");
+        for i in 0..200u64 {
+            redis.fs.add_file(xpl_guestfs::FileRecord {
+                path: xpl_util::IStr::new(&format!("/home/u/blob-{i:03}")),
+                size: 3000,
+                seed: 0xD00D + i,
+                owner: xpl_guestfs::FileOwner::UserData,
+            });
+        }
+        redis.rebuild_disk();
+        gz.publish(&w.catalog, &redis).unwrap();
+        let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
+        let (full, full_report) = gz.retrieve(&w.catalog, &req).unwrap();
+        let size = full.disk.virtual_size();
+        for (start, len) in [
+            (0u64, 600u64),
+            (size / 2, 4096),
+            (size - 100, 500), // clamps
+            (size + 5, 10),    // past the end
+        ] {
+            let (bytes, report) = gz.retrieve_range(&w.catalog, &req, start, len).unwrap();
+            let end = start.saturating_add(len).min(size);
+            let expect = if start >= end {
+                Vec::new()
+            } else {
+                full.disk
+                    .read_at(start.min(end), (end - start.min(end)) as usize)
+                    .unwrap()
+            };
+            assert_eq!(bytes, expect, "range [{start}, +{len})");
+            if !bytes.is_empty() {
+                assert!(
+                    report.bytes_read < full_report.bytes_read,
+                    "range read {} vs full {}",
+                    report.bytes_read,
+                    full_report.bytes_read
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_gzip_entries_stay_readable() {
+        let w = World::small();
+        let gz = GzipStore::new(w.env());
+        let redis = w.build_image("redis");
+        gz.publish(&w.catalog, &redis).unwrap();
+        gz.downgrade_to_legacy_for_test("redis");
+        gz.check_integrity_deep().unwrap();
+        let req = xpl_store::RetrieveRequest::for_image(&redis, &w.catalog);
+        let (got, _) = gz.retrieve(&w.catalog, &req).unwrap();
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            redis.installed_package_set(&w.catalog)
+        );
+        // Range reads on legacy entries fall back to full-inflate slicing.
+        let (bytes, _) = gz.retrieve_range(&w.catalog, &req, 0, 600).unwrap();
+        assert_eq!(bytes, got.disk.read_at(0, 600).unwrap());
+    }
+
+    #[test]
+    fn deep_check_flags_corrupt_member() {
+        let w = World::small();
+        let gz = GzipStore::new(w.env());
+        gz.publish(&w.catalog, &w.build_image("mini")).unwrap();
+        gz.check_integrity_deep().unwrap();
+        gz.corrupt_for_test("mini");
+        assert!(gz.check_integrity_deep().is_err());
     }
 
     #[test]

@@ -120,9 +120,11 @@ fn run_churn_cmd(args: &[String]) -> ! {
     };
     println!("CHURN: {} ops replayed against 5 stores", report.ops);
     println!(
-        "  mix: {} publish / {} retrieve / {} upgrade / {} delete / {} burst ({} retrievals)",
+        "  mix: {} publish / {} retrieve (+{} ranged) / {} upgrade / {} delete / \
+         {} burst ({} retrievals)",
         report.publishes,
         report.retrieves,
+        report.range_retrieves,
         report.upgrades,
         report.deletes,
         report.bursts,

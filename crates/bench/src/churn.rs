@@ -184,6 +184,7 @@ pub struct ChurnReport {
     pub ops: usize,
     pub publishes: usize,
     pub retrieves: usize,
+    pub range_retrieves: usize,
     pub upgrades: usize,
     pub deletes: usize,
     pub bursts: usize,
@@ -598,6 +599,87 @@ fn check_retrieve(
     }
 }
 
+/// Retrieve a byte range from one replica and run the differential
+/// oracle: the ranged bytes must equal the same store's full-retrieval
+/// disk slice, and — with `strict_bytes` — the repository must not move
+/// more bytes for the range than it would for the whole image. The
+/// byte-accounting comparison is only valid when this store's
+/// retrievals are serialized (per-op reports read shared device
+/// counters; under the concurrent driver a neighbour's charges leak
+/// into the delta), so the concurrent replay passes `false`.
+#[allow(clippy::too_many_arguments)]
+fn check_retrieve_range(
+    r: &Replica,
+    world: &ScaledWorld,
+    expect: &LiveImage,
+    image: &str,
+    start_frac: u32,
+    len: u32,
+    step: usize,
+    strict_bytes: bool,
+    violations: &mut Vec<String>,
+    checks: &mut u64,
+) {
+    let before = r.store.repo_bytes();
+    let (vmi, full) = match r.store.retrieve(&world.catalog, &expect.request) {
+        Ok(x) => x,
+        Err(e) => {
+            violations.push(format!(
+                "step {step} {}: range oracle retrieve {image} failed: {e}",
+                r.store.name()
+            ));
+            return;
+        }
+    };
+    let size = vmi.disk.virtual_size();
+    let start = size * u64::from(start_frac) / 256;
+    let end = start.saturating_add(u64::from(len)).min(size);
+    let want = match vmi.disk.read_at(start, (end - start) as usize) {
+        Ok(b) => b,
+        Err(e) => {
+            violations.push(format!(
+                "step {step} {}: range oracle slice of {image} failed: {e}",
+                r.store.name()
+            ));
+            return;
+        }
+    };
+    match r
+        .store
+        .retrieve_range(&world.catalog, &expect.request, start, u64::from(len))
+    {
+        Ok((bytes, report)) => {
+            *checks += 1;
+            if bytes != want {
+                violations.push(format!(
+                    "step {step} {}: range ({start}, {len}) of {image} diverges from \
+                     the full-retrieval slice",
+                    r.store.name()
+                ));
+            }
+            if strict_bytes && report.bytes_read > full.bytes_read {
+                violations.push(format!(
+                    "step {step} {}: range ({start}, {len}) of {image} read {} repo \
+                     bytes, more than the full retrieval's {}",
+                    r.store.name(),
+                    report.bytes_read,
+                    full.bytes_read
+                ));
+            }
+            if r.store.repo_bytes() != before {
+                violations.push(format!(
+                    "step {step} {}: range retrieval of {image} changed repo size",
+                    r.store.name()
+                ));
+            }
+        }
+        Err(e) => violations.push(format!(
+            "step {step} {}: range ({start}, {len}) of {image} failed: {e}",
+            r.store.name()
+        )),
+    }
+}
+
 /// Replay `cfg` sequentially and return the oracle's report (the
 /// original per-op-integrity driver; `repro churn` without `--threads`).
 pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
@@ -608,6 +690,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
     let mut checks = 0u64;
     let (mut publishes, mut retrieves, mut upgrades, mut deletes, mut bursts) = (0, 0, 0, 0, 0);
     let mut burst_retrieves = 0usize;
+    let mut range_retrieves = 0usize;
 
     for (step, op) in trace.ops.iter().enumerate() {
         match op {
@@ -641,6 +724,34 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                     &mut violations,
                     &mut checks,
                 );
+            }
+            TraceOp::RetrieveRange {
+                image,
+                start_frac,
+                len,
+            } => {
+                range_retrieves += 1;
+                match live.get(image) {
+                    Some(expect) => {
+                        for r in replicas.iter() {
+                            check_retrieve_range(
+                                r,
+                                &world,
+                                expect,
+                                image,
+                                *start_frac,
+                                *len,
+                                step,
+                                true,
+                                &mut violations,
+                                &mut checks,
+                            );
+                        }
+                    }
+                    None => violations.push(format!(
+                        "step {step}: trace range-retrieved dead image {image}"
+                    )),
+                }
             }
             TraceOp::Burst { image, count } => {
                 bursts += 1;
@@ -707,6 +818,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
         ops: trace.ops.len(),
         publishes,
         retrieves,
+        range_retrieves,
         upgrades,
         deletes,
         bursts,
@@ -775,10 +887,12 @@ enum WriteStep {
     },
 }
 
-/// One retrieval of a retrieval run (bursts are expanded).
+/// One retrieval of a retrieval run (bursts are expanded). A `Some`
+/// range means a ranged retrieval with its differential oracle.
 struct ReadStep {
     step: usize,
     image: String,
+    range: Option<(u32, u32)>,
 }
 
 enum Run {
@@ -817,6 +931,7 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
     let mut checks = 0u64;
     let (mut publishes, mut retrieves, mut upgrades, mut deletes, mut bursts) = (0, 0, 0, 0, 0);
     let mut burst_retrieves = 0usize;
+    let mut range_retrieves = 0usize;
 
     // ---- Partition the trace into write/read runs, precomputing the
     // deterministic payloads (built images, delete probes, live-image
@@ -878,6 +993,22 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                 steps.push(ReadStep {
                     step,
                     image: image.clone(),
+                    range: None,
+                });
+            }
+            (
+                Run::Reads(steps),
+                TraceOp::RetrieveRange {
+                    image,
+                    start_frac,
+                    len,
+                },
+            ) => {
+                range_retrieves += 1;
+                steps.push(ReadStep {
+                    step,
+                    image: image.clone(),
+                    range: Some((*start_frac, *len)),
                 });
             }
             (Run::Reads(steps), TraceOp::Burst { image, count }) => {
@@ -887,6 +1018,7 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                     steps.push(ReadStep {
                         step,
                         image: image.clone(),
+                        range: None,
                     });
                 }
             }
@@ -1001,13 +1133,19 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                         let mut v = Vec::new();
                         let mut c = 0u64;
                         for rs in group {
-                            match fingerprints.get(&rs.image) {
-                                Some(expect) => {
+                            match (fingerprints.get(&rs.image), rs.range) {
+                                (Some(expect), None) => {
                                     check_retrieve(
                                         r, &world, expect, &rs.image, rs.step, &mut v, &mut c,
                                     );
                                 }
-                                None => v.push(format!(
+                                (Some(expect), Some((start_frac, len))) => {
+                                    check_retrieve_range(
+                                        r, &world, expect, &rs.image, start_frac, len, rs.step,
+                                        false, &mut v, &mut c,
+                                    );
+                                }
+                                (None, _) => v.push(format!(
                                     "step {}: trace retrieved dead image {}",
                                     rs.step, rs.image
                                 )),
@@ -1051,6 +1189,7 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
         ops: trace.ops.len(),
         publishes,
         retrieves,
+        range_retrieves,
         upgrades,
         deletes,
         bursts,

@@ -19,7 +19,10 @@ use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 use xpl_chunking::rabin::{chunk_cdc, CdcParams};
-use xpl_compress::{deflate, gzip_compress_parallel, gzip_decompress, inflate};
+use xpl_compress::{
+    blocked_compress, blocked_decompress_parallel, deflate, gzip_compress_parallel,
+    gzip_decompress, inflate, read_range, BlockIndex, BlockedReader,
+};
 use xpl_core::ExpelliarmusRepo;
 use xpl_persist::{DurableConfig, DurableContentStore, MemFs};
 use xpl_store::ImageStore;
@@ -43,10 +46,37 @@ pub struct KernelBench {
 pub struct ParallelBench {
     pub input_bytes: u64,
     pub threads: usize,
+    /// CPUs the host actually has; a pool of N workers on fewer cores
+    /// cannot speed up, so consumers gate speedup claims on this.
+    pub host_cpus: usize,
     pub one_thread_mib_per_s: f64,
     pub n_thread_mib_per_s: f64,
     /// `n_thread / one_thread`; ≈ 1.0 on single-core hosts.
     pub speedup: f64,
+}
+
+/// The blocked random-access codec: parallel inflate vs the legacy
+/// single-stream path, and a seekable range read.
+#[derive(Clone, Debug, Serialize)]
+pub struct BlockedBench {
+    pub input_bytes: u64,
+    pub threads: usize,
+    /// CPUs the host actually has (see [`ParallelBench::host_cpus`]).
+    pub host_cpus: usize,
+    /// Legacy single-stream gzip inflate of the same payload.
+    pub single_stream_inflate_mib_per_s: f64,
+    pub blocked_inflate_1t_mib_per_s: f64,
+    pub blocked_inflate_nt_mib_per_s: f64,
+    /// `nt / 1t`; ≈ 1.0 on single-core hosts.
+    pub inflate_speedup: f64,
+    /// Bytes asked of `read_range` (64 KiB in the standard run).
+    pub range_len: u64,
+    /// Blocks the range read actually inflated…
+    pub range_blocks_touched: usize,
+    /// …out of this many in the container. The random-access claim:
+    /// touched ≪ total (< 1/8 in the standard 8 MiB / 64 KiB shape).
+    pub range_blocks_total: usize,
+    pub range_read_mib_per_s: f64,
 }
 
 /// End-to-end wall times.
@@ -60,6 +90,10 @@ pub struct EndToEnd {
     /// thread. The concurrency dividend of the shared-access refactor.
     pub five_store_publish_sequential_wall_s: f64,
     pub five_store_publish_concurrent_wall_s: f64,
+    /// Workers in the concurrent leg's pool.
+    pub five_store_publish_workers: usize,
+    /// CPUs the host actually has (see [`ParallelBench::host_cpus`]).
+    pub host_cpus: usize,
     /// `sequential / concurrent`; ≈ 1.0 on single-core hosts.
     pub five_store_publish_speedup: f64,
     /// Churn replay (all five stores, differential oracle on).
@@ -94,6 +128,7 @@ pub struct BenchReport {
     pub host_cpus: usize,
     pub kernels: Vec<KernelBench>,
     pub parallel: ParallelBench,
+    pub blocked: BlockedBench,
     pub persist: PersistBench,
     pub end_to_end: EndToEnd,
 }
@@ -199,14 +234,97 @@ pub fn run_microbench(quick: bool) -> BenchReport {
         gzip_decompress(&gzip_compress_parallel(&par_payload)).expect("parallel gzip decodes"),
         par_payload
     );
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mib = par_payload.len() as f64 / (1024.0 * 1024.0);
     let parallel = ParallelBench {
         input_bytes: par_payload.len() as u64,
         threads,
+        host_cpus,
         one_thread_mib_per_s: mib / t1,
         n_thread_mib_per_s: mib / tn,
         speedup: t1 / tn,
     };
+
+    // --- blocked codec: parallel inflate + seekable range reads ----
+    // 8 MiB blob → 128 default-size blocks; quick shrinks to 1 MiB.
+    let blob = payload(if quick { 1024 * 1024 } else { 8 * 1024 * 1024 });
+    let blocked = blocked_compress(&blob);
+    let legacy = gzip_compress_parallel(&blob);
+    let (_, t_ss) = time_median(budget, || {
+        std::hint::black_box(gzip_decompress(&legacy).expect("legacy inflate"));
+    });
+    let (i_b1, t_b1) = time_median(budget, || {
+        rayon::with_num_threads(1, || {
+            std::hint::black_box(blocked_decompress_parallel(&blocked).expect("blocked inflate"));
+        })
+    });
+    let (i_bn, t_bn) = time_median(budget, || {
+        std::hint::black_box(blocked_decompress_parallel(&blocked).expect("blocked inflate"));
+    });
+    // Byte-identity of both decode paths against the source (once).
+    assert_eq!(
+        blocked_decompress_parallel(&blocked).expect("blocked decodes"),
+        blob
+    );
+    assert_eq!(gzip_decompress(&legacy).expect("legacy decodes"), blob);
+    // And on the committed regression corpus: blocked inflate must agree
+    // with single-stream inflate byte-for-byte (the CI bench step runs
+    // this, so a codec divergence fails the pipeline, not just a test).
+    assert_eq!(
+        blocked_decompress_parallel(&blocked_compress(&corp)).expect("corpus blocked decodes"),
+        gzip_decompress(&gzip_compress_parallel(&corp)).expect("corpus legacy decodes"),
+        "blocked and single-stream inflate disagree on the regression corpus"
+    );
+
+    let range_len: usize = if quick { 16 * 1024 } else { 64 * 1024 };
+    let range_start = (blob.len() / 2 + 777) as u64;
+    let (i_range, t_range) = time_median(budget, || {
+        std::hint::black_box(
+            read_range(&blocked, range_start, range_len as u64).expect("range read"),
+        );
+    });
+    let mut reader = BlockedReader::new(&blocked).expect("blocked container parses");
+    let range_bytes = reader
+        .read_at(range_start, range_len as u64)
+        .expect("range read for accounting");
+    assert_eq!(
+        range_bytes,
+        &blob[range_start as usize..range_start as usize + range_len]
+    );
+    let blocks_total = BlockIndex::parse(&blocked)
+        .expect("blocked container parses")
+        .entries
+        .len();
+    let blob_mib = blob.len() as f64 / (1024.0 * 1024.0);
+    let blocked_bench = BlockedBench {
+        input_bytes: blob.len() as u64,
+        threads,
+        host_cpus,
+        single_stream_inflate_mib_per_s: blob_mib / t_ss,
+        blocked_inflate_1t_mib_per_s: blob_mib / t_b1,
+        blocked_inflate_nt_mib_per_s: blob_mib / t_bn,
+        inflate_speedup: t_b1 / t_bn,
+        range_len: range_len as u64,
+        range_blocks_touched: reader.blocks_inflated(),
+        range_blocks_total: blocks_total,
+        range_read_mib_per_s: range_len as f64 / (1024.0 * 1024.0) / t_range,
+    };
+    // The same three measurements, surfaced in the kernel table.
+    for (name, bytes, iterations, median) in [
+        ("blocked-inflate-1t", blob.len(), i_b1, t_b1),
+        ("blocked-inflate-nt", blob.len(), i_bn, t_bn),
+        ("range-read", range_len, i_range, t_range),
+    ] {
+        kernels.push(KernelBench {
+            name: name.to_string(),
+            input_bytes: bytes as u64,
+            iterations,
+            median_seconds: median,
+            mib_per_s: bytes as f64 / (1024.0 * 1024.0) / median,
+        });
+    }
 
     // --- durable persistence ---------------------------------------
     let persist = persist_bench(quick, budget);
@@ -246,7 +364,8 @@ pub fn run_microbench(quick: bool) -> BenchReport {
         })
     };
     let five_seq = sweep(1);
-    let five_conc = sweep(rayon::current_num_threads().clamp(2, 5));
+    let five_workers = rayon::current_num_threads().clamp(2, 5);
+    let five_conc = sweep(five_workers);
 
     let churn_ops = if quick { 40 } else { 500 };
     let cfg = if quick {
@@ -264,19 +383,20 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     );
 
     BenchReport {
-        schema_version: 3,
+        schema_version: 4,
         quick,
-        host_cpus: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        host_cpus,
         kernels,
         parallel,
+        blocked: blocked_bench,
         persist,
         end_to_end: EndToEnd {
             publish_images: names.len(),
             publish_wall_s,
             five_store_publish_sequential_wall_s: five_seq,
             five_store_publish_concurrent_wall_s: five_conc,
+            five_store_publish_workers: five_workers,
+            host_cpus,
             five_store_publish_speedup: five_seq / five_conc,
             churn_ops,
             churn_scale: if quick { "small" } else { "standard" }.to_string(),
@@ -389,8 +509,14 @@ fn persist_bench(quick: bool, budget: f64) -> PersistBench {
 }
 
 /// Validate a `BENCH.json` produced by [`run_microbench`]: every
-/// throughput field present and nonzero. Used by CI as a sanity gate
-/// (machines vary too much for a hard regression threshold).
+/// throughput field present and nonzero, the blocked range read
+/// touching a small fraction of the container, and — only where the
+/// section's pool had more than one *effective* worker
+/// (`min(threads, host_cpus)`) — the parallel paths actually faster.
+/// Speedup assertions are skipped on single-core hosts, where a pool
+/// of N workers cannot beat one and a `< 1.0` "speedup" is scheduler
+/// noise, not a regression. Used by CI as a sanity gate (machines vary
+/// too much for a hard regression threshold).
 pub fn check_report_json(json: &str) -> Result<(), String> {
     let v: serde::Json =
         serde_json::from_str(json).map_err(|e| format!("unparseable BENCH.json: {e:?}"))?;
@@ -398,8 +524,8 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         .get("schema_version")
         .and_then(|s| s.as_f64())
         .ok_or("missing schema_version")?;
-    if schema != 3.0 {
-        return Err(format!("unsupported schema_version {schema} (expected 3)"));
+    if schema != 4.0 {
+        return Err(format!("unsupported schema_version {schema} (expected 4)"));
     }
     let kernels = v
         .get("kernels")
@@ -412,6 +538,9 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         "inflate",
         "deflate-corpus",
         "chunk-cdc",
+        "blocked-inflate-1t",
+        "blocked-inflate-nt",
+        "range-read",
     ];
     for name in expected {
         let k = kernels
@@ -430,6 +559,11 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         ("parallel", "one_thread_mib_per_s"),
         ("parallel", "n_thread_mib_per_s"),
         ("parallel", "speedup"),
+        ("blocked", "single_stream_inflate_mib_per_s"),
+        ("blocked", "blocked_inflate_1t_mib_per_s"),
+        ("blocked", "blocked_inflate_nt_mib_per_s"),
+        ("blocked", "inflate_speedup"),
+        ("blocked", "range_read_mib_per_s"),
         ("persist", "segment_append_mib_per_s"),
         ("persist", "wal_replay_ops_per_s"),
         ("persist", "recovery_wall_s"),
@@ -457,6 +591,68 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
             .ok_or_else(|| format!("end_to_end/{field} missing"))?;
         if !(t.is_finite() && t > 0.0) {
             return Err(format!("end_to_end/{field}: {t} not positive"));
+        }
+    }
+
+    // Structural random-access claim, host-independent: the standard
+    // run's range read must inflate well under 1/8 of the container
+    // (the quick run's container is too small for the 1/8 bound to be
+    // meaningful, so only nonzero/coverage is asserted there).
+    let usize_at = |section: &str, field: &str| -> Result<usize, String> {
+        v.get(section)
+            .and_then(|s| s.get(field))
+            .and_then(|x| x.as_f64())
+            .map(|x| x as usize)
+            .ok_or_else(|| format!("{section}/{field} missing"))
+    };
+    let touched = usize_at("blocked", "range_blocks_touched")?;
+    let total = usize_at("blocked", "range_blocks_total")?;
+    let quick = v.get("quick").and_then(|q| q.as_bool()).unwrap_or(false);
+    if touched == 0 || total == 0 {
+        return Err(format!(
+            "blocked range read touched {touched} of {total} blocks"
+        ));
+    }
+    if !quick && touched * 8 >= total {
+        return Err(format!(
+            "blocked range read touched {touched} of {total} blocks — not random access"
+        ));
+    }
+
+    // Speedup assertions, gated on the effective worker count.
+    let effective = |section: &str| -> usize {
+        let threads = usize_at(section, "threads").unwrap_or(1);
+        let cpus = usize_at(section, "host_cpus").unwrap_or(1);
+        threads.min(cpus)
+    };
+    if effective("parallel") > 1 {
+        let speedup = v
+            .get("parallel")
+            .and_then(|p| p.get("speedup"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        if speedup <= 1.0 {
+            return Err(format!(
+                "parallel gzip speedup {speedup:.2} on a multi-core pool"
+            ));
+        }
+    }
+    if effective("blocked") > 1 {
+        let nt = v
+            .get("blocked")
+            .and_then(|b| b.get("blocked_inflate_nt_mib_per_s"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        let ss = v
+            .get("blocked")
+            .and_then(|b| b.get("single_stream_inflate_mib_per_s"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(f64::MAX);
+        if nt <= ss {
+            return Err(format!(
+                "blocked inflate {nt:.1} MiB/s does not beat single-stream {ss:.1} \
+                 MiB/s on a multi-core pool"
+            ));
         }
     }
     Ok(())
@@ -494,6 +690,22 @@ pub fn render(report: &BenchReport) -> String {
         s,
         "gzip-parallel    {:>12} bytes  1-thread {:.1} MiB/s, {}-thread {:.1} MiB/s, speedup {:.2}x",
         p.input_bytes, p.one_thread_mib_per_s, p.threads, p.n_thread_mib_per_s, p.speedup
+    );
+    let b = &report.blocked;
+    let _ = writeln!(
+        s,
+        "blocked-codec    {:>12} bytes  single-stream {:.1} MiB/s, 1t {:.1}, {}t {:.1} \
+         ({:.2}x), range {} B touched {}/{} blocks at {:.1} MiB/s",
+        b.input_bytes,
+        b.single_stream_inflate_mib_per_s,
+        b.blocked_inflate_1t_mib_per_s,
+        b.threads,
+        b.blocked_inflate_nt_mib_per_s,
+        b.inflate_speedup,
+        b.range_len,
+        b.range_blocks_touched,
+        b.range_blocks_total,
+        b.range_read_mib_per_s
     );
     let d = &report.persist;
     let _ = writeln!(
@@ -534,14 +746,18 @@ mod tests {
     #[test]
     fn quick_bench_runs_and_validates() {
         let report = run_microbench(true);
-        assert!(report.kernels.len() >= 6);
+        assert!(report.kernels.len() >= 9);
         for k in &report.kernels {
             assert!(k.mib_per_s > 0.0, "{} throughput must be positive", k.name);
         }
+        assert!(report.blocked.range_blocks_touched > 0);
+        assert!(report.blocked.range_blocks_touched < report.blocked.range_blocks_total);
+        assert_eq!(report.parallel.host_cpus, report.blocked.host_cpus);
         let json = serde_json::to_string_pretty(&report).unwrap();
         check_report_json(&json).expect("self-check must pass");
         let text = render(&report);
         assert!(text.contains("gzip-parallel"));
+        assert!(text.contains("blocked-codec"));
     }
 
     #[test]

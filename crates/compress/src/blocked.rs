@@ -1,0 +1,701 @@
+//! Blocked random-access compression — a BGZF-style seekable container.
+//!
+//! Single-stream DEFLATE forces a reader to inflate from byte zero: no
+//! parallelism, no range reads. This module splits input into fixed-size
+//! blocks (default [`DEFAULT_BLOCK_SIZE`]), deflates each block as an
+//! *independent* raw DEFLATE stream, and appends a CRC-checked block
+//! index, so
+//!
+//! * decompression fans out across the thread pool one block per task
+//!   ([`blocked_decompress_parallel`]), and
+//! * any byte range maps to the minimal set of blocks
+//!   ([`read_range`]) — the "virtual offset" of uncompressed byte `o`
+//!   is simply block `o / block_size` because every block but the last
+//!   holds exactly `block_size` bytes.
+//!
+//! # Container layout
+//!
+//! ```text
+//! [magic "XBC1": 4][block_size: u32 LE]                      header (8)
+//! [raw DEFLATE stream of block 0][… block 1]…                blocks
+//! [comp_len: u32][uncomp_len: u32][crc32(uncomp): u32] × N   index (12·N)
+//! [block_count: u32][total_uncompressed: u64 LE]
+//! [crc32(index bytes): u32][end magic "XBE1": 4]             footer (20)
+//! ```
+//!
+//! The index sits at the *end* so compression writes blocks straight
+//! through; a reader finds it from the fixed-size footer. Every field a
+//! range read touches is covered by a checksum: the index by the footer
+//! CRC, each block's payload by its per-block CRC — so partial reads
+//! validate exactly what they inflate, which whole-payload checksums
+//! (gzip's trailer, the persist segment CRC) cannot do for a range.
+//!
+//! Corruption and truncation anywhere in the container surface as typed
+//! [`BlockedError`]s, never a panic: the index is fully validated
+//! (region sizes, offsets, CRC) before any block slice is formed.
+
+use crate::deflate::{deflate, inflate, InflateError};
+use rayon::prelude::*;
+use xpl_util::Crc32;
+
+/// Default uncompressed block size: 64 KiB, the BGZF sweet spot between
+/// seek granularity and DEFLATE window utilization.
+pub const DEFAULT_BLOCK_SIZE: usize = 64 * 1024;
+
+const MAGIC: &[u8; 4] = b"XBC1";
+const END_MAGIC: &[u8; 4] = b"XBE1";
+const HEADER: usize = 8;
+const FOOTER: usize = 20;
+const INDEX_ENTRY: usize = 12;
+
+/// Errors of the blocked format. Every decode failure is a value of
+/// this type — corrupt or truncated input must never panic.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BlockedError {
+    /// The container does not start with the "XBC1" magic.
+    BadMagic,
+    /// Fewer bytes than the layout requires.
+    Truncated { need: u64, have: u64 },
+    /// The block index is internally inconsistent or fails its CRC.
+    CorruptIndex(String),
+    /// A block inflated to bytes whose CRC-32 does not match the index.
+    BlockCrcMismatch { block: usize },
+    /// A block inflated to the wrong number of bytes.
+    BlockLenMismatch { block: usize, expect: u32, got: u64 },
+    /// A block's DEFLATE stream is damaged.
+    Inflate { block: usize, err: InflateError },
+}
+
+impl std::fmt::Display for BlockedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockedError::BadMagic => write!(f, "not a blocked container (bad magic)"),
+            BlockedError::Truncated { need, have } => {
+                write!(f, "truncated container: need {need} bytes, have {have}")
+            }
+            BlockedError::CorruptIndex(detail) => write!(f, "corrupt block index: {detail}"),
+            BlockedError::BlockCrcMismatch { block } => {
+                write!(f, "block {block}: CRC-32 mismatch")
+            }
+            BlockedError::BlockLenMismatch { block, expect, got } => {
+                write!(
+                    f,
+                    "block {block}: inflated to {got} bytes, index says {expect}"
+                )
+            }
+            BlockedError::Inflate { block, err } => {
+                write!(f, "block {block}: inflate failed: {err:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockedError {}
+
+/// One block's index entry, offsets resolved to absolute positions.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockEntry {
+    /// Absolute offset of the block's DEFLATE stream in the container.
+    pub comp_off: u64,
+    pub comp_len: u32,
+    /// Offset of the block's first byte in the uncompressed stream.
+    pub uncomp_off: u64,
+    pub uncomp_len: u32,
+    /// CRC-32 of the uncompressed block.
+    pub crc: u32,
+}
+
+/// The parsed, validated block index of a container.
+#[derive(Clone, Debug)]
+pub struct BlockIndex {
+    pub block_size: u32,
+    pub total_len: u64,
+    pub entries: Vec<BlockEntry>,
+}
+
+impl BlockIndex {
+    /// Parse and fully validate a container's index (footer magic, CRC,
+    /// region sizes, per-block offsets). After `parse` succeeds, every
+    /// block slice the entries describe is in bounds.
+    pub fn parse(data: &[u8]) -> Result<BlockIndex, BlockedError> {
+        let have = data.len() as u64;
+        if data.len() < HEADER + FOOTER {
+            return Err(BlockedError::Truncated {
+                need: (HEADER + FOOTER) as u64,
+                have,
+            });
+        }
+        if &data[0..4] != MAGIC {
+            return Err(BlockedError::BadMagic);
+        }
+        if &data[data.len() - 4..] != END_MAGIC {
+            return Err(BlockedError::CorruptIndex("bad footer magic".into()));
+        }
+        let block_size = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if block_size == 0 {
+            return Err(BlockedError::CorruptIndex("block size is zero".into()));
+        }
+        let foot = data.len() - FOOTER;
+        let block_count = u32::from_le_bytes(data[foot..foot + 4].try_into().unwrap()) as u64;
+        let total_len = u64::from_le_bytes(data[foot + 4..foot + 12].try_into().unwrap());
+        let index_crc = u32::from_le_bytes(data[foot + 12..foot + 16].try_into().unwrap());
+        let index_len = block_count * INDEX_ENTRY as u64;
+        let need = (HEADER + FOOTER) as u64 + index_len;
+        if have < need {
+            return Err(BlockedError::Truncated { need, have });
+        }
+        let index_start = foot - index_len as usize;
+        let index_bytes = &data[index_start..foot];
+        if Crc32::checksum(index_bytes) != index_crc {
+            return Err(BlockedError::CorruptIndex("index CRC-32 mismatch".into()));
+        }
+
+        let mut entries = Vec::with_capacity(block_count as usize);
+        let mut comp_off = HEADER as u64;
+        let mut uncomp_off = 0u64;
+        for i in 0..block_count as usize {
+            let at = i * INDEX_ENTRY;
+            let comp_len = u32::from_le_bytes(index_bytes[at..at + 4].try_into().unwrap());
+            let uncomp_len = u32::from_le_bytes(index_bytes[at + 4..at + 8].try_into().unwrap());
+            let crc = u32::from_le_bytes(index_bytes[at + 8..at + 12].try_into().unwrap());
+            if comp_len == 0 {
+                return Err(BlockedError::CorruptIndex(format!(
+                    "block {i}: zero compressed length"
+                )));
+            }
+            let full = i + 1 < block_count as usize;
+            if full && uncomp_len != block_size {
+                return Err(BlockedError::CorruptIndex(format!(
+                    "block {i}: {uncomp_len} uncompressed bytes in a non-final block of size {block_size}"
+                )));
+            }
+            if !full && (uncomp_len == 0 || uncomp_len > block_size) {
+                return Err(BlockedError::CorruptIndex(format!(
+                    "final block: {uncomp_len} uncompressed bytes vs block size {block_size}"
+                )));
+            }
+            entries.push(BlockEntry {
+                comp_off,
+                comp_len,
+                uncomp_off,
+                uncomp_len,
+                crc,
+            });
+            comp_off += comp_len as u64;
+            uncomp_off += uncomp_len as u64;
+        }
+        if comp_off != index_start as u64 {
+            return Err(BlockedError::CorruptIndex(format!(
+                "blocks region is {} bytes, index accounts for {}",
+                index_start as u64 - HEADER as u64,
+                comp_off - HEADER as u64
+            )));
+        }
+        if uncomp_off != total_len {
+            return Err(BlockedError::CorruptIndex(format!(
+                "footer says {total_len} uncompressed bytes, entries sum to {uncomp_off}"
+            )));
+        }
+        Ok(BlockIndex {
+            block_size,
+            total_len,
+            entries,
+        })
+    }
+
+    /// Indices of the blocks a byte range touches (empty range or a
+    /// start past the end touches none). Clamping mirrors slice
+    /// semantics: `[start, min(start+len, total))`.
+    pub fn blocks_for_range(&self, start: u64, len: u64) -> std::ops::Range<usize> {
+        let end = start.saturating_add(len).min(self.total_len);
+        if start >= end {
+            return 0..0;
+        }
+        let first = (start / self.block_size as u64) as usize;
+        let last = ((end - 1) / self.block_size as u64) as usize;
+        first..last + 1
+    }
+
+    /// Compressed bytes a range read transfers: the touched blocks'
+    /// DEFLATE streams plus the header, index and footer overhead —
+    /// what an honest store charges for serving the range.
+    pub fn compressed_span_bytes(&self, start: u64, len: u64) -> u64 {
+        let span = self.blocks_for_range(start, len);
+        let blocks: u64 = self.entries[span].iter().map(|e| e.comp_len as u64).sum();
+        blocks + (HEADER + FOOTER) as u64 + self.entries.len() as u64 * INDEX_ENTRY as u64
+    }
+}
+
+/// `true` if `bytes` carries the blocked-container magic.
+pub fn is_blocked(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && &bytes[0..4] == MAGIC
+}
+
+/// Compress with the default block size.
+pub fn blocked_compress(data: &[u8]) -> Vec<u8> {
+    blocked_compress_with(data, DEFAULT_BLOCK_SIZE)
+}
+
+/// Compress `data` into a blocked container, deflating blocks in
+/// parallel across the rayon pool.
+pub fn blocked_compress_with(data: &[u8], block_size: usize) -> Vec<u8> {
+    assert!(block_size > 0 && block_size <= u32::MAX as usize);
+    let compressed: Vec<(Vec<u8>, u32, u32)> = data
+        .par_chunks(block_size)
+        .map(|chunk| (deflate(chunk), chunk.len() as u32, Crc32::checksum(chunk)))
+        .collect();
+    let blocks_bytes: usize = compressed.iter().map(|(b, _, _)| b.len()).sum();
+    let mut out =
+        Vec::with_capacity(HEADER + blocks_bytes + compressed.len() * INDEX_ENTRY + FOOTER);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(block_size as u32).to_le_bytes());
+    for (block, _, _) in &compressed {
+        out.extend_from_slice(block);
+    }
+    let index_start = out.len();
+    for (block, uncomp_len, crc) in &compressed {
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(&uncomp_len.to_le_bytes());
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+    let index_crc = Crc32::checksum(&out[index_start..]);
+    out.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&index_crc.to_le_bytes());
+    out.extend_from_slice(END_MAGIC);
+    out
+}
+
+/// Inflate and CRC-check one block.
+pub fn inflate_block(
+    data: &[u8],
+    index: &BlockIndex,
+    block: usize,
+) -> Result<Vec<u8>, BlockedError> {
+    let e = &index.entries[block];
+    let comp = &data[e.comp_off as usize..(e.comp_off + e.comp_len as u64) as usize];
+    let out = inflate(comp).map_err(|err| BlockedError::Inflate { block, err })?;
+    if out.len() as u64 != e.uncomp_len as u64 {
+        return Err(BlockedError::BlockLenMismatch {
+            block,
+            expect: e.uncomp_len,
+            got: out.len() as u64,
+        });
+    }
+    if Crc32::checksum(&out) != e.crc {
+        return Err(BlockedError::BlockCrcMismatch { block });
+    }
+    Ok(out)
+}
+
+/// Decompress a whole container sequentially (the 1-thread reference
+/// path; [`blocked_decompress_parallel`] must match it byte for byte).
+pub fn blocked_decompress(data: &[u8]) -> Result<Vec<u8>, BlockedError> {
+    let index = BlockIndex::parse(data)?;
+    let mut out = Vec::with_capacity(index.total_len as usize);
+    for i in 0..index.entries.len() {
+        out.extend_from_slice(&inflate_block(data, &index, i)?);
+    }
+    Ok(out)
+}
+
+/// Decompress a whole container, one block per pool task. Blocks are
+/// independent DEFLATE streams, so inflation is embarrassingly parallel;
+/// output order is restored by index, making the result byte-identical
+/// at any thread count.
+pub fn blocked_decompress_parallel(data: &[u8]) -> Result<Vec<u8>, BlockedError> {
+    let index = BlockIndex::parse(data)?;
+    let blocks: Vec<Result<Vec<u8>, BlockedError>> = (0..index.entries.len())
+        .into_par_iter()
+        .map(|i| inflate_block(data, &index, i))
+        .collect();
+    let mut out = Vec::with_capacity(index.total_len as usize);
+    for block in blocks {
+        out.extend_from_slice(&block?);
+    }
+    Ok(out)
+}
+
+/// Read `[start, start+len)` of the uncompressed stream, inflating only
+/// the blocks the range overlaps. Clamps like a slice: bytes past the
+/// end are simply absent, so the result can be shorter than `len`.
+pub fn read_range(data: &[u8], start: u64, len: u64) -> Result<Vec<u8>, BlockedError> {
+    let index = BlockIndex::parse(data)?;
+    read_range_indexed(data, &index, start, len)
+}
+
+/// [`read_range`] against an already-parsed index (amortizes parsing
+/// across many reads of the same container).
+pub fn read_range_indexed(
+    data: &[u8],
+    index: &BlockIndex,
+    start: u64,
+    len: u64,
+) -> Result<Vec<u8>, BlockedError> {
+    let end = start.saturating_add(len).min(index.total_len);
+    if start >= end {
+        return Ok(Vec::new());
+    }
+    let span = index.blocks_for_range(start, len);
+    let mut out = Vec::with_capacity((end - start) as usize);
+    for i in span {
+        let e = &index.entries[i];
+        let block = inflate_block(data, index, i)?;
+        let from = start.saturating_sub(e.uncomp_off) as usize;
+        let to = (end - e.uncomp_off).min(block.len() as u64) as usize;
+        out.extend_from_slice(&block[from..to]);
+    }
+    Ok(out)
+}
+
+/// Inflate and CRC-check every block (the persist `deep_verify` sweep
+/// over blocked payloads). Returns the number of blocks verified.
+pub fn verify_blocks(data: &[u8]) -> Result<usize, BlockedError> {
+    let index = BlockIndex::parse(data)?;
+    for i in 0..index.entries.len() {
+        inflate_block(data, &index, i)?;
+    }
+    Ok(index.entries.len())
+}
+
+/// A random-access reader over one container that caches inflated
+/// blocks, so overlapping reads (a binary search, a cluster walk) pay
+/// each block's inflation once. Tracks distinct blocks inflated — the
+/// honest "how much decompression did this range cost" metric.
+pub struct BlockedReader<'a> {
+    data: &'a [u8],
+    index: BlockIndex,
+    cache: std::collections::HashMap<usize, Vec<u8>>,
+}
+
+impl<'a> BlockedReader<'a> {
+    pub fn new(data: &'a [u8]) -> Result<BlockedReader<'a>, BlockedError> {
+        Ok(BlockedReader {
+            data,
+            index: BlockIndex::parse(data)?,
+            cache: std::collections::HashMap::new(),
+        })
+    }
+
+    pub fn index(&self) -> &BlockIndex {
+        &self.index
+    }
+
+    pub fn total_len(&self) -> u64 {
+        self.index.total_len
+    }
+
+    /// Distinct blocks inflated so far.
+    pub fn blocks_inflated(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Uncompressed bytes produced by the blocks inflated so far — the
+    /// honest decompression-work figure a store charges time for.
+    pub fn uncompressed_bytes_inflated(&self) -> u64 {
+        self.cache.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Compressed bytes backing the blocks inflated so far (plus the
+    /// container's fixed overhead) — what a store charges for the reads.
+    pub fn compressed_bytes_touched(&self) -> u64 {
+        let blocks: u64 = self
+            .cache
+            .keys()
+            .map(|&i| self.index.entries[i].comp_len as u64)
+            .sum();
+        blocks + (HEADER + FOOTER) as u64 + self.index.entries.len() as u64 * INDEX_ENTRY as u64
+    }
+
+    /// Read `[start, start+len)` of the uncompressed stream (clamped),
+    /// inflating only uncached overlapping blocks.
+    pub fn read_at(&mut self, start: u64, len: u64) -> Result<Vec<u8>, BlockedError> {
+        let end = start.saturating_add(len).min(self.index.total_len);
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let span = self.index.blocks_for_range(start, len);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for i in span {
+            if !self.cache.contains_key(&i) {
+                let block = inflate_block(self.data, &self.index, i)?;
+                self.cache.insert(i, block);
+            }
+            let e = &self.index.entries[i];
+            let block = &self.cache[&i];
+            let from = start.saturating_sub(e.uncomp_off) as usize;
+            let to = (end - e.uncomp_off).min(block.len() as u64) as usize;
+            out.extend_from_slice(&block[from..to]);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The seekable codec abstraction.
+// ---------------------------------------------------------------------
+
+/// Codec-level errors: either format's failure, or bytes neither codec
+/// claims.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    Blocked(BlockedError),
+    Gzip(crate::GzipError),
+    /// The stream matches neither the blocked nor the gzip magic.
+    UnknownFormat,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Blocked(e) => write!(f, "blocked codec: {e}"),
+            CodecError::Gzip(e) => write!(f, "gzip codec: {e}"),
+            CodecError::UnknownFormat => write!(f, "unknown compression format"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<BlockedError> for CodecError {
+    fn from(e: BlockedError) -> Self {
+        CodecError::Blocked(e)
+    }
+}
+
+impl From<crate::GzipError> for CodecError {
+    fn from(e: crate::GzipError) -> Self {
+        CodecError::Gzip(e)
+    }
+}
+
+/// A seekable block-stream codec: compress whole, decompress whole, or
+/// serve a byte range of the uncompressed stream. Implementations are
+/// stateless and shareable (`Send + Sync`).
+pub trait BlockCodec: Send + Sync {
+    fn name(&self) -> &'static str;
+    fn compress(&self, data: &[u8]) -> Vec<u8>;
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<u8>, CodecError>;
+    /// Bytes `[start, start+len)` of the uncompressed stream, clamped.
+    fn read_range(&self, stream: &[u8], start: u64, len: u64) -> Result<Vec<u8>, CodecError>;
+}
+
+/// The blocked container codec (parallel inflate, real range reads).
+pub struct BlockedDeflate {
+    pub block_size: usize,
+}
+
+impl Default for BlockedDeflate {
+    fn default() -> Self {
+        BlockedDeflate {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+}
+
+impl BlockCodec for BlockedDeflate {
+    fn name(&self) -> &'static str {
+        "blocked-deflate"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        blocked_compress_with(data, self.block_size)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(blocked_decompress_parallel(stream)?)
+    }
+
+    fn read_range(&self, stream: &[u8], start: u64, len: u64) -> Result<Vec<u8>, CodecError> {
+        Ok(read_range(stream, start, len)?)
+    }
+}
+
+/// The legacy single-stream gzip codec. Kept readable for containers
+/// written before the blocked format existed; a range read must inflate
+/// the whole stream and slice — the cost the blocked format removes.
+pub struct LegacyGzip;
+
+impl BlockCodec for LegacyGzip {
+    fn name(&self) -> &'static str {
+        "gzip"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        crate::gzip_compress_parallel(data)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(crate::gzip_decompress(stream)?)
+    }
+
+    fn read_range(&self, stream: &[u8], start: u64, len: u64) -> Result<Vec<u8>, CodecError> {
+        let full = crate::gzip_decompress(stream)?;
+        let end = start.saturating_add(len).min(full.len() as u64);
+        let start = start.min(end);
+        Ok(full[start as usize..end as usize].to_vec())
+    }
+}
+
+/// Identify the codec a stream was written with (by magic).
+pub fn codec_for(stream: &[u8]) -> Result<&'static dyn BlockCodec, CodecError> {
+    static BLOCKED: BlockedDeflate = BlockedDeflate {
+        block_size: DEFAULT_BLOCK_SIZE,
+    };
+    static GZIP: LegacyGzip = LegacyGzip;
+    if is_blocked(stream) {
+        Ok(&BLOCKED)
+    } else if stream.len() >= 2 && stream[0] == 0x1F && stream[1] == 0x8B {
+        Ok(&GZIP)
+    } else {
+        Err(CodecError::UnknownFormat)
+    }
+}
+
+/// Decompress a stream of either format, dispatching on its magic —
+/// the backward-compatibility read path.
+pub fn decompress_auto(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+    codec_for(stream)?.decompress(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<u8> {
+        // Compressible but non-trivial: repeated vocabulary + counters.
+        let mut out = Vec::with_capacity(n);
+        let mut rng = xpl_util::SplitMix64::new(77);
+        while out.len() < n {
+            out.extend_from_slice(b"/usr/lib/pkg/");
+            out.extend_from_slice(&(out.len() as u32).to_le_bytes());
+            if rng.next_u64().is_multiple_of(4) {
+                out.extend_from_slice(&[0u8; 17]);
+            }
+        }
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn roundtrip_sizes() {
+        for n in [
+            0,
+            1,
+            100,
+            DEFAULT_BLOCK_SIZE - 1,
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE + 1,
+        ] {
+            let data = sample(n);
+            let c = blocked_compress(&data);
+            assert_eq!(blocked_decompress(&c).unwrap(), data, "n={n}");
+            assert_eq!(blocked_decompress_parallel(&c).unwrap(), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn multi_block_layout() {
+        let data = sample(300_000);
+        let c = blocked_compress(&data);
+        let idx = BlockIndex::parse(&c).unwrap();
+        assert_eq!(idx.entries.len(), 300_000usize.div_ceil(DEFAULT_BLOCK_SIZE));
+        assert_eq!(idx.total_len, 300_000);
+        assert!(idx.entries[..idx.entries.len() - 1]
+            .iter()
+            .all(|e| e.uncomp_len as usize == DEFAULT_BLOCK_SIZE));
+    }
+
+    #[test]
+    fn range_reads_touch_minimal_blocks() {
+        let data = sample(8 * 1024 * 1024);
+        let c = blocked_compress(&data);
+        let idx = BlockIndex::parse(&c).unwrap();
+        assert_eq!(idx.entries.len(), 128);
+        // A 64 KiB span straddles at most 2 of the 128 blocks.
+        let span = idx.blocks_for_range(1_000_000, 64 * 1024);
+        assert!(span.len() <= 2, "{span:?}");
+        let got = read_range(&c, 1_000_000, 64 * 1024).unwrap();
+        assert_eq!(got, &data[1_000_000..1_000_000 + 64 * 1024]);
+        // Charged bytes are a small fraction of the container.
+        assert!(idx.compressed_span_bytes(1_000_000, 64 * 1024) < c.len() as u64 / 8);
+    }
+
+    #[test]
+    fn range_clamps_like_a_slice() {
+        let data = sample(1000);
+        let c = blocked_compress(&data);
+        assert_eq!(read_range(&c, 900, 500).unwrap(), &data[900..]);
+        assert_eq!(read_range(&c, 5000, 10).unwrap(), b"");
+        assert_eq!(read_range(&c, 0, 0).unwrap(), b"");
+        assert_eq!(read_range(&c, 0, u64::MAX).unwrap(), data);
+    }
+
+    #[test]
+    fn reader_caches_blocks() {
+        let data = sample(256 * 1024);
+        let c = blocked_compress(&data);
+        let mut r = BlockedReader::new(&c).unwrap();
+        assert_eq!(r.read_at(0, 100).unwrap(), &data[..100]);
+        assert_eq!(r.read_at(10, 50).unwrap(), &data[10..60]);
+        assert_eq!(r.blocks_inflated(), 1, "second read hits the cache");
+        r.read_at(200_000, 10_000).unwrap();
+        assert!(r.blocks_inflated() <= 3);
+        assert!(r.compressed_bytes_touched() < c.len() as u64);
+    }
+
+    #[test]
+    fn corrupt_block_is_typed_error() {
+        let data = sample(200_000);
+        let mut c = blocked_compress(&data);
+        // Flip a byte in the middle of the blocks region.
+        c[HEADER + 1000] ^= 0x20;
+        let err = blocked_decompress(&c).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BlockedError::BlockCrcMismatch { block: 0 }
+                    | BlockedError::BlockLenMismatch { block: 0, .. }
+                    | BlockedError::Inflate { block: 0, .. }
+            ),
+            "{err:?}"
+        );
+        // Other blocks still serve ranges.
+        let got = read_range(&c, 150_000, 100).unwrap();
+        assert_eq!(got, &data[150_000..150_100]);
+    }
+
+    #[test]
+    fn codec_dispatch_and_legacy_compat() {
+        let data = sample(200_000);
+        let blocked = BlockedDeflate::default().compress(&data);
+        let legacy = crate::gzip_compress_parallel(&data);
+        assert_eq!(codec_for(&blocked).unwrap().name(), "blocked-deflate");
+        assert_eq!(codec_for(&legacy).unwrap().name(), "gzip");
+        assert_eq!(decompress_auto(&blocked).unwrap(), data);
+        assert_eq!(decompress_auto(&legacy).unwrap(), data);
+        assert_eq!(codec_for(b"????").err(), Some(CodecError::UnknownFormat));
+        // Range reads work through both codecs (gzip pays full inflate).
+        for codec in [codec_for(&blocked).unwrap(), codec_for(&legacy).unwrap()] {
+            let stream = if codec.name() == "gzip" {
+                &legacy
+            } else {
+                &blocked
+            };
+            assert_eq!(
+                codec.read_range(stream, 12_345, 678).unwrap(),
+                &data[12_345..12_345 + 678]
+            );
+        }
+    }
+
+    #[test]
+    fn verify_blocks_counts_and_detects() {
+        let data = sample(200_000);
+        let c = blocked_compress(&data);
+        assert_eq!(verify_blocks(&c).unwrap(), 4);
+        let mut bad = c.clone();
+        bad[HEADER + 5] ^= 0x01;
+        assert!(verify_blocks(&bad).is_err());
+    }
+}

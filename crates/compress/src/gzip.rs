@@ -43,8 +43,32 @@ pub enum GzipError {
     TruncatedTrailer,
     CrcMismatch,
     SizeMismatch,
+    /// Bytes remain after the last member but don't start another one.
+    /// `offset` is where (in the original input) the garbage begins.
+    TrailingGarbage {
+        offset: usize,
+    },
     Inflate(InflateError),
 }
+
+impl std::fmt::Display for GzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GzipError::BadMagic => write!(f, "bad gzip magic"),
+            GzipError::BadMethod => write!(f, "unsupported gzip compression method"),
+            GzipError::TruncatedHeader => write!(f, "truncated gzip header"),
+            GzipError::TruncatedTrailer => write!(f, "truncated gzip trailer"),
+            GzipError::CrcMismatch => write!(f, "gzip CRC-32 mismatch"),
+            GzipError::SizeMismatch => write!(f, "gzip ISIZE mismatch"),
+            GzipError::TrailingGarbage { offset } => {
+                write!(f, "trailing garbage after gzip stream at byte {offset}")
+            }
+            GzipError::Inflate(e) => write!(f, "inflate failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
 
 impl From<InflateError> for GzipError {
     fn from(e: InflateError) -> Self {
@@ -52,14 +76,24 @@ impl From<InflateError> for GzipError {
     }
 }
 
-/// Decompress a (possibly multi-member) gzip stream.
-pub fn gzip_decompress(mut data: &[u8]) -> Result<Vec<u8>, GzipError> {
+/// Decompress a (possibly multi-member) gzip stream. Bytes after the
+/// last member that don't begin another member are an error
+/// ([`GzipError::TrailingGarbage`]), not silently ignored — a truncated
+/// magic there almost always means a corrupted or mis-framed stream.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    let total = data.len();
+    let mut data = data;
     let mut out = Vec::new();
     loop {
         let (payload, rest) = decompress_member(data)?;
         out.extend_from_slice(&payload);
         if rest.is_empty() {
             return Ok(out);
+        }
+        if rest.len() < 2 || rest[0..2] != MAGIC {
+            return Err(GzipError::TrailingGarbage {
+                offset: total - rest.len(),
+            });
         }
         data = rest;
     }
@@ -182,6 +216,27 @@ mod tests {
     fn truncated_rejected() {
         let c = gzip_compress(b"some data worth compressing some data");
         assert!(gzip_decompress(&c[..c.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_typed_with_offset() {
+        let data = b"member payload with enough bytes to frame".repeat(4);
+        let mut c = gzip_compress(&data);
+        let clean_len = c.len();
+        c.extend_from_slice(b"\x00junk");
+        let err = gzip_decompress(&c).unwrap_err();
+        assert_eq!(err, GzipError::TrailingGarbage { offset: clean_len });
+        assert_eq!(
+            err.to_string(),
+            format!("trailing garbage after gzip stream at byte {clean_len}")
+        );
+        // A lone half-magic byte is garbage too, not a truncated header.
+        let mut d = gzip_compress(&data);
+        d.push(0x1F);
+        assert!(matches!(
+            gzip_decompress(&d).unwrap_err(),
+            GzipError::TrailingGarbage { .. }
+        ));
     }
 
     #[test]

@@ -11,13 +11,23 @@
 //! * [`gzip_compress`] / [`gzip_decompress`] — framed, CRC-checked.
 //! * [`gzip_compress_parallel`] — rayon-parallel multi-member gzip
 //!   (RFC 1952 concatenation semantics), used for large image payloads.
+//! * [`blocked`] — the seekable blocked container: parallel inflate and
+//!   byte-range reads over independently-deflated 64 KiB blocks, behind
+//!   the [`BlockCodec`] trait (legacy gzip stays readable via
+//!   [`decompress_auto`]).
 
 pub mod bitio;
+pub mod blocked;
 pub mod deflate;
 pub mod gzip;
 pub mod huffman;
 pub mod lz77;
 
+pub use blocked::{
+    blocked_compress, blocked_compress_with, blocked_decompress, blocked_decompress_parallel,
+    decompress_auto, is_blocked, read_range, verify_blocks, BlockCodec, BlockIndex, BlockedDeflate,
+    BlockedError, BlockedReader, CodecError, LegacyGzip, DEFAULT_BLOCK_SIZE,
+};
 pub use deflate::{deflate, inflate, InflateError};
 pub use gzip::{gzip_compress, gzip_decompress, GzipError};
 

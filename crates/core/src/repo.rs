@@ -355,6 +355,16 @@ impl ImageStore for ExpelliarmusRepo {
         crate::retrieve::retrieve(&self.state, catalog, request)
     }
 
+    fn retrieve_range(
+        &self,
+        catalog: &Catalog,
+        request: &RetrieveRequest,
+        start: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, RetrieveReport), StoreError> {
+        crate::retrieve::retrieve_range(&self.state, catalog, request, start, len)
+    }
+
     fn delete(&self, name: &str) -> Result<DeleteReport, StoreError> {
         let _gate = self.state.op_gate.write().unwrap();
         let env = self.state.env.clone();

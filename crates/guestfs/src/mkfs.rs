@@ -106,11 +106,55 @@ pub fn disk_size_for(fs: &FsTree) -> u64 {
     geometry(fs).0.disk_size
 }
 
-/// Write the tree into a fresh qcow image named `name`.
-pub fn mkfs(name: &str, fs: &FsTree) -> QcowImage {
-    let (geo, groups, spill) = geometry(fs);
-    let mut img = QcowImage::create(name, geo.disk_size);
+/// One file's placement on disk: the [`INODE_BYTES`] boundary marker
+/// sits at `offset`, content immediately after.
+#[derive(Clone, Debug)]
+pub struct Extent {
+    pub rec: FileRecord,
+    /// Disk offset of the marker.
+    pub offset: u64,
+}
 
+impl Extent {
+    /// Disk offset of the file's first content byte.
+    pub fn content_offset(&self) -> u64 {
+        self.offset + INODE_BYTES
+    }
+
+    /// Disk offset one past the file's last content byte.
+    pub fn end(&self) -> u64 {
+        self.offset + INODE_BYTES + self.rec.size as u64
+    }
+}
+
+/// The single placement walk both [`mkfs`] and [`extents`] follow —
+/// groups in index order, then spill — so the extent map and the
+/// materialized disk can never drift apart.
+fn placements(fs: &FsTree) -> (Geometry, Vec<Extent>) {
+    let (geo, groups, spill) = geometry(fs);
+    let mut out = Vec::with_capacity(fs.file_count());
+    let mut place = |cursor: &mut u64, rec: FileRecord| {
+        let next = align_up(*cursor + INODE_BYTES + rec.size as u64, ALIGN);
+        out.push(Extent {
+            rec,
+            offset: *cursor,
+        });
+        *cursor = next;
+    };
+    for (gi, group) in groups.into_iter().enumerate() {
+        let mut cursor = SUPERBLOCK_BYTES + gi as u64 * geo.group_capacity;
+        for rec in group {
+            place(&mut cursor, rec);
+        }
+    }
+    let mut cursor = geo.groups_end;
+    for rec in spill {
+        place(&mut cursor, rec);
+    }
+    (geo, out)
+}
+
+fn superblock(fs: &FsTree, geo: &Geometry) -> Vec<u8> {
     // Superblock: magic + counts (deterministic, participates in content).
     let mut sb = Vec::with_capacity(SUPERBLOCK_BYTES as usize);
     sb.extend_from_slice(b"XFS2");
@@ -118,30 +162,95 @@ pub fn mkfs(name: &str, fs: &FsTree) -> QcowImage {
     sb.extend_from_slice(&fs.total_bytes().to_le_bytes());
     sb.extend_from_slice(&geo.group_capacity.to_le_bytes());
     sb.resize(SUPERBLOCK_BYTES as usize, 0);
-    img.write_at(0, &sb).expect("superblock fits");
+    sb
+}
 
-    let write_file = |img: &mut QcowImage, cursor: u64, rec: &FileRecord| -> u64 {
+/// Every file's disk placement, sorted by offset. Computable from tree
+/// *metadata* alone (path, size, seed — never content): this is the
+/// semantics-aware map from disk byte ranges to owning files that range
+/// retrieval walks to decide which blobs to fetch.
+pub fn extents(fs: &FsTree) -> Vec<Extent> {
+    let (_, mut ex) = placements(fs);
+    ex.sort_by_key(|e| e.offset);
+    ex
+}
+
+/// Write the tree into a fresh qcow image named `name`.
+pub fn mkfs(name: &str, fs: &FsTree) -> QcowImage {
+    let (geo, extents) = placements(fs);
+    let mut img = QcowImage::create(name, geo.disk_size);
+    img.write_at(0, &superblock(fs, &geo))
+        .expect("superblock fits");
+    for e in &extents {
         // Boundary marker derived from the content seed (stable across
         // runs, unlike interner ids).
-        let marker = (rec.seed as u16).to_le_bytes();
-        img.write_at(cursor, &marker).expect("inode fits");
-        let content = rec.content();
-        img.write_at(cursor + INODE_BYTES, &content)
+        let marker = (e.rec.seed as u16).to_le_bytes();
+        img.write_at(e.offset, &marker).expect("inode fits");
+        img.write_at(e.content_offset(), &e.rec.content())
             .expect("content fits");
-        align_up(cursor + INODE_BYTES + content.len() as u64, ALIGN)
-    };
-
-    for (gi, group) in groups.iter().enumerate() {
-        let mut cursor = SUPERBLOCK_BYTES + gi as u64 * geo.group_capacity;
-        for rec in group {
-            cursor = write_file(&mut img, cursor, rec);
-        }
-    }
-    let mut cursor = geo.groups_end;
-    for rec in &spill {
-        cursor = write_file(&mut img, cursor, rec);
     }
     img
+}
+
+/// Materialize disk bytes `[start, start+len)` from metadata plus
+/// per-file content fetched on demand — without building the whole
+/// image. `fetch(rec, off, len)` must return exactly bytes
+/// `[off, off+len)` of `rec`'s content; a semantics-aware store backs it
+/// with a CAS range read so only the overlapping slice of each touched
+/// file moves. The result is byte-identical to
+/// `mkfs(_, fs).read_at(start, ..)` (zeros where nothing is placed,
+/// superblock and inode markers overlaid); the range clamps to the disk
+/// size like a slice.
+pub fn materialize_range<F>(
+    fs: &FsTree,
+    start: u64,
+    len: u64,
+    mut fetch: F,
+) -> Result<Vec<u8>, String>
+where
+    F: FnMut(&FileRecord, u64, u64) -> Result<Vec<u8>, String>,
+{
+    let (geo, mut extents) = placements(fs);
+    extents.sort_by_key(|e| e.offset);
+    let end = start.saturating_add(len).min(geo.disk_size);
+    if start >= end {
+        return Ok(Vec::new());
+    }
+    let mut out = vec![0u8; (end - start) as usize];
+    if start < SUPERBLOCK_BYTES {
+        let sb = superblock(fs, &geo);
+        let to = end.min(SUPERBLOCK_BYTES);
+        out[..(to - start) as usize].copy_from_slice(&sb[start as usize..to as usize]);
+    }
+    let first = extents.partition_point(|e| e.end() <= start);
+    for e in &extents[first..] {
+        if e.offset >= end {
+            break;
+        }
+        let marker = (e.rec.seed as u16).to_le_bytes();
+        for (k, &b) in marker.iter().enumerate() {
+            let pos = e.offset + k as u64;
+            if (start..end).contains(&pos) {
+                out[(pos - start) as usize] = b;
+            }
+        }
+        let c0 = e.content_offset();
+        let lo = c0.max(start);
+        let hi = e.end().min(end);
+        if lo < hi {
+            let chunk = fetch(&e.rec, lo - c0, hi - lo)?;
+            if chunk.len() as u64 != hi - lo {
+                return Err(format!(
+                    "fetch for {} returned {} bytes, wanted {}",
+                    e.rec.path.as_str(),
+                    chunk.len(),
+                    hi - lo
+                ));
+            }
+            out[(lo - start) as usize..(hi - start) as usize].copy_from_slice(&chunk);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -267,6 +376,66 @@ mod tests {
         let fs = FsTree::new();
         let img = mkfs("empty", &fs);
         assert!(img.allocated_bytes() > 0, "superblock allocated");
+    }
+
+    #[test]
+    fn extents_describe_the_materialized_disk() {
+        let fs = big_tree(400);
+        let img = mkfs("img", &fs);
+        let ex = extents(&fs);
+        assert_eq!(ex.len(), fs.file_count());
+        let mut prev_end = 0u64;
+        for e in &ex {
+            assert!(e.offset >= prev_end, "extents overlap at {}", e.offset);
+            prev_end = e.end();
+            // Marker + content at the recorded offsets.
+            let marker = img.read_at(e.offset, 2).unwrap();
+            assert_eq!(marker, (e.rec.seed as u16).to_le_bytes());
+            let content = img
+                .read_at(e.content_offset(), e.rec.size as usize)
+                .unwrap();
+            assert_eq!(content, e.rec.content(), "{}", e.rec.path.as_str());
+        }
+    }
+
+    #[test]
+    fn materialize_range_matches_mkfs_disk() {
+        let fs = big_tree(600);
+        let img = mkfs("img", &fs);
+        let size = img.virtual_size();
+        let fetch = |rec: &FileRecord, off: u64, len: u64| {
+            let c = rec.content();
+            Ok(c[off as usize..(off + len) as usize].to_vec())
+        };
+        let mut rng = xpl_util::SplitMix64::new(31);
+        let mut spans: Vec<(u64, u64)> = (0..40)
+            .map(|_| (rng.next_below(size), rng.next_below(8192) + 1))
+            .collect();
+        spans.extend([
+            (0, 700),                  // superblock + first group
+            (size - 100, 500),         // clamp at the end
+            (size + 10, 10),           // fully past the end
+            (0, 0),                    // empty
+            (SUPERBLOCK_BYTES - 1, 3), // superblock boundary
+        ]);
+        for (start, len) in spans {
+            let got = materialize_range(&fs, start, len, fetch).unwrap();
+            let end = start.saturating_add(len).min(size);
+            let expect = if start >= end {
+                Vec::new()
+            } else {
+                img.read_at(start, (end - start) as usize).unwrap()
+            };
+            assert_eq!(got, expect, "range [{start}, +{len})");
+        }
+    }
+
+    #[test]
+    fn materialize_range_surfaces_short_fetch() {
+        let fs = big_tree(50);
+        let e = &extents(&fs)[0];
+        let err = materialize_range(&fs, e.offset, 64, |_r, _o, _l| Ok(vec![0u8; 1])).unwrap_err();
+        assert!(err.contains("wanted"), "{err}");
     }
 
     #[test]

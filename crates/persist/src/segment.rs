@@ -96,6 +96,57 @@ pub fn read_record(
     Ok(payload.to_vec())
 }
 
+/// Read bytes `[start, start+len)` of the payload stored for `digest`
+/// at `offset` (clamped to the payload like a slice), validating the
+/// record header (magic, length, digest identity) but **not** the
+/// whole-payload CRC — checking it would require reading the payload
+/// this function exists to avoid. Blocked payloads carry per-block
+/// CRCs that the codec layer verifies on exactly the bytes returned
+/// here; for unblocked payloads use [`read_record`] when end-to-end
+/// integrity matters more than the partial read.
+#[allow(clippy::too_many_arguments)]
+pub fn read_record_range(
+    vfs: &dyn Vfs,
+    prefix: &str,
+    id: u32,
+    offset: u64,
+    payload_len: u64,
+    digest: &Digest,
+    start: u64,
+    len: u64,
+) -> Result<Vec<u8>, PersistError> {
+    let file = file_name(prefix, id);
+    let corrupt = |detail: String| PersistError::CorruptRecord {
+        file: file.clone(),
+        offset,
+        detail,
+    };
+    let header = vfs.read_at(&file, offset, RECORD_HEADER)?;
+    let magic = read_u32(&header, 0).ok_or_else(|| corrupt("short header".into()))?;
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let rec_len = read_u64(&header, 4).ok_or_else(|| corrupt("short header".into()))?;
+    if rec_len != payload_len {
+        return Err(corrupt(format!(
+            "length mismatch: record says {rec_len}, index says {payload_len}"
+        )));
+    }
+    let stored_digest = &header[16..48];
+    if stored_digest != digest.0 {
+        return Err(corrupt(format!(
+            "digest mismatch: record holds {}",
+            Digest(stored_digest.try_into().unwrap()).short()
+        )));
+    }
+    let end = start.saturating_add(len).min(payload_len);
+    let start = start.min(end);
+    if start == end {
+        return Ok(Vec::new());
+    }
+    vfs.read_at(&file, offset + RECORD_HEADER + start, end - start)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +195,46 @@ mod tests {
             }
             other => panic!("expected CorruptRecord, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn range_reads_slice_the_payload() {
+        let fs = MemFs::new();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(7)) as u8).collect();
+        let digest = Sha256::digest(&payload);
+        // Record at a nonzero offset, behind another record.
+        let first = encode_record(&Sha256::digest(b"x"), b"x");
+        let off = first.len() as u64;
+        fs.append(&file_name("cas", 1), &first).unwrap();
+        fs.append(&file_name("cas", 1), &encode_record(&digest, &payload))
+            .unwrap();
+        let n = payload.len() as u64;
+        let spans = [
+            (0, 0),
+            (0, 1),
+            (100, 256),
+            (n - 1, 50),
+            (n, 10),
+            (n + 5, 1),
+            (0, n),
+            (0, u64::MAX), // saturating end
+        ];
+        for (s, l) in spans {
+            let got = read_record_range(&fs, "cas", 1, off, n, &digest, s, l).unwrap();
+            let end = s.saturating_add(l).min(n);
+            let s = s.min(end);
+            assert_eq!(got, &payload[s as usize..end as usize], "span ({s}, {l})");
+        }
+        // Header validation still applies to partial reads.
+        let other = Sha256::digest(b"other");
+        assert!(matches!(
+            read_record_range(&fs, "cas", 1, off, n, &other, 0, 4),
+            Err(PersistError::CorruptRecord { .. })
+        ));
+        assert!(matches!(
+            read_record_range(&fs, "cas", 1, off, n + 1, &digest, 0, 4),
+            Err(PersistError::CorruptRecord { .. })
+        ));
     }
 
     #[test]

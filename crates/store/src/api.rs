@@ -136,6 +136,32 @@ pub trait ImageStore: Send + Sync {
         request: &RetrieveRequest,
     ) -> Result<(Vmi, RetrieveReport), StoreError>;
 
+    /// Retrieve only disk bytes `[start, start+len)` of an image —
+    /// clamped to the virtual disk size like a slice. The report's
+    /// `bytes_read` is what the repository actually moved to serve the
+    /// range, which is the figure of merit: a range-aware store reads a
+    /// handful of compressed blocks or blob slices, while this default
+    /// reassembles the whole image and slices it (correct for every
+    /// store, but paying full retrieval cost — the baseline the blocked
+    /// codec beats).
+    fn retrieve_range(
+        &self,
+        catalog: &Catalog,
+        request: &RetrieveRequest,
+        start: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, RetrieveReport), StoreError> {
+        let (vmi, report) = self.retrieve(catalog, request)?;
+        let size = vmi.disk.virtual_size();
+        let end = start.saturating_add(len).min(size);
+        let start = start.min(end);
+        let bytes = vmi
+            .disk
+            .read_at(start, (end - start) as usize)
+            .map_err(|e| StoreError::Corrupt(format!("range read: {e}")))?;
+        Ok((bytes, report))
+    }
+
     /// Delete a published image, releasing repository content no other
     /// live image references. Content shared with other images survives
     /// (refcounts guard it); monolithic stores simply unlink the entry.

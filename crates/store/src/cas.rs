@@ -195,6 +195,24 @@ impl ContentStore {
         Ok(Arc::clone(&b.bytes))
     }
 
+    /// Read `[start, start+len)` of a blob, clamped like a slice (a
+    /// start at or past the end yields empty). Charges open + only the
+    /// bytes actually returned — the CAS leg of the range-read path: a
+    /// semantics-aware store that knows which blob bytes a disk range
+    /// needs pays for those bytes, not the whole blob.
+    pub fn get_range(&self, digest: &Digest, start: u64, len: u64) -> Result<Vec<u8>, CasError> {
+        let shard = self.shard(digest).read().unwrap();
+        let b = shard.get(digest).ok_or(CasError::NotFound(*digest))?;
+        if b.bytes.len() as u64 != b.stored_len {
+            return Err(CasError::DigestMismatch(*digest));
+        }
+        let end = start.saturating_add(len).min(b.bytes.len() as u64);
+        let start = start.min(end);
+        self.device.charge_open(end - start);
+        self.device.charge_read(end - start);
+        Ok(b.bytes[start as usize..end as usize].to_vec())
+    }
+
     /// Full integrity check of one blob: recompute the SHA-256 and compare
     /// to the key (charges nothing — an audit, not a simulated read).
     pub fn verify(&self, digest: &Digest) -> Result<(), CasError> {
@@ -422,6 +440,27 @@ mod tests {
         // …the full digest recompute does not.
         assert_eq!(cas.verify(&d), Err(CasError::DigestMismatch(d)));
         assert!(cas.check_integrity(true).is_err());
+    }
+
+    #[test]
+    fn get_range_slices_and_charges_only_the_span() {
+        let (env, cas) = store();
+        let payload: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| (i as u8).to_le_bytes())
+            .collect();
+        let (d, _) = cas.put(&payload);
+        let before = env.repo.stats().bytes_read;
+        let got = cas.get_range(&d, 1000, 64).unwrap();
+        assert_eq!(got, &payload[1000..1064]);
+        assert_eq!(env.repo.stats().bytes_read - before, 64);
+        // Clamps like a slice.
+        assert_eq!(cas.get_range(&d, 9990, 100).unwrap(), &payload[9990..]);
+        assert_eq!(cas.get_range(&d, 50_000, 10).unwrap(), b"");
+        let missing = Sha256::digest(b"nope");
+        assert_eq!(
+            cas.get_range(&missing, 0, 1),
+            Err(CasError::NotFound(missing))
+        );
     }
 
     #[test]

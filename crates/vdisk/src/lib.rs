@@ -16,5 +16,5 @@
 pub mod qcow;
 pub mod raw;
 
-pub use qcow::{QcowError, QcowImage, DEFAULT_CLUSTER_BITS};
+pub use qcow::{read_serialized_range, QcowError, QcowImage, DEFAULT_CLUSTER_BITS, STREAM_HEADER};
 pub use raw::RawImage;

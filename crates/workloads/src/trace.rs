@@ -1,8 +1,9 @@
 //! Deterministic lifecycle traces.
 //!
 //! A [`Trace`] is a seeded sequence of repository lifecycle operations —
-//! publish, retrieve, upgrade-and-republish, delete, and flash-crowd
-//! retrieval bursts — over a catalog of image names. The generator is a
+//! publish, retrieve (whole-image and byte-range), upgrade-and-republish,
+//! delete, and flash-crowd retrieval bursts — over a catalog of image
+//! names. The generator is a
 //! SplitMix64-threaded state machine: the same seed over the same name
 //! list produces a byte-identical trace (see [`Trace::render`]), which
 //! is what lets the churn oracle assert reproducibility end to end.
@@ -21,6 +22,14 @@ pub enum TraceOp {
     Publish { image: String, generation: u32 },
     /// Retrieve the image's current generation.
     Retrieve { image: String },
+    /// Retrieve only a byte range of the image's disk. `start_frac` is
+    /// a position in 1/256ths of the disk (the generator does not know
+    /// disk sizes; the replayer scales it), `len` is in bytes.
+    RetrieveRange {
+        image: String,
+        start_frac: u32,
+        len: u32,
+    },
     /// Upgrade-and-republish: same name, next generation.
     Upgrade { image: String, generation: u32 },
     /// Remove the image from the repository.
@@ -42,6 +51,11 @@ impl TraceOp {
         match self {
             TraceOp::Publish { image, generation } => format!("publish {image} gen={generation}"),
             TraceOp::Retrieve { image } => format!("retrieve {image}"),
+            TraceOp::RetrieveRange {
+                image,
+                start_frac,
+                len,
+            } => format!("range {image} frac={start_frac} len={len}"),
             TraceOp::Upgrade { image, generation } => format!("upgrade {image} gen={generation}"),
             TraceOp::Delete { image } => format!("delete {image}"),
             TraceOp::Burst { image, count } => format!("burst {image} x{count}"),
@@ -95,9 +109,15 @@ impl Trace {
                 TraceOp::Publish { image, generation }
             } else {
                 let idx = rng.next_below(live.len() as u64) as usize;
-                if roll < 0.60 {
+                if roll < 0.54 {
                     TraceOp::Retrieve {
                         image: live[idx].0.clone(),
+                    }
+                } else if roll < 0.60 {
+                    TraceOp::RetrieveRange {
+                        image: live[idx].0.clone(),
+                        start_frac: rng.next_below(256) as u32,
+                        len: rng.next_range(512, 16 * 1024) as u32,
                     }
                 } else if roll < 0.75 {
                     live[idx].1 += 1;
@@ -160,13 +180,15 @@ impl Trace {
         Sha256::digest(self.render().as_bytes()).to_hex()
     }
 
-    /// Count ops of each kind: (publish, retrieve, upgrade, delete, burst).
+    /// Count ops of each kind: (publish, retrieve, upgrade, delete,
+    /// burst). Range retrievals count as retrieves here; see
+    /// [`Trace::range_retrieves`] for their own tally.
     pub fn mix(&self) -> (usize, usize, usize, usize, usize) {
         let mut m = (0, 0, 0, 0, 0);
         for op in &self.ops {
             match op {
                 TraceOp::Publish { .. } => m.0 += 1,
-                TraceOp::Retrieve { .. } => m.1 += 1,
+                TraceOp::Retrieve { .. } | TraceOp::RetrieveRange { .. } => m.1 += 1,
                 TraceOp::Upgrade { .. } => m.2 += 1,
                 TraceOp::Delete { .. } => m.3 += 1,
                 TraceOp::Burst { .. } => m.4 += 1,
@@ -174,6 +196,14 @@ impl Trace {
             }
         }
         m
+    }
+
+    /// Count of range-retrieval ops.
+    pub fn range_retrieves(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::RetrieveRange { .. }))
+            .count()
     }
 
     /// Count of injected crash-recovery pairs.
@@ -215,6 +245,16 @@ mod tests {
         let (p, r, u, d, b) = t.mix();
         assert_eq!(p + r + u + d + b, 500);
         assert!(p > 0 && r > 0 && u > 0 && d > 0 && b > 0, "{:?}", t.mix());
+        assert!(t.range_retrieves() > 0, "no range retrievals at scale");
+        assert!(
+            t.ops.iter().all(|op| match op {
+                TraceOp::RetrieveRange {
+                    start_frac, len, ..
+                } => *start_frac < 256 && (512..=16 * 1024).contains(len),
+                _ => true,
+            }),
+            "range parameters out of bounds"
+        );
     }
 
     #[test]
@@ -233,7 +273,9 @@ mod tests {
                     assert_eq!(*generation, *g + 1, "generation must step by one");
                     *g = *generation;
                 }
-                TraceOp::Retrieve { image } | TraceOp::Burst { image, .. } => {
+                TraceOp::Retrieve { image }
+                | TraceOp::RetrieveRange { image, .. }
+                | TraceOp::Burst { image, .. } => {
                     assert!(live.contains_key(image.as_str()), "op on dead {image}");
                 }
                 TraceOp::Delete { image } => {

@@ -22,6 +22,7 @@ fn five_hundred_op_trace_passes_the_oracle_on_all_five_stores() {
     // The trace must actually exercise every lifecycle path.
     assert!(report.publishes > 0, "no publishes");
     assert!(report.retrieves > 0, "no retrieves");
+    assert!(report.range_retrieves > 0, "no range retrievals");
     assert!(report.upgrades > 0, "no upgrade-republishes");
     assert!(report.deletes > 0, "no deletes");
     assert!(report.bursts > 0 && report.burst_retrieves > report.bursts);
