@@ -23,6 +23,17 @@
 //!                     crash-recovery pairs; the oracle additionally
 //!                     checks every recovery converges to the uncrashed
 //!                     in-memory state.
+//! repro serve [--seed N] [--scale small|standard] [--tenants N]
+//!             [--requests N] [--servers N] [--queue-depth N]
+//!             [--store S] [--no-coalesce] [--threads N] [--json F]
+//!                     multi-tenant registry serving benchmark: a seeded
+//!                     Zipf-skewed schedule through the admission/
+//!                     coalescing/fair-share front end over a real store
+//!                     (default expelliarmus). Latency percentiles and
+//!                     the request-log fingerprint are virtual-time
+//!                     numbers — byte-identical at any --threads; only
+//!                     the replay ops/s is wall clock. Exits 1 on any
+//!                     differential-oracle violation.
 //! repro audit [--world small]
 //!                     publish the world into all five stores, delete a
 //!                     third of the images, then run every store's deep
@@ -56,6 +67,39 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Print a one-line usage error and exit 2.
+fn fail(msg: String) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// Strict `--flag N` parsing: a present-but-unparseable value is an
+/// error, never a silent fall-back onto a default the user didn't ask
+/// for. Accepts decimal or 0x-prefixed hex.
+fn parse_u64_flag(args: &[String], flag: &str) -> Option<u64> {
+    flag_value(args, flag).map(|s| {
+        let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        parsed.unwrap_or_else(|_| {
+            fail(format!(
+                "invalid {flag} value {s:?} (expected an unsigned integer)"
+            ))
+        })
+    })
+}
+
+/// Strict `--flag N` where zero makes no sense (thread counts, op
+/// counts, queue depths…).
+fn parse_nonzero_flag(args: &[String], flag: &str) -> Option<u64> {
+    parse_u64_flag(args, flag).inspect(|&n| {
+        if n == 0 {
+            fail(format!("{flag} must be at least 1"));
+        }
+    })
+}
+
 /// Arguments with `--flag value` pairs stripped, so positional parsing
 /// (`fig3c N`, `all DIR`) composes with flags like `--world small`.
 fn positionals(args: &[String]) -> Vec<String> {
@@ -72,35 +116,44 @@ fn positionals(args: &[String]) -> Vec<String> {
     out
 }
 
-/// `--threads N`, strictly: an unparseable value is an error, not a
-/// silent fall-back onto a different driver.
+/// `--threads N`, strictly: an unparseable or zero value is an error,
+/// not a silent fall-back onto a different driver or pool size.
 fn parse_threads(args: &[String]) -> Option<usize> {
-    flag_value(args, "--threads").map(|s| {
-        s.parse().unwrap_or_else(|_| {
-            eprintln!("invalid --threads value: {s:?} (expected a positive integer)");
-            std::process::exit(2);
-        })
-    })
+    parse_nonzero_flag(args, "--threads").map(|n| n as usize)
+}
+
+/// `--scale small|standard`, strictly: a typo'd scale must not fall
+/// back to a world the user didn't ask for (e.g. an empty or unknown
+/// value silently benchmarking the 32-image world as "standard").
+fn parse_scale(args: &[String]) -> &'static str {
+    match flag_value(args, "--scale").as_deref() {
+        None | Some("small") => "small",
+        Some("standard") => "standard",
+        Some(other) => fail(format!(
+            "invalid --scale value {other:?} (expected small or standard)"
+        )),
+    }
 }
 
 fn run_churn_cmd(args: &[String]) -> ! {
-    let seed: u64 = flag_value(args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xDEADBEEF);
-    let ops: usize = flag_value(args, "--ops")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
-    let mut cfg = match flag_value(args, "--scale").as_deref() {
-        Some("standard") => churn::ChurnConfig::standard(seed, ops),
+    let seed: u64 = parse_u64_flag(args, "--seed").unwrap_or(0xDEADBEEF);
+    let ops: usize = parse_nonzero_flag(args, "--ops").unwrap_or(500) as usize;
+    let mut cfg = match parse_scale(args) {
+        "standard" => churn::ChurnConfig::standard(seed, ops),
         _ => churn::ChurnConfig::small(seed, ops),
     };
     let durable = args.iter().any(|a| a == "--durable");
     if durable {
         let mut dcfg = churn::DurableCfg::default();
-        if let Some(k) = flag_value(args, "--crashes").and_then(|s| s.parse().ok()) {
-            dcfg.crashes = k;
+        if let Some(k) = parse_u64_flag(args, "--crashes") {
+            if k as usize > ops {
+                fail(format!(
+                    "--crashes {k} exceeds the trace's {ops} ops (each crash needs an op to land after)"
+                ));
+            }
+            dcfg.crashes = k as usize;
         }
-        if let Some(s) = flag_value(args, "--crash-seed").and_then(|s| s.parse().ok()) {
+        if let Some(s) = parse_u64_flag(args, "--crash-seed") {
             dcfg.crash_seed = s;
         }
         cfg = cfg.with_durable(dcfg);
@@ -229,6 +282,66 @@ fn run_audit_cmd(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro serve` — the multi-tenant registry serving benchmark (see
+/// `xpl_bench::serve` for the three-phase pipeline).
+fn run_serve_cmd(args: &[String]) -> ! {
+    use xpl_bench::{run_serve, ServeRunConfig, StoreKind};
+    let seed: u64 = parse_u64_flag(args, "--seed").unwrap_or(0xC0FFEE);
+    let mut cfg = match parse_scale(args) {
+        "standard" => ServeRunConfig::standard(seed),
+        _ => ServeRunConfig::small(seed),
+    };
+    if let Some(t) = parse_nonzero_flag(args, "--tenants") {
+        cfg.tenants = t as u32;
+    }
+    if let Some(r) = parse_nonzero_flag(args, "--requests") {
+        cfg.requests = r as usize;
+    }
+    if let Some(s) = parse_nonzero_flag(args, "--servers") {
+        cfg.servers = s as usize;
+    }
+    if let Some(q) = parse_nonzero_flag(args, "--queue-depth") {
+        cfg.queue_depth = q as usize;
+    }
+    if let Some(s) = flag_value(args, "--store") {
+        cfg.store = StoreKind::parse(&s).unwrap_or_else(|| {
+            fail(format!(
+                "unknown --store {s:?} (expected qcow2, gzip, mirage, hemera, or expelliarmus)"
+            ))
+        });
+    }
+    if args.iter().any(|a| a == "--no-coalesce") {
+        cfg.coalesce = false;
+    }
+    let threads = parse_threads(args);
+    eprintln!(
+        "[repro] serve: seed={seed:#x} scale={} tenants={} requests={} store={:?}",
+        cfg.scale_name, cfg.tenants, cfg.requests, cfg.store
+    );
+    let run = || run_serve(&cfg);
+    let report = match threads {
+        Some(n) => rayon::with_num_threads(n, run),
+        None => run(),
+    };
+    print!("{}", xpl_bench::serve::render(&report));
+    if let Some(path) = flag_value(args, "--json") {
+        let json = serde_json::to_string_pretty(&report).expect("serialize serve report");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .expect("write serve JSON");
+        eprintln!("[repro] wrote {path}");
+    }
+    if report.violations.is_empty() {
+        println!("  oracle: PASS");
+        std::process::exit(0);
+    }
+    eprintln!("  oracle: {} VIOLATIONS", report.violations.len());
+    for v in report.violations.iter().take(20) {
+        eprintln!("    {v}");
+    }
+    std::process::exit(1);
+}
+
 fn run_bench_cmd(args: &[String]) -> ! {
     if let Some(path) = flag_value(args, "--check") {
         let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
@@ -273,6 +386,10 @@ fn main() {
         // Microbenchmarks build their own inputs.
         run_bench_cmd(&args);
     }
+    if cmd == "serve" {
+        // The serving benchmark generates its own scaled world.
+        run_serve_cmd(&args);
+    }
     if cmd == "audit" {
         // The audit builds its own world (honoring --world small).
         run_audit_cmd(&args);
@@ -292,7 +409,7 @@ fn main() {
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown experiment: {cmd}");
         eprintln!(
-            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|bench|audit|all]"
+            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|serve|bench|audit|all]"
         );
         std::process::exit(2);
     }
@@ -311,7 +428,7 @@ fn main() {
     // byte-identical at any size).
     let run = || run_experiment(cmd, &args, &world);
     match parse_threads(&args) {
-        Some(n) => rayon::with_num_threads(n.max(1), run),
+        Some(n) => rayon::with_num_threads(n, run),
         None => run(),
     }
     eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());

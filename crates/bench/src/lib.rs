@@ -10,6 +10,7 @@ pub mod churn;
 pub mod experiments;
 pub mod microbench;
 pub mod render;
+pub mod serve;
 
 pub use churn::{run_churn, ChurnConfig, ChurnReport};
 pub use experiments::{
@@ -17,3 +18,4 @@ pub use experiments::{
     Fig3Scenario,
 };
 pub use microbench::{run_microbench, BenchReport};
+pub use serve::{run_serve, ServeReport, ServeRunConfig, StoreKind};

@@ -30,6 +30,7 @@ use xpl_util::{Crc32, Sha256};
 use xpl_workloads::World;
 
 use crate::churn::{run_churn, ChurnConfig};
+use crate::serve::{run_serve, ServeRunConfig};
 
 /// One kernel measurement.
 #[derive(Clone, Debug, Serialize)]
@@ -119,6 +120,35 @@ pub struct PersistBench {
     pub recovery_blobs: usize,
 }
 
+/// The registry serving benchmark (the `repro serve` pipeline run at a
+/// fixed seed): virtual-time latency percentiles and fairness — exact,
+/// host-independent numbers — plus the wall-clock store-hit replay
+/// throughput, which is the only host-dependent field.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServingBench {
+    pub requests: usize,
+    pub tenants: u32,
+    pub servers: usize,
+    /// Workers in the replay pool.
+    pub threads: usize,
+    /// CPUs the host actually has (see [`ParallelBench::host_cpus`]).
+    pub host_cpus: usize,
+    /// Virtual-time latency percentiles (deterministic).
+    pub p50_latency_ms: f64,
+    pub p99_latency_ms: f64,
+    /// Store hits per wall second through the replay pool.
+    pub sustained_ops_per_s: f64,
+    /// Fraction of served requests satisfied by attaching to an
+    /// in-flight identical retrieval.
+    pub coalescing_hit_rate: f64,
+    /// Max/min served across tenants that submitted (1.0 = perfectly
+    /// even).
+    pub fairness_max_min_served: f64,
+    /// The engine's request-log fingerprint — byte-identical across
+    /// runs, hosts, and thread counts.
+    pub request_log_sha256: String,
+}
+
 /// The machine-readable `BENCH.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -130,6 +160,7 @@ pub struct BenchReport {
     pub parallel: ParallelBench,
     pub blocked: BlockedBench,
     pub persist: PersistBench,
+    pub serving: ServingBench,
     pub end_to_end: EndToEnd,
 }
 
@@ -329,6 +360,36 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     // --- durable persistence ---------------------------------------
     let persist = persist_bench(quick, budget);
 
+    // --- registry serving ------------------------------------------
+    // The full serve pipeline at a fixed seed: quick runs the small
+    // world with a short schedule, full runs the standard CI shape.
+    let serve_cfg = if quick {
+        let mut c = ServeRunConfig::small(0xBE6C);
+        c.requests = 160;
+        c
+    } else {
+        ServeRunConfig::standard(0xBE6C)
+    };
+    let serve = run_serve(&serve_cfg);
+    assert!(
+        serve.violations.is_empty(),
+        "serve differential oracle failed during bench: {:?}",
+        serve.violations
+    );
+    let serving = ServingBench {
+        requests: serve.requests,
+        tenants: serve.tenants,
+        servers: serve.servers,
+        threads: serve.threads,
+        host_cpus,
+        p50_latency_ms: serve.p50_latency_ms,
+        p99_latency_ms: serve.p99_latency_ms,
+        sustained_ops_per_s: serve.sustained_ops_per_s,
+        coalescing_hit_rate: serve.coalescing_hit_rate,
+        fairness_max_min_served: serve.fairness_max_min_served,
+        request_log_sha256: serve.request_log_sha256.clone(),
+    };
+
     // --- end to end -------------------------------------------------
     let world = World::small();
     let names = world.image_names();
@@ -383,13 +444,14 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     );
 
     BenchReport {
-        schema_version: 4,
+        schema_version: 5,
         quick,
         host_cpus,
         kernels,
         parallel,
         blocked: blocked_bench,
         persist,
+        serving,
         end_to_end: EndToEnd {
             publish_images: names.len(),
             publish_wall_s,
@@ -524,8 +586,8 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         .get("schema_version")
         .and_then(|s| s.as_f64())
         .ok_or("missing schema_version")?;
-    if schema != 4.0 {
-        return Err(format!("unsupported schema_version {schema} (expected 4)"));
+    if schema != 5.0 {
+        return Err(format!("unsupported schema_version {schema} (expected 5)"));
     }
     let kernels = v
         .get("kernels")
@@ -567,6 +629,9 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         ("persist", "segment_append_mib_per_s"),
         ("persist", "wal_replay_ops_per_s"),
         ("persist", "recovery_wall_s"),
+        ("serving", "p50_latency_ms"),
+        ("serving", "sustained_ops_per_s"),
+        ("serving", "fairness_max_min_served"),
     ] {
         let t = v
             .get(path.0)
@@ -655,6 +720,47 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
             ));
         }
     }
+
+    // Serving gates. The request-log fingerprint must always be there
+    // (it is the cross-thread determinism witness CI diffs); the p99
+    // ordering and the coalescing claim are checked only when the
+    // replay pool had more than one effective worker — the shapes are
+    // tuned for saturated multi-worker runs, and a single-core host is
+    // not the configuration the claim is about.
+    let log = v
+        .get("serving")
+        .and_then(|s| s.get("request_log_sha256"))
+        .and_then(|x| x.as_str())
+        .ok_or("serving/request_log_sha256 missing")?;
+    if log.len() != 64 || !log.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("serving/request_log_sha256 malformed: {log:?}"));
+    }
+    if effective("serving") > 1 {
+        let p50 = v
+            .get("serving")
+            .and_then(|s| s.get("p50_latency_ms"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        let p99 = v
+            .get("serving")
+            .and_then(|s| s.get("p99_latency_ms"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        if !(p99.is_finite() && p99 >= p50) {
+            return Err(format!("serving p99 {p99} ms below p50 {p50} ms"));
+        }
+        let hit_rate = v
+            .get("serving")
+            .and_then(|s| s.get("coalescing_hit_rate"))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+        if !(hit_rate > 0.0 && hit_rate < 1.0) {
+            return Err(format!(
+                "serving coalescing hit-rate {hit_rate} out of (0, 1) under a \
+                 saturated Zipf load"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -718,6 +824,20 @@ pub fn render(report: &BenchReport) -> String {
         d.recovery_wall_s,
         d.recovery_blobs
     );
+    let v = &report.serving;
+    let _ = writeln!(
+        s,
+        "serving          {} reqs / {} tenants / {} servers: p50 {:.3}ms p99 {:.3}ms \
+         (virtual), {:.0} store-hits/s wall, coalesce {:.3}, fairness {:.2}",
+        v.requests,
+        v.tenants,
+        v.servers,
+        v.p50_latency_ms,
+        v.p99_latency_ms,
+        v.sustained_ops_per_s,
+        v.coalescing_hit_rate,
+        v.fairness_max_min_served
+    );
     let e = &report.end_to_end;
     let _ = writeln!(
         s,
@@ -758,6 +878,8 @@ mod tests {
         let text = render(&report);
         assert!(text.contains("gzip-parallel"));
         assert!(text.contains("blocked-codec"));
+        assert!(text.contains("serving"));
+        assert_eq!(report.serving.request_log_sha256.len(), 64);
     }
 
     #[test]

@@ -229,6 +229,140 @@ fn bench_subcommand_emits_and_validates_json() {
 }
 
 #[test]
+fn serve_subcommand_emits_json_and_passes_oracle() {
+    let path = std::env::temp_dir().join(format!("serve-smoke-{}.json", std::process::id()));
+    let out = repro()
+        .args([
+            "serve",
+            "--seed",
+            "9",
+            "--requests",
+            "100",
+            "--tenants",
+            "3",
+        ])
+        .args(["--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "serve oracle must pass; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("oracle: PASS"), "{stdout}");
+    assert!(stdout.contains("request-log sha256"), "{stdout}");
+
+    let json = std::fs::read_to_string(&path).expect("serve JSON written");
+    std::fs::remove_file(&path).ok();
+    for key in [
+        "\"schema_version\": 5",
+        "\"request_log_sha256\"",
+        "\"key_digests_sha256\"",
+        "\"p50_latency_ms\"",
+        "\"p99_latency_ms\"",
+        "\"coalescing_hit_rate\"",
+        "\"fairness_max_min_served\"",
+        "\"sustained_ops_per_s\"",
+        "\"per_tenant\"",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
+    }
+    assert!(json.contains("\"violations\": []"), "violations not empty");
+}
+
+#[test]
+fn serve_fingerprints_are_thread_count_invariant() {
+    // Everything virtual-time in the serve report — the request log,
+    // the schedule, the payload-digest table, latency percentiles —
+    // must be byte-identical between a 1-thread and a 4-thread replay
+    // pool. Only wall-clock fields may differ.
+    let run = |threads: &str| {
+        let out = repro()
+            .args([
+                "serve",
+                "--seed",
+                "11",
+                "--requests",
+                "80",
+                "--tenants",
+                "3",
+            ])
+            .args(["--threads", threads])
+            .output()
+            .expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "serve must pass at {threads} threads; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let grab = |label: &str| -> String {
+            stdout
+                .lines()
+                .find(|l| l.contains(label))
+                .unwrap_or_else(|| panic!("no {label} line in {stdout}"))
+                .to_string()
+        };
+        (
+            grab("request-log sha256"),
+            grab("schedule sha256"),
+            grab("key-digests sha256"),
+            grab("latency p50"),
+        )
+    };
+    assert_eq!(run("1"), run("4"));
+}
+
+#[test]
+fn cli_validation_errors_are_one_line_and_exit_2() {
+    // Each bad invocation: exit code 2 and a single clear line on
+    // stderr — not a panic, not a silent fall-back onto defaults.
+    for (args, needle) in [
+        (
+            vec!["churn", "--threads", "0"],
+            "--threads must be at least 1",
+        ),
+        (
+            vec!["serve", "--threads", "0"],
+            "--threads must be at least 1",
+        ),
+        (vec!["churn", "--threads", "x"], "invalid --threads value"),
+        (vec!["churn", "--ops", "0"], "--ops must be at least 1"),
+        (vec!["churn", "--seed", "banana"], "invalid --seed value"),
+        (vec!["churn", "--scale", "huge"], "invalid --scale value"),
+        (vec!["serve", "--scale", "tiny"], "invalid --scale value"),
+        (
+            vec!["serve", "--requests", "0"],
+            "--requests must be at least 1",
+        ),
+        (
+            vec!["serve", "--tenants", "0"],
+            "--tenants must be at least 1",
+        ),
+        (vec!["serve", "--store", "zfs"], "unknown --store"),
+        (
+            vec!["churn", "--ops", "10", "--durable", "--crashes", "40"],
+            "--crashes 40 exceeds the trace's 10 ops",
+        ),
+    ] {
+        let out = repro().args(&args).output().expect("spawn repro");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let line = stderr
+            .lines()
+            .find(|l| l.starts_with("repro: "))
+            .unwrap_or_else(|| panic!("{args:?}: no `repro: …` line in {stderr:?}"));
+        assert!(line.contains(needle), "{args:?}: {line:?} lacks {needle:?}");
+    }
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = repro().arg("fig9z").output().expect("spawn repro");
     assert!(!out.status.success());

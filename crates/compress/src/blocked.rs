@@ -48,6 +48,23 @@ const HEADER: usize = 8;
 const FOOTER: usize = 20;
 const INDEX_ENTRY: usize = 12;
 
+/// Upper bound on how much a raw DEFLATE stream can inflate: ~1032×
+/// (one distance-1/length-258 match per ~2 bits of input, plus stream
+/// framing). An index entry claiming more than this per compressed byte
+/// describes bytes its block cannot contain — only a corrupt or hostile
+/// index (the footer CRC is attacker-recomputable) can say that.
+const MAX_INFLATE_RATIO: u64 = 1032;
+
+/// Preallocation for a decode buffer: trust the index's claimed size
+/// only up to a small multiple of the compressed input, so a corrupt or
+/// hostile footer can never force a huge up-front allocation (e.g.
+/// `total_len = u64::MAX` aborting in `Vec::with_capacity`). Payloads
+/// that genuinely inflate further grow the buffer organically.
+fn decode_capacity(claimed: u64, compressed_len: usize) -> usize {
+    let plausible = (compressed_len as u64).saturating_mul(32).max(4096);
+    claimed.min(plausible).min(isize::MAX as u64) as usize
+}
+
 /// Errors of the blocked format. Every decode failure is a value of
 /// this type — corrupt or truncated input must never panic.
 #[derive(Debug, PartialEq, Eq)]
@@ -174,6 +191,12 @@ impl BlockIndex {
                     "final block: {uncomp_len} uncompressed bytes vs block size {block_size}"
                 )));
             }
+            if uncomp_len as u64 > comp_len as u64 * MAX_INFLATE_RATIO {
+                return Err(BlockedError::CorruptIndex(format!(
+                    "block {i}: {uncomp_len} uncompressed bytes from {comp_len} compressed \
+                     exceeds DEFLATE's maximum expansion"
+                )));
+            }
             entries.push(BlockEntry {
                 comp_off,
                 comp_len,
@@ -218,9 +241,14 @@ impl BlockIndex {
 
     /// Compressed bytes a range read transfers: the touched blocks'
     /// DEFLATE streams plus the header, index and footer overhead —
-    /// what an honest store charges for serving the range.
+    /// what an honest store charges for serving the range. An empty
+    /// range (or a start past the end) touches no blocks and charges
+    /// nothing, matching [`BlockIndex::blocks_for_range`].
     pub fn compressed_span_bytes(&self, start: u64, len: u64) -> u64 {
         let span = self.blocks_for_range(start, len);
+        if span.is_empty() {
+            return 0;
+        }
         let blocks: u64 = self.entries[span].iter().map(|e| e.comp_len as u64).sum();
         blocks + (HEADER + FOOTER) as u64 + self.entries.len() as u64 * INDEX_ENTRY as u64
     }
@@ -292,7 +320,7 @@ pub fn inflate_block(
 /// path; [`blocked_decompress_parallel`] must match it byte for byte).
 pub fn blocked_decompress(data: &[u8]) -> Result<Vec<u8>, BlockedError> {
     let index = BlockIndex::parse(data)?;
-    let mut out = Vec::with_capacity(index.total_len as usize);
+    let mut out = Vec::with_capacity(decode_capacity(index.total_len, data.len()));
     for i in 0..index.entries.len() {
         out.extend_from_slice(&inflate_block(data, &index, i)?);
     }
@@ -309,7 +337,7 @@ pub fn blocked_decompress_parallel(data: &[u8]) -> Result<Vec<u8>, BlockedError>
         .into_par_iter()
         .map(|i| inflate_block(data, &index, i))
         .collect();
-    let mut out = Vec::with_capacity(index.total_len as usize);
+    let mut out = Vec::with_capacity(decode_capacity(index.total_len, data.len()));
     for block in blocks {
         out.extend_from_slice(&block?);
     }
@@ -337,7 +365,7 @@ pub fn read_range_indexed(
         return Ok(Vec::new());
     }
     let span = index.blocks_for_range(start, len);
-    let mut out = Vec::with_capacity((end - start) as usize);
+    let mut out = Vec::with_capacity(decode_capacity(end - start, data.len()));
     for i in span {
         let e = &index.entries[i];
         let block = inflate_block(data, index, i)?;
@@ -687,6 +715,79 @@ mod tests {
                 &data[12_345..12_345 + 678]
             );
         }
+    }
+
+    #[test]
+    fn empty_span_charges_zero_bytes() {
+        let data = sample(200_000);
+        let c = blocked_compress(&data);
+        let idx = BlockIndex::parse(&c).unwrap();
+        // Regression: these used to charge header + footer + the whole
+        // index even though no block is touched.
+        assert_eq!(idx.compressed_span_bytes(0, 0), 0);
+        assert_eq!(idx.compressed_span_bytes(1234, 0), 0);
+        assert_eq!(idx.compressed_span_bytes(idx.total_len, 100), 0);
+        assert_eq!(idx.compressed_span_bytes(u64::MAX, u64::MAX), 0);
+        // Non-empty spans still pay block bytes plus container overhead.
+        let one = idx.compressed_span_bytes(0, 1);
+        assert!(one > (HEADER + FOOTER) as u64);
+        assert!(one >= idx.entries[0].comp_len as u64);
+    }
+
+    /// A syntactically valid container whose single index entry claims
+    /// `uncomp_len` for one small real DEFLATE block, with the index CRC
+    /// recomputed the way an attacker would — only semantic validation
+    /// can reject it.
+    fn forged_container(uncomp_len: u32, total_len: u64) -> Vec<u8> {
+        let block = deflate(&[b'a'; 100]);
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&u32::MAX.to_le_bytes()); // huge block_size
+        out.extend_from_slice(&block);
+        let index_start = out.len();
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        out.extend_from_slice(&uncomp_len.to_le_bytes());
+        out.extend_from_slice(&Crc32::checksum(&[b'a'; 100]).to_le_bytes());
+        let index_crc = Crc32::checksum(&out[index_start..]);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&total_len.to_le_bytes());
+        out.extend_from_slice(&index_crc.to_le_bytes());
+        out.extend_from_slice(END_MAGIC);
+        out
+    }
+
+    #[test]
+    fn hostile_footer_is_typed_error_not_huge_preallocation() {
+        // Regression: the index claims ~4 GiB uncompressed from a
+        // ~dozen-byte block. Pre-fix, parse accepted this and every
+        // decompress path did `Vec::with_capacity(total_len)` straight
+        // off the footer — a multi-GiB preallocation (abort under a
+        // memory limit) before any semantic validation ran.
+        let c = forged_container(u32::MAX, u32::MAX as u64);
+        for err in [
+            BlockIndex::parse(&c).map(|_| ()).unwrap_err(),
+            blocked_decompress(&c).map(|_| ()).unwrap_err(),
+            blocked_decompress_parallel(&c).map(|_| ()).unwrap_err(),
+            read_range(&c, 0, 10).map(|_| ()).unwrap_err(),
+        ] {
+            assert!(matches!(err, BlockedError::CorruptIndex(_)), "{err:?}");
+        }
+        // A footer whose total_len disagrees with the entry sum is also
+        // a typed error (u64::MAX never reaches an allocation).
+        let c = forged_container(100, u64::MAX);
+        assert!(matches!(
+            BlockIndex::parse(&c),
+            Err(BlockedError::CorruptIndex(_))
+        ));
+    }
+
+    #[test]
+    fn decode_capacity_is_bounded_by_input() {
+        // Even if a claimed size got past parsing, preallocation is
+        // clamped to a small multiple of the compressed input.
+        assert_eq!(decode_capacity(u64::MAX, 1000), 32_000);
+        assert_eq!(decode_capacity(100, 1000), 100);
+        assert_eq!(decode_capacity(10_000, 10), 4096);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use xpl_guestfs as guestfs;
 pub use xpl_metadb as metadb;
 pub use xpl_persist as persist;
 pub use xpl_pkg as pkg;
+pub use xpl_registry as registry;
 pub use xpl_semgraph as semgraph;
 pub use xpl_simio as simio;
 pub use xpl_store as store;
