@@ -34,6 +34,20 @@
 //!                     numbers — byte-identical at any --threads; only
 //!                     the replay ops/s is wall clock. Exits 1 on any
 //!                     differential-oracle violation.
+//!             [--net] [--net-faults R] [--net-seed N] [--conns N]
+//!                     With --net the schedule is served over the
+//!                     xpl-net wire layer instead: a threaded server
+//!                     fronts the store behind the frame codec and the
+//!                     per-tenant admission gate, and a pool of
+//!                     retrying clients (N connections per tenant)
+//!                     drives it. Clean runs use real TCP on loopback;
+//!                     --net-faults R (implies --net) switches to the
+//!                     deterministic in-memory transport with seeded
+//!                     resets, torn writes, short reads, and delays at
+//!                     rate R/256. The key->digest table assembled from
+//!                     wire responses must be byte-identical to the
+//!                     in-process table at any fault rate; exits 1
+//!                     otherwise.
 //! repro audit [--world small]
 //!                     publish the world into all five stores, delete a
 //!                     third of the images, then run every store's deep
@@ -313,6 +327,58 @@ fn run_serve_cmd(args: &[String]) -> ! {
     if args.iter().any(|a| a == "--no-coalesce") {
         cfg.coalesce = false;
     }
+
+    // `--net`: serve the schedule over the wire layer instead of the
+    // virtual-time registry simulation (see `xpl_bench::serve_net`).
+    if args.iter().any(|a| a == "--net") || flag_value(args, "--net-faults").is_some() {
+        use xpl_bench::{run_serve_net, NetServeConfig, NetTransportKind};
+        let mut net = NetServeConfig::default();
+        if let Some(rate) = parse_u64_flag(args, "--net-faults") {
+            if rate > 256 {
+                fail(format!(
+                    "--net-faults {rate} exceeds the 256/256 maximum rate"
+                ));
+            }
+            net.fault_rate = rate as u32;
+        }
+        // Fault injection needs the deterministic in-memory transport;
+        // clean runs exercise real TCP on a loopback socket.
+        net.transport = if net.fault_rate > 0 {
+            NetTransportKind::Mem
+        } else {
+            NetTransportKind::Tcp
+        };
+        if let Some(s) = parse_u64_flag(args, "--net-seed") {
+            net.net_seed = s;
+        }
+        if let Some(c) = parse_nonzero_flag(args, "--conns") {
+            net.conns_per_tenant = c as usize;
+        }
+        eprintln!(
+            "[repro] serve --net: seed={seed:#x} scale={} tenants={} requests={} store={:?} \
+             transport={:?} faults={}/256",
+            cfg.scale_name, cfg.tenants, cfg.requests, cfg.store, net.transport, net.fault_rate
+        );
+        let report = run_serve_net(&cfg, &net);
+        print!("{}", xpl_bench::serve_net::render_net(&report));
+        if let Some(path) = flag_value(args, "--json") {
+            let json = serde_json::to_string_pretty(&report).expect("serialize net serve report");
+            std::fs::File::create(&path)
+                .and_then(|mut f| f.write_all(json.as_bytes()))
+                .expect("write net serve JSON");
+            eprintln!("[repro] wrote {path}");
+        }
+        if report.violations.is_empty() {
+            println!("  oracle: PASS");
+            std::process::exit(0);
+        }
+        eprintln!("  oracle: {} VIOLATIONS", report.violations.len());
+        for v in report.violations.iter().take(20) {
+            eprintln!("    {v}");
+        }
+        std::process::exit(1);
+    }
+
     let threads = parse_threads(args);
     eprintln!(
         "[repro] serve: seed={seed:#x} scale={} tenants={} requests={} store={:?}",

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod render;
 pub mod serve;
+pub mod serve_net;
 
 pub use churn::{run_churn, ChurnConfig, ChurnReport};
 pub use experiments::{
@@ -19,3 +20,4 @@ pub use experiments::{
 };
 pub use microbench::{run_microbench, BenchReport};
 pub use serve::{run_serve, ServeReport, ServeRunConfig, StoreKind};
+pub use serve_net::{run_serve_net, NetServeConfig, NetServeReport, NetTransportKind};

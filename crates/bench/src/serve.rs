@@ -29,6 +29,7 @@
 
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
 use xpl_core::ExpelliarmusRepo;
@@ -206,7 +207,7 @@ impl ServiceModel for MeasuredModel<'_> {
     }
 }
 
-fn spec_key(spec: &xpl_workloads::ServeRequestSpec) -> RequestKey {
+pub(crate) fn spec_key(spec: &xpl_workloads::ServeRequestSpec) -> RequestKey {
     match spec.range {
         None => RequestKey::Image {
             image: spec.image.clone(),
@@ -224,7 +225,7 @@ fn spec_key(spec: &xpl_workloads::ServeRequestSpec) -> RequestKey {
 /// guest state (the churn oracle's identity — Expelliarmus reproduces
 /// semantics, not snapshot bytes); range reads fingerprint the exact
 /// bytes.
-fn execute_key(
+pub(crate) fn execute_key(
     store: &dyn ImageStore,
     world: &ScaledWorld,
     requests: &HashMap<String, (RetrieveRequest, u64)>,
@@ -258,13 +259,23 @@ fn execute_key(
     }
 }
 
-/// Run the full serve pipeline. See the module docs for the phases.
-pub fn run_serve(cfg: &ServeRunConfig) -> ServeReport {
+/// The shared phase-0 setup: scaled world, published store, and the
+/// per-image retrieve requests. Both the in-process pipeline
+/// ([`run_serve`]) and the wire pipeline (`run_serve_net`) start here,
+/// so their differential oracles execute against identical state.
+pub(crate) struct PreparedServe {
+    pub(crate) world: ScaledWorld,
+    pub(crate) names: Vec<String>,
+    pub(crate) store: Arc<dyn ImageStore>,
+    pub(crate) requests: HashMap<String, (RetrieveRequest, u64)>,
+}
+
+/// Generate the scaled world and publish generation 0 of the whole
+/// catalog into the chosen store.
+pub(crate) fn prepare(cfg: &ServeRunConfig) -> PreparedServe {
     let world = ScaledWorld::generate(&cfg.scale);
     let names = world.image_names();
-    let store = cfg.store.make();
-
-    // Publish generation 0 of the whole catalog.
+    let store: Arc<dyn ImageStore> = Arc::from(cfg.store.make());
     let mut requests: HashMap<String, (RetrieveRequest, u64)> = HashMap::new();
     for name in &names {
         let vmi = world.build(name, 0);
@@ -277,6 +288,22 @@ pub fn run_serve(cfg: &ServeRunConfig) -> ServeReport {
             (RetrieveRequest::for_image(&vmi, &world.catalog), size),
         );
     }
+    PreparedServe {
+        world,
+        names,
+        store,
+        requests,
+    }
+}
+
+/// Run the full serve pipeline. See the module docs for the phases.
+pub fn run_serve(cfg: &ServeRunConfig) -> ServeReport {
+    let PreparedServe {
+        world,
+        names,
+        store,
+        requests,
+    } = prepare(cfg);
 
     // Phase 1 — generate the key stream and memoize costs. The
     // placeholder-gap schedule draws the same RNG stream as the final

@@ -1,0 +1,467 @@
+//! The threaded wire server.
+//!
+//! One thread per connection, each running [`serve_connection`]:
+//! handshake (a `Hello` frame naming the connection's tenant), then a
+//! request/response loop. Per-connection tenants map onto the
+//! registry's [`AdmissionGate`] — a full tenant bound becomes a typed
+//! `Overload` wire response, never a dropped connection. Read and write
+//! deadlines bound every blocking step, so a stalled or vanished client
+//! is *evicted* (connection closed, counted) instead of pinning a
+//! thread forever. Shutdown is a graceful drain: stop accepting, let
+//! in-flight requests finish, answer anything newly read with
+//! `Draining`, flush, then close.
+//!
+//! Two front ends share the connection loop: [`NetServer`] accepts real
+//! TCP sockets; [`MemHost`] hands out in-memory (optionally
+//! fault-injected) connections for deterministic robustness tests.
+
+use crate::frame::{
+    decode_request, encode_response, read_frame, write_frame, FrameKind, DEFAULT_MAX_FRAME,
+    STATUS_DRAINING, STATUS_ERROR, STATUS_OK, STATUS_OVERLOAD,
+};
+use crate::transport::{mem_pair, FaultConfig, FaultStats, FaultTransport, TcpTransport};
+use crate::{NetError, Transport};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xpl_registry::AdmissionGate;
+
+/// What the server executes once a request is admitted. Implemented by
+/// the bench crate over a real image store; tests use closures.
+pub trait WireService: Send + Sync {
+    fn call(&self, tenant: u32, request: &[u8]) -> Result<Vec<u8>, String>;
+}
+
+impl<F> WireService for F
+where
+    F: Fn(u32, &[u8]) -> Result<Vec<u8>, String> + Send + Sync,
+{
+    fn call(&self, tenant: u32, request: &[u8]) -> Result<Vec<u8>, String> {
+        self(tenant, request)
+    }
+}
+
+/// Wire-level policy shared by server and client.
+#[derive(Clone, Copy, Debug)]
+pub struct WireConfig {
+    /// Maximum accepted frame payload.
+    pub max_frame: u32,
+    /// Per-read deadline; a connection that stalls longer mid-request
+    /// is evicted.
+    pub read_deadline: Duration,
+    /// Per-write deadline; a client that stops draining its socket is
+    /// evicted.
+    pub write_deadline: Duration,
+    /// Per-tenant admission bound (concurrent in-flight requests).
+    pub queue_depth: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            read_deadline: Duration::from_secs(10),
+            write_deadline: Duration::from_secs(10),
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Atomic server-side accounting — every way a request or connection
+/// can end is counted somewhere, so "nothing silently lost" is
+/// checkable: `connections`, `served`, `overloads`, `drain_rejects`,
+/// `service_errors`, `evictions` (deadline), `peer_closed` (client
+/// vanished), `frame_errors` (protocol garbage).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub connections: AtomicU64,
+    pub served: AtomicU64,
+    pub overloads: AtomicU64,
+    pub drain_rejects: AtomicU64,
+    pub service_errors: AtomicU64,
+    pub evictions: AtomicU64,
+    pub peer_closed: AtomicU64,
+    pub frame_errors: AtomicU64,
+}
+
+/// Plain-number snapshot of [`ServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    pub connections: u64,
+    pub served: u64,
+    pub overloads: u64,
+    pub drain_rejects: u64,
+    pub service_errors: u64,
+    pub evictions: u64,
+    pub peer_closed: u64,
+    pub frame_errors: u64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            overloads: self.overloads.load(Ordering::Relaxed),
+            drain_rejects: self.drain_rejects.load(Ordering::Relaxed),
+            service_errors: self.service_errors.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            peer_closed: self.peer_closed.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serve one connection until the peer closes, a deadline evicts it, or
+/// drain finishes it. Every exit path is typed and counted; nothing in
+/// here panics on peer misbehavior (a mid-response vanishing client
+/// surfaces as [`NetError::PeerClosed`] on the write and is counted).
+pub fn serve_connection(
+    mut t: Box<dyn Transport>,
+    svc: &dyn WireService,
+    gate: &AdmissionGate,
+    cfg: &WireConfig,
+    draining: &AtomicBool,
+    stats: &ServerStats,
+) {
+    let _ = t.set_read_deadline(Some(cfg.read_deadline));
+    let _ = t.set_write_deadline(Some(cfg.write_deadline));
+
+    // Handshake: the first frame must be Hello naming the tenant.
+    let tenant = match read_frame(&mut *t, cfg.max_frame) {
+        Ok(Some(f)) if f.kind == FrameKind::Hello && f.payload.len() == 4 => {
+            u32::from_le_bytes(f.payload[..4].try_into().unwrap())
+        }
+        Ok(None) => return, // connected and left: nothing lost
+        Ok(Some(_)) => {
+            ServerStats::bump(&stats.frame_errors);
+            t.shutdown();
+            return;
+        }
+        Err(NetError::Timeout) => {
+            ServerStats::bump(&stats.evictions);
+            t.shutdown();
+            return;
+        }
+        Err(NetError::PeerClosed | NetError::Reset | NetError::Truncated { .. }) => {
+            ServerStats::bump(&stats.peer_closed);
+            t.shutdown();
+            return;
+        }
+        Err(_) => {
+            ServerStats::bump(&stats.frame_errors);
+            t.shutdown();
+            return;
+        }
+    };
+
+    loop {
+        let frame = match read_frame(&mut *t, cfg.max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => break, // clean close at a frame boundary
+            Err(NetError::Timeout) => {
+                // Slow-client eviction: stalled mid-request past the
+                // read deadline.
+                ServerStats::bump(&stats.evictions);
+                break;
+            }
+            Err(NetError::PeerClosed | NetError::Reset | NetError::Truncated { .. }) => {
+                ServerStats::bump(&stats.peer_closed);
+                break;
+            }
+            Err(_) => {
+                // Hostile header (oversized length, bad CRC, bad magic):
+                // rejected typed before any allocation; drop the link.
+                ServerStats::bump(&stats.frame_errors);
+                break;
+            }
+        };
+        if frame.kind != FrameKind::Request {
+            ServerStats::bump(&stats.frame_errors);
+            break;
+        }
+        let (id, body) = match decode_request(&frame.payload) {
+            Ok(x) => x,
+            Err(_) => {
+                ServerStats::bump(&stats.frame_errors);
+                break;
+            }
+        };
+
+        let (status, reply) = if draining.load(Ordering::Acquire) {
+            ServerStats::bump(&stats.drain_rejects);
+            (STATUS_DRAINING, b"server draining".to_vec())
+        } else {
+            match gate.try_admit(tenant) {
+                Err(over) => {
+                    ServerStats::bump(&stats.overloads);
+                    (
+                        STATUS_OVERLOAD,
+                        format!("{} in flight", over.in_flight).into_bytes(),
+                    )
+                }
+                Ok(_permit) => match svc.call(tenant, body) {
+                    Ok(bytes) => {
+                        ServerStats::bump(&stats.served);
+                        (STATUS_OK, bytes)
+                    }
+                    Err(msg) => {
+                        ServerStats::bump(&stats.service_errors);
+                        (STATUS_ERROR, msg.into_bytes())
+                    }
+                },
+            }
+        };
+
+        match write_frame(
+            &mut *t,
+            FrameKind::Response,
+            &encode_response(id, status, &reply),
+        ) {
+            Ok(()) => {}
+            Err(NetError::PeerClosed | NetError::Reset) => {
+                // The client died mid-response: typed, counted, never a
+                // panic (SIGPIPE is ignored; EPIPE maps to PeerClosed).
+                ServerStats::bump(&stats.peer_closed);
+                break;
+            }
+            Err(NetError::Timeout) => {
+                ServerStats::bump(&stats.evictions);
+                break;
+            }
+            Err(_) => {
+                ServerStats::bump(&stats.frame_errors);
+                break;
+            }
+        }
+        if status == STATUS_DRAINING {
+            break; // drained response flushed; close the connection
+        }
+    }
+    t.shutdown();
+}
+
+// ---------------------------------------------------------- TCP server
+
+/// A threaded TCP front end: accept loop + one thread per connection.
+pub struct NetServer {
+    addr: SocketAddr,
+    stopped: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind and start accepting. `addr` is typically `"127.0.0.1:0"`;
+    /// read the bound port back with [`NetServer::local_addr`].
+    pub fn bind(
+        addr: &str,
+        svc: Arc<dyn WireService>,
+        cfg: WireConfig,
+    ) -> Result<NetServer, NetError> {
+        let listener = TcpListener::bind(addr).map_err(NetError::from_io)?;
+        let addr = listener.local_addr().map_err(NetError::from_io)?;
+        let stopped = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let gate = Arc::new(AdmissionGate::new(cfg.queue_depth));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let (stopped, draining, stats, conns) = (
+                stopped.clone(),
+                draining.clone(),
+                stats.clone(),
+                conns.clone(),
+            );
+            std::thread::Builder::new()
+                .name("xpl-net-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stopped.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        ServerStats::bump(&stats.connections);
+                        let (svc, gate, draining, stats) =
+                            (svc.clone(), gate.clone(), draining.clone(), stats.clone());
+                        let handle = std::thread::Builder::new()
+                            .name("xpl-net-conn".into())
+                            .spawn(move || {
+                                serve_connection(
+                                    Box::new(TcpTransport::new(stream)),
+                                    &*svc,
+                                    &gate,
+                                    &cfg,
+                                    &draining,
+                                    &stats,
+                                );
+                            })
+                            .expect("spawn connection thread");
+                        conns.lock().unwrap().push(handle);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(NetServer {
+            addr,
+            stopped,
+            draining,
+            stats,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, let in-flight requests finish
+    /// (new reads are answered `Draining` and closed), join every
+    /// connection thread, and return the final accounting.
+    pub fn drain(mut self) -> ServerStatsSnapshot {
+        self.draining.store(true, Ordering::Release);
+        self.stopped.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // Undrained drop: stop the accept loop but don't block in drop.
+        self.stopped.store(true, Ordering::Release);
+        self.draining.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+// ------------------------------------------------------------- MemHost
+
+/// An in-memory "listener": every [`MemHost::connect`] spawns a server
+/// thread on one end of a fresh pipe and hands back the client end,
+/// optionally wrapping **both** ends in seeded [`FaultTransport`]s (the
+/// per-256 rates from [`FaultConfig`]). Deterministic per connection;
+/// the robustness harness and tests drive this instead of real sockets.
+pub struct MemHost {
+    svc: Arc<dyn WireService>,
+    cfg: WireConfig,
+    gate: Arc<AdmissionGate>,
+    draining: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    faults: FaultConfig,
+    fault_stats: Arc<FaultStats>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+}
+
+impl MemHost {
+    pub fn new(svc: Arc<dyn WireService>, cfg: WireConfig, faults: FaultConfig) -> MemHost {
+        MemHost {
+            svc,
+            gate: Arc::new(AdmissionGate::new(cfg.queue_depth)),
+            cfg,
+            draining: Arc::new(AtomicBool::new(false)),
+            stats: Arc::new(ServerStats::default()),
+            faults,
+            fault_stats: Arc::new(FaultStats::default()),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a connection; returns the client-end transport.
+    pub fn connect(&self) -> Box<dyn Transport> {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let (client_end, server_end) = mem_pair();
+        let server_t: Box<dyn Transport> = if self.faults.is_none() {
+            Box::new(server_end)
+        } else {
+            Box::new(FaultTransport::new(
+                Box::new(server_end),
+                self.faults,
+                &format!("srv-{id}"),
+                self.fault_stats.clone(),
+            ))
+        };
+        let client_t: Box<dyn Transport> = if self.faults.is_none() {
+            Box::new(client_end)
+        } else {
+            Box::new(FaultTransport::new(
+                Box::new(client_end),
+                self.faults,
+                &format!("cli-{id}"),
+                self.fault_stats.clone(),
+            ))
+        };
+        ServerStats::bump(&self.stats.connections);
+        let (svc, gate, cfg, draining, stats) = (
+            self.svc.clone(),
+            self.gate.clone(),
+            self.cfg,
+            self.draining.clone(),
+            self.stats.clone(),
+        );
+        let handle = std::thread::Builder::new()
+            .name(format!("xpl-net-mem-{id}"))
+            .spawn(move || serve_connection(server_t, &*svc, &gate, &cfg, &draining, &stats))
+            .expect("spawn mem connection thread");
+        self.conns.lock().unwrap().push(handle);
+        client_t
+    }
+
+    /// Flip the draining flag without joining: connections answer their
+    /// next request with `Draining` and close. Call [`MemHost::drain`]
+    /// afterwards to join; split so a test can observe the fail-fast
+    /// client behavior before connection threads are reaped.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Graceful drain, same semantics as [`NetServer::drain`].
+    pub fn drain(&self) -> ServerStatsSnapshot {
+        self.draining.store(true, Ordering::Release);
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        self.stats.snapshot()
+    }
+
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Currently admitted in-flight requests for `tenant` (test
+    /// introspection into the admission gate).
+    pub fn gate_in_flight(&self, tenant: u32) -> usize {
+        self.gate.in_flight(tenant)
+    }
+
+    /// Injected-fault counters (all zero when faults are disabled).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+}

@@ -31,10 +31,12 @@
 //! engine's store-hit schedule; see `xpl-bench`'s serve driver.
 
 mod engine;
+mod gate;
 
 pub use engine::{
     run_registry, Outcome, RegistryConfig, RegistryOutcome, RequestRecord, TenantStats,
 };
+pub use gate::{AdmissionGate, AdmissionPermit, Overloaded};
 
 /// What a client asks the registry for. Keys are the coalescing
 /// identity: two requests coalesce iff their keys are equal.
@@ -63,6 +65,35 @@ impl RequestKey {
             } => format!("range {image} frac={start_frac} len={len_bytes}"),
         }
     }
+
+    /// Inverse of [`RequestKey::render`] — the wire layer ships keys in
+    /// their canonical rendering, and the server parses them back.
+    /// Returns `None` for anything that is not an exact rendering
+    /// (image names may contain spaces; the range suffix is parsed from
+    /// the right).
+    pub fn parse(s: &str) -> Option<RequestKey> {
+        if let Some(image) = s.strip_prefix("retrieve ") {
+            if image.is_empty() {
+                return None;
+            }
+            return Some(RequestKey::Image {
+                image: image.to_string(),
+            });
+        }
+        let rest = s.strip_prefix("range ")?;
+        let (rest, len_tok) = rest.rsplit_once(' ')?;
+        let (image, frac_tok) = rest.rsplit_once(' ')?;
+        if image.is_empty() {
+            return None;
+        }
+        let start_frac: u32 = frac_tok.strip_prefix("frac=")?.parse().ok()?;
+        let len_bytes: u32 = len_tok.strip_prefix("len=")?.parse().ok()?;
+        Some(RequestKey::Range {
+            image: image.to_string(),
+            start_frac,
+            len_bytes,
+        })
+    }
 }
 
 /// One client request: which tenant, when (virtual ns), and what.
@@ -83,4 +114,55 @@ pub trait ServiceModel {
     /// Virtual nanoseconds to fan a completed payload out to one
     /// coalesced waiter (a memory copy, not a store hit).
     fn fanout_ns(&self, key: &RequestKey) -> u64;
+}
+
+#[cfg(test)]
+mod key_tests {
+    use super::RequestKey;
+
+    #[test]
+    fn parse_is_the_inverse_of_render() {
+        let keys = [
+            RequestKey::Image {
+                image: "redis".into(),
+            },
+            RequestKey::Image {
+                image: "name with spaces".into(),
+            },
+            RequestKey::Range {
+                image: "ide-build".into(),
+                start_frac: 0,
+                len_bytes: 512,
+            },
+            RequestKey::Range {
+                image: "a b c".into(),
+                start_frac: 255,
+                len_bytes: 16384,
+            },
+        ];
+        for key in keys {
+            assert_eq!(
+                RequestKey::parse(&key.render()).as_ref(),
+                Some(&key),
+                "{}",
+                key.render()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_renderings() {
+        for bad in [
+            "",
+            "retrieve ",
+            "fetch img",
+            "range img frac=1",
+            "range  frac=1 len=2",
+            "range img frac=x len=2",
+            "range img frac=1 len=",
+            "range img len=2 frac=1",
+        ] {
+            assert_eq!(RequestKey::parse(bad), None, "{bad:?}");
+        }
+    }
 }

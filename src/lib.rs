@@ -46,6 +46,7 @@ pub use xpl_compress as compress;
 pub use xpl_core as core;
 pub use xpl_guestfs as guestfs;
 pub use xpl_metadb as metadb;
+pub use xpl_net as net;
 pub use xpl_persist as persist;
 pub use xpl_pkg as pkg;
 pub use xpl_registry as registry;

@@ -17,8 +17,14 @@
 //!    for the offered load, requests are rejected with the typed
 //!    overload outcome (never dropped silently): per tenant,
 //!    `submitted == admitted + rejected` and `served == admitted`.
+//! 4. **The wire is invisible in the payloads** — serving the same
+//!    schedule through the `xpl-net` front end (threaded server, frame
+//!    codec, admission gate, retrying clients) assembles a
+//!    key→payload-digest table byte-identical to the in-process one,
+//!    with a clean transport and under a seeded fault storm alike.
 
 use expelliarmus::bench::serve::{run_serve, ServeReport, ServeRunConfig};
+use expelliarmus::bench::serve_net::{run_serve_net, NetServeConfig, NetTransportKind};
 
 fn small_cfg(seed: u64) -> ServeRunConfig {
     let mut cfg = ServeRunConfig::small(seed);
@@ -119,4 +125,45 @@ fn overload_rejections_are_typed_and_accounted() {
     let rerun = run_serve(&cfg);
     assert_eq!(r.request_log_sha256, rerun.request_log_sha256);
     assert_eq!(r.rejected, rerun.rejected);
+}
+
+#[test]
+fn wire_serve_matches_in_process_digest_table() {
+    let cfg = small_cfg(0x41E7);
+    let in_process = run_serve(&cfg);
+    let net = NetServeConfig {
+        transport: NetTransportKind::Mem,
+        fault_rate: 0,
+        net_seed: 1,
+        conns_per_tenant: 2,
+    };
+    let wire = run_serve_net(&cfg, &net);
+    assert!(wire.violations.is_empty(), "{:?}", wire.violations);
+    assert_eq!(wire.served, cfg.requests as u64);
+    assert_eq!(wire.key_digests_sha256, in_process.key_digests_sha256);
+    assert_eq!(wire.wire_key_digests_sha256, in_process.key_digests_sha256);
+}
+
+#[test]
+fn wire_serve_survives_a_fault_storm_byte_identically() {
+    let cfg = small_cfg(0x41E8);
+    let clean = NetServeConfig {
+        transport: NetTransportKind::Mem,
+        fault_rate: 0,
+        net_seed: 3,
+        conns_per_tenant: 2,
+    };
+    let stormy = NetServeConfig {
+        fault_rate: 32,
+        ..clean
+    };
+    let a = run_serve_net(&cfg, &clean);
+    let b = run_serve_net(&cfg, &stormy);
+    assert!(a.violations.is_empty(), "clean: {:?}", a.violations);
+    assert!(b.violations.is_empty(), "storm: {:?}", b.violations);
+    assert_eq!(b.wire_key_digests_sha256, a.wire_key_digests_sha256);
+    assert_eq!(b.key_digests_sha256, a.key_digests_sha256);
+    let injected = b.faults_resets + b.faults_torn_writes + b.faults_short_reads;
+    assert!(injected > 0, "the storm never fired");
+    assert!(b.retries > 0, "a 32/256 storm must force retries");
 }
