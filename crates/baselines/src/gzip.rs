@@ -12,22 +12,39 @@
 //! magic ([`xpl_compress::decompress_auto`]), and legacy entries fall
 //! back to full-inflate slicing for range reads.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use crate::costs;
 use crate::snapshot::VmiSnapshot;
+use xpl_compress::InnerCodec;
 use xpl_guestfs::Vmi;
 use xpl_pkg::Catalog;
 use xpl_simio::SimEnv;
 use xpl_store::{
-    DeleteReport, ImageStore, NameLocks, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    BlobCodec, DeleteReport, ImageStore, MaintainReport, NameLocks, PublishReport, RetrieveReport,
+    RetrieveRequest, StoreError, TierPolicy,
 };
 use xpl_util::FxHashMap;
 
 struct Entry {
     compressed: Vec<u8>,
     raw_len: u64,
+    /// Inner codec of the blocked member (stale for entries rewritten by
+    /// the legacy test hook; harmless — maintenance just re-encodes).
+    codec: InnerCodec,
+    /// Retrievals since the last maintenance sweep.
+    reads: AtomicU64,
     snapshot: VmiSnapshot,
+}
+
+/// Map a store-level tier codec onto the container's inner codec; the
+/// Gzip baseline always compresses, so `Raw` means the dense default.
+fn inner_of(codec: BlobCodec) -> InnerCodec {
+    match codec {
+        BlobCodec::Lz4 => InnerCodec::Lz4,
+        BlobCodec::Raw | BlobCodec::Deflate => InnerCodec::Deflate,
+    }
 }
 
 /// Gzip-compressed image repository.
@@ -39,6 +56,7 @@ pub struct GzipStore {
     env: SimEnv,
     images: RwLock<FxHashMap<String, Entry>>,
     names: NameLocks,
+    tier: TierPolicy,
 }
 
 impl GzipStore {
@@ -47,7 +65,17 @@ impl GzipStore {
             env,
             images: RwLock::new(FxHashMap::default()),
             names: NameLocks::new(),
+            tier: TierPolicy::mixed(),
         }
+    }
+
+    /// Builder: select the codec tier for new members and maintenance.
+    /// Unlike the CAS stores this repository's `repo_bytes` is the
+    /// *physical* compressed footprint, so [`ImageStore::maintain`]
+    /// reports the size shift via `bytes_delta`.
+    pub fn with_tier(mut self, tier: TierPolicy) -> Self {
+        self.tier = tier;
+        self
     }
 
     /// Mean compression ratio across stored images (compressed/original).
@@ -94,13 +122,14 @@ impl ImageStore for GzipStore {
             ..Default::default()
         };
         let raw = vmi.disk.serialize();
+        let codec = inner_of(self.tier.base);
         let compressed = report.breakdown.measure(&self.env.clock, "compress", || {
             self.env.local.charge_read(raw.len() as u64);
             self.env.local.charge_fixed(costs::scaled(
                 costs::gzip_compress_per_byte(),
                 raw.len() as u64,
             ));
-            xpl_compress::blocked_compress(&raw)
+            xpl_compress::blocked_compress_inner(&raw, xpl_compress::DEFAULT_BLOCK_SIZE, codec)
         });
         report.breakdown.measure(&self.env.clock, "upload", || {
             self.env
@@ -114,6 +143,8 @@ impl ImageStore for GzipStore {
             Entry {
                 compressed,
                 raw_len: raw.len() as u64,
+                codec,
+                reads: AtomicU64::new(0),
                 snapshot: VmiSnapshot::of(vmi),
             },
         ) {
@@ -134,6 +165,7 @@ impl ImageStore for GzipStore {
         let entry = images
             .get(&request.name)
             .ok_or_else(|| StoreError::NotFound(request.name.clone()))?;
+        entry.reads.fetch_add(1, Ordering::Relaxed);
         let mut report = RetrieveReport {
             image: request.name.clone(),
             ..Default::default()
@@ -189,6 +221,7 @@ impl ImageStore for GzipStore {
                 .map_err(|e| StoreError::Corrupt(format!("range read: {e}")))?;
             return Ok((bytes, report));
         }
+        entry.reads.fetch_add(1, Ordering::Relaxed);
         let mut report = RetrieveReport {
             image: request.name.clone(),
             ..Default::default()
@@ -252,6 +285,54 @@ impl ImageStore for GzipStore {
             .values()
             .map(|e| e.compressed.len() as u64)
             .sum()
+    }
+
+    fn maintain(&self) -> MaintainReport {
+        let t0 = self.env.clock.now();
+        let mut report = MaintainReport::default();
+        let mut images = self.images.write().unwrap();
+        for entry in images.values_mut() {
+            report.scanned += 1;
+            let reads = entry.reads.load(Ordering::Relaxed);
+            let target = match self.tier.hot {
+                Some(hot) if reads >= self.tier.hot_reads => inner_of(hot),
+                _ => inner_of(self.tier.base),
+            };
+            if target != entry.codec {
+                // Re-encode the member; the uncompressed stream is pinned
+                // byte-identical (length-checked here, content via the
+                // deep audit's inflate sweep).
+                if let Ok(raw) = xpl_compress::decompress_auto(&entry.compressed) {
+                    if raw.len() as u64 == entry.raw_len {
+                        self.env.local.charge_fixed(costs::scaled(
+                            costs::gzip_decompress_per_byte(),
+                            entry.raw_len,
+                        ));
+                        self.env.local.charge_fixed(costs::scaled(
+                            costs::gzip_compress_per_byte(),
+                            entry.raw_len,
+                        ));
+                        self.env.repo.charge_db_write(1);
+                        let recoded = xpl_compress::blocked_compress_inner(
+                            &raw,
+                            xpl_compress::DEFAULT_BLOCK_SIZE,
+                            target,
+                        );
+                        report.bytes_delta += recoded.len() as i64 - entry.compressed.len() as i64;
+                        if target == inner_of(self.tier.base) {
+                            report.demoted += 1;
+                        } else {
+                            report.promoted += 1;
+                        }
+                        entry.compressed = recoded;
+                        entry.codec = target;
+                    }
+                }
+            }
+            entry.reads.store(reads / 2, Ordering::Relaxed);
+        }
+        report.duration = self.env.clock.since(t0);
+        report
     }
 
     fn check_integrity(&self) -> Result<(), String> {
@@ -381,6 +462,45 @@ mod tests {
         // Range reads on legacy entries fall back to full-inflate slicing.
         let (bytes, _) = gz.retrieve_range(&w.catalog, &req, 0, 600).unwrap();
         assert_eq!(bytes, got.disk.read_at(0, 600).unwrap());
+    }
+
+    #[test]
+    fn maintain_promotes_hot_members_and_reports_the_size_shift() {
+        let w = World::small();
+        let gz = GzipStore::new(w.env()); // default mixed tier
+        let hot = w.build_image("redis");
+        let cold = w.build_image("mini");
+        gz.publish(&w.catalog, &hot).unwrap();
+        gz.publish(&w.catalog, &cold).unwrap();
+        let req = xpl_store::RetrieveRequest::for_image(&hot, &w.catalog);
+        gz.retrieve(&w.catalog, &req).unwrap();
+        gz.retrieve(&w.catalog, &req).unwrap();
+
+        let before = gz.repo_bytes();
+        let report = gz.maintain();
+        assert_eq!((report.scanned, report.promoted, report.demoted), (2, 1, 0));
+        assert_eq!(
+            gz.repo_bytes() as i128,
+            before as i128 + report.bytes_delta as i128,
+            "repo_bytes must shift by exactly bytes_delta"
+        );
+        // The hot member is now on the fast codec; content is pinned.
+        gz.check_integrity_deep().unwrap();
+        let (got, _) = gz.retrieve(&w.catalog, &req).unwrap();
+        assert_eq!(
+            got.installed_package_set(&w.catalog),
+            hot.installed_package_set(&w.catalog)
+        );
+        let (bytes, _) = gz.retrieve_range(&w.catalog, &req, 100, 600).unwrap();
+        assert_eq!(bytes, got.disk.read_at(100, 600).unwrap());
+        // A quiet interval demotes it back (2 reads decayed to 1, then
+        // the post-sweep read above brings it to 2 again… so drain it).
+        gz.maintain();
+        let sweep = gz.maintain();
+        assert_eq!(sweep.promoted, 0);
+        assert_eq!(sweep.demoted, 1);
+        // Deterministic re-encode: back to the exact dense footprint.
+        assert_eq!(gz.repo_bytes(), before);
     }
 
     #[test]

@@ -82,6 +82,14 @@ impl HemeraStore {
         }
     }
 
+    /// Builder: select the codec tier of the large-file CAS (small
+    /// files live as DB rows and are not tiered). `repo_bytes` stays
+    /// logical and codec-invariant.
+    pub fn with_tier(mut self, tier: xpl_store::TierPolicy) -> Self {
+        self.cas = self.cas.with_tier(tier);
+        self
+    }
+
     fn threshold_real() -> u64 {
         costs::HEMERA_DB_THRESHOLD_NOMINAL / xpl_util::SCALE_FACTOR
     }
@@ -415,6 +423,18 @@ impl ImageStore for HemeraStore {
         self.cas
             .check_integrity(true)
             .map_err(|e| format!("Hemera CAS content: {e}"))
+    }
+
+    fn maintain(&self) -> xpl_store::MaintainReport {
+        let t0 = self.env.clock.now();
+        let sweep = self.cas.maintain();
+        xpl_store::MaintainReport {
+            duration: self.env.clock.since(t0),
+            scanned: sweep.scanned,
+            promoted: sweep.promoted,
+            demoted: sweep.demoted,
+            bytes_delta: 0,
+        }
     }
 
     fn cas_fingerprints(&self) -> Vec<(String, String)> {

@@ -16,8 +16,8 @@ use xpl_guestfs::{FileRecord, Vmi};
 use xpl_pkg::Catalog;
 use xpl_simio::{SimDuration, SimEnv};
 use xpl_store::{
-    ContentStore, DeleteReport, ImageStore, NameLocks, PublishReport, RetrieveReport,
-    RetrieveRequest, StoreError,
+    ContentStore, DeleteReport, ImageStore, MaintainReport, NameLocks, PublishReport,
+    RetrieveReport, RetrieveRequest, StoreError, TierPolicy,
 };
 use xpl_util::{Digest, FxHashMap};
 
@@ -65,6 +65,14 @@ impl MirageStore {
             manifests: RwLock::new(FxHashMap::default()),
             names: NameLocks::new(),
         }
+    }
+
+    /// Builder: select the file CAS codec tier. `repo_bytes` stays
+    /// logical (codec-invariant); only the physical representation and
+    /// real CPU change.
+    pub fn with_tier(mut self, tier: TierPolicy) -> Self {
+        self.cas = self.cas.with_tier(tier);
+        self
     }
 
     pub fn unique_files(&self) -> usize {
@@ -321,6 +329,19 @@ impl ImageStore for MirageStore {
         self.cas
             .check_integrity(true)
             .map_err(|e| format!("Mirage CAS content: {e}"))
+    }
+
+    fn maintain(&self) -> MaintainReport {
+        let t0 = self.env.clock.now();
+        let sweep = self.cas.maintain();
+        MaintainReport {
+            duration: self.env.clock.since(t0),
+            scanned: sweep.scanned,
+            promoted: sweep.promoted,
+            demoted: sweep.demoted,
+            // The CAS ledger is logical: repo_bytes never moves.
+            bytes_delta: 0,
+        }
     }
 
     fn cas_fingerprints(&self) -> Vec<(String, String)> {

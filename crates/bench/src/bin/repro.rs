@@ -9,9 +9,16 @@
 //! repro fig4b         Figure 4b (publish time, 19 images + Semantic)
 //! repro fig5a         Figure 5a (retrieval breakdown)
 //! repro fig5b         Figure 5b (retrieval comparison)
-//! repro ablations     chunk-size sweep + master-graph speedup
+//! repro ablations     chunk-size sweep + master-graph speedup + codec tiers
+//! repro ablate-codec [--payload-mib N] [--json F]
+//!                     the hot/cold codec trade-off table: size ratio,
+//!                     compress/decompress throughput, and range-read
+//!                     throughput of raw vs blocked-DEFLATE vs
+//!                     blocked-LZ4 over one seeded payload (default
+//!                     8 MiB). Every row is round-trip-verified.
 //! repro churn [--seed N] [--ops N] [--scale small|standard] [--json F]
 //!             [--threads N] [--durable] [--crashes K] [--crash-seed N]
+//!             [--codec raw|deflate|lz4|mixed]
 //!                     trace-driven lifecycle replay + differential oracle
 //!                     (exits 1 on any oracle violation). With --threads
 //!                     the concurrent driver replays store replicas and
@@ -22,10 +29,15 @@
 //!                     (xpl-persist) and the trace gains K (default 3)
 //!                     crash-recovery pairs; the oracle additionally
 //!                     checks every recovery converges to the uncrashed
-//!                     in-memory state.
+//!                     in-memory state. --codec picks the tier policy
+//!                     the compressing stores run under (default mixed:
+//!                     DEFLATE base, read-hot blobs recompressed onto
+//!                     LZ4 by the trace's maintenance sweeps); the
+//!                     oracle report is codec-invariant.
 //! repro serve [--seed N] [--scale small|standard] [--tenants N]
 //!             [--requests N] [--servers N] [--queue-depth N]
 //!             [--store S] [--no-coalesce] [--threads N] [--json F]
+//!             [--codec raw|deflate|lz4|mixed]
 //!                     multi-tenant registry serving benchmark: a seeded
 //!                     Zipf-skewed schedule through the admission/
 //!                     coalescing/fair-share front end over a real store
@@ -53,8 +65,11 @@
 //!                     third of the images, then run every store's deep
 //!                     integrity audit (refcounts + full content re-hash);
 //!                     exits 1 if any store fails.
-//! repro bench [--quick] [--json F]
+//! repro bench [--quick] [--json F] [--codec deflate|lz4]
 //!                     wall-clock substrate microbenchmarks → BENCH.json
+//!                     (--codec picks the blocked container's inner
+//!                     codec; the codec-tier comparison section always
+//!                     measures both)
 //! repro bench --check F
 //!                     validate an existing BENCH.json (nonzero throughputs)
 //! repro all [dir] [--threads N]
@@ -149,6 +164,18 @@ fn parse_scale(args: &[String]) -> &'static str {
     }
 }
 
+/// `--codec raw|deflate|lz4|mixed`, strictly: an unknown codec must
+/// not fall back onto a tier policy the user didn't ask for.
+fn parse_codec_tier(args: &[String]) -> Option<xpl_store::TierPolicy> {
+    flag_value(args, "--codec").map(|s| {
+        xpl_store::TierPolicy::parse(&s).unwrap_or_else(|| {
+            fail(format!(
+                "unknown --codec {s:?} (expected raw, deflate, lz4, or mixed)"
+            ))
+        })
+    })
+}
+
 fn run_churn_cmd(args: &[String]) -> ! {
     let seed: u64 = parse_u64_flag(args, "--seed").unwrap_or(0xDEADBEEF);
     let ops: usize = parse_nonzero_flag(args, "--ops").unwrap_or(500) as usize;
@@ -156,6 +183,9 @@ fn run_churn_cmd(args: &[String]) -> ! {
         "standard" => churn::ChurnConfig::standard(seed, ops),
         _ => churn::ChurnConfig::small(seed, ops),
     };
+    if let Some(tier) = parse_codec_tier(args) {
+        cfg = cfg.with_tier(tier);
+    }
     let durable = args.iter().any(|a| a == "--durable");
     if durable {
         let mut dcfg = churn::DurableCfg::default();
@@ -198,6 +228,10 @@ fn run_churn_cmd(args: &[String]) -> ! {
         report.burst_retrieves
     );
     println!("  oracle checks: {}", report.oracle_checks);
+    println!(
+        "  codec tier: {} ({} maintenance sweeps)",
+        report.tier, report.maintains
+    );
     println!("  trace sha256:  {}", report.trace_sha256);
     for s in &report.stores {
         println!(
@@ -327,6 +361,9 @@ fn run_serve_cmd(args: &[String]) -> ! {
     if args.iter().any(|a| a == "--no-coalesce") {
         cfg.coalesce = false;
     }
+    if let Some(tier) = parse_codec_tier(args) {
+        cfg.tier = tier;
+    }
 
     // `--net`: serve the schedule over the wire layer instead of the
     // virtual-time registry simulation (see `xpl_bench::serve_net`).
@@ -423,12 +460,22 @@ fn run_bench_cmd(args: &[String]) -> ! {
         }
     }
     let quick = args.iter().any(|a| a == "--quick");
+    // The blocked section's container codec; the codec-tier comparison
+    // measures both regardless.
+    let blocked_codec = match flag_value(args, "--codec").as_deref() {
+        None | Some("deflate") => xpl_compress::InnerCodec::Deflate,
+        Some("lz4") => xpl_compress::InnerCodec::Lz4,
+        Some(other) => fail(format!(
+            "invalid --codec value {other:?} (expected deflate or lz4)"
+        )),
+    };
     eprintln!(
-        "[repro] running microbenchmarks ({} mode)…",
-        if quick { "quick" } else { "full" }
+        "[repro] running microbenchmarks ({} mode, {} container)…",
+        if quick { "quick" } else { "full" },
+        blocked_codec.name()
     );
     let t0 = std::time::Instant::now();
-    let report = xpl_bench::run_microbench(quick);
+    let report = xpl_bench::run_microbench_codec(quick, blocked_codec);
     print!("{}", xpl_bench::microbench::render(&report));
     if let Some(path) = flag_value(args, "--json") {
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
@@ -441,6 +488,42 @@ fn run_bench_cmd(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro ablate-codec` — the storage-codec trade-off table. Needs no
+/// world: the sweep runs over one seeded synthetic payload.
+fn run_ablate_codec_cmd(args: &[String]) -> ! {
+    let mib = parse_nonzero_flag(args, "--payload-mib").unwrap_or(8) as usize;
+    eprintln!("[repro] codec ablation over a {mib} MiB seeded payload…");
+    let rows = ablations::codec_ablation_sweep(mib * 1024 * 1024, 0.2);
+    print_codec_ablation(&rows);
+    if let Some(path) = flag_value(args, "--json") {
+        let json = serde_json::to_string_pretty(&rows).expect("serialize codec ablation");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .expect("write codec ablation JSON");
+        eprintln!("[repro] wrote {path}");
+    }
+    std::process::exit(0);
+}
+
+fn print_codec_ablation(rows: &[ablations::CodecAblationRow]) {
+    println!("CODEC ABLATION: storage tiers over one seeded payload");
+    println!(
+        "{:<16} {:>12} {:>8} {:>16} {:>18} {:>14}",
+        "codec", "bytes", "ratio", "compress MiB/s", "decompress MiB/s", "range MiB/s"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>12} {:>8.3} {:>16.1} {:>18.1} {:>14.1}",
+            r.codec,
+            r.encoded_bytes,
+            r.ratio,
+            r.compress_mib_per_s,
+            r.decompress_mib_per_s,
+            r.range_read_mib_per_s
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -451,6 +534,10 @@ fn main() {
     if cmd == "bench" {
         // Microbenchmarks build their own inputs.
         run_bench_cmd(&args);
+    }
+    if cmd == "ablate-codec" {
+        // The codec sweep builds its own payload.
+        run_ablate_codec_cmd(&args);
     }
     if cmd == "serve" {
         // The serving benchmark generates its own scaled world.
@@ -475,7 +562,7 @@ fn main() {
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown experiment: {cmd}");
         eprintln!(
-            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|churn|serve|bench|audit|all]"
+            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|ablate-codec|churn|serve|bench|audit|all]"
         );
         std::process::exit(2);
     }
@@ -612,6 +699,10 @@ fn run_ablations(world: &World) {
             r.cdc_repo_gb
         );
     }
+    println!();
+    // The codec-tier trade-off, small shape (`repro ablate-codec` runs
+    // the full-size sweep standalone).
+    print_codec_ablation(&ablations::codec_ablation_sweep(1024 * 1024, 0.05));
     println!();
     println!("ABLATION: master graph vs pairwise similarity (real CPU time)");
     println!(

@@ -16,7 +16,8 @@
 //! 3. **Size ledger** — `repo_bytes` evolves exactly as the report
 //!    stream claims (`after == before + bytes_added - bytes_freed` on
 //!    publish, `after == before - bytes_freed` on delete, unchanged by
-//!    retrieval), and deleted images are `NotFound` on monolithic
+//!    retrieval, shifted by exactly `bytes_delta` on a maintenance
+//!    sweep), and deleted images are `NotFound` on monolithic
 //!    stores. Qcow2/Gzip/Mirage/Hemera derive their report numbers from
 //!    gross content movements, so the check is independent of
 //!    `repo_bytes`; Expelliarmus reports net deltas (its DB payload
@@ -31,7 +32,7 @@
 //!
 //! The `--threads` mode replays the same trace with the worker pool.
 //! The trace is split into maximal runs of *mutations*
-//! (publish/upgrade/delete) and *retrievals* (retrieve/burst):
+//! (publish/upgrade/delete/maintain) and *retrievals* (retrieve/burst):
 //!
 //! * mutation runs execute in trace order **per store**, with the five
 //!   store replicas advancing in parallel — each replica owns its
@@ -67,6 +68,18 @@
 //! at any thread count, and the end-of-replay
 //! [`ChurnReport::cas_fingerprints`] are identical between durable and
 //! purely in-memory replays of the same trace (what CI diffs).
+//!
+//! # Codec tiers
+//!
+//! Every tiered store replica runs under [`ChurnConfig::tier`]
+//! (default: the mixed hot/cold policy). The trace's `Maintain` ops
+//! trigger temperature-driven recompression mid-replay, so the oracle
+//! continuously audits mixed-codec states. Because CAS ledgers and
+//! fingerprints are *logical* bytes, the end-of-replay
+//! [`ChurnReport::cas_fingerprints`] must be identical across every
+//! tier policy of the same trace — the repository-level proof that
+//! `recompress` pins uncompressed digests (what the CI codec-ablation
+//! smoke diffs against the all-DEFLATE replay).
 
 use std::sync::Arc;
 
@@ -76,7 +89,7 @@ use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
 use xpl_core::ExpelliarmusRepo;
 use xpl_persist::{DurableConfig, DurableContentStore, MemFs};
 use xpl_simio::SimEnv;
-use xpl_store::{oracle, ImageStore, RetrieveRequest, StoreError};
+use xpl_store::{oracle, ImageStore, RetrieveRequest, StoreError, TierPolicy};
 use xpl_util::{Digest, FxHashMap};
 use xpl_workloads::{ScaleConfig, ScaledWorld, Trace, TraceConfig, TraceOp};
 
@@ -108,6 +121,12 @@ pub struct ChurnConfig {
     /// `Some` runs Expelliarmus and Mirage over durable write-through
     /// backends and injects crash-recovery churn.
     pub durable: Option<DurableCfg>,
+    /// Codec tier policy applied to every tiered store replica (Gzip,
+    /// Mirage, Hemera, Expelliarmus; Qcow2 has no representation to
+    /// tier). CAS ledgers and fingerprints are logical bytes, so every
+    /// policy must replay to identical fingerprints — the oracle's
+    /// proof that recompression pins digests.
+    pub tier: TierPolicy,
 }
 
 impl ChurnConfig {
@@ -118,6 +137,7 @@ impl ChurnConfig {
             ops,
             scale: ScaleConfig::small(seed),
             durable: None,
+            tier: TierPolicy::mixed(),
         }
     }
 
@@ -128,12 +148,19 @@ impl ChurnConfig {
             ops,
             scale: ScaleConfig::standard(seed),
             durable: None,
+            tier: TierPolicy::mixed(),
         }
     }
 
     /// Same replay, on durable backends with injected crashes.
     pub fn with_durable(mut self, durable: DurableCfg) -> ChurnConfig {
         self.durable = Some(durable);
+        self
+    }
+
+    /// Same replay, with every tiered store on `tier`.
+    pub fn with_tier(mut self, tier: TierPolicy) -> ChurnConfig {
+        self.tier = tier;
         self
     }
 }
@@ -189,8 +216,11 @@ pub struct ChurnReport {
     pub deletes: usize,
     pub bursts: usize,
     pub burst_retrieves: usize,
+    pub maintains: usize,
     pub crashes: usize,
     pub oracle_checks: u64,
+    /// Canonical name of the tier policy every tiered replica ran under.
+    pub tier: String,
     pub trace_sha256: String,
     pub stores: Vec<StoreSummary>,
     pub cas_fingerprints: Vec<CasFingerprint>,
@@ -251,7 +281,7 @@ fn durable_section(vfs: &Arc<MemFs>, section: &str) -> (String, Arc<DurableConte
 
 /// The five evaluated stores over fresh simulated environments (the
 /// one construction point shared by the churn replay, the
-/// microbenchmarks and `repro audit`).
+/// microbenchmarks and `repro audit`), each on its default tier.
 pub fn five_stores(env: impl Fn() -> SimEnv) -> Vec<Box<dyn ImageStore>> {
     vec![
         Box::new(QcowStore::new(env())),
@@ -259,6 +289,17 @@ pub fn five_stores(env: impl Fn() -> SimEnv) -> Vec<Box<dyn ImageStore>> {
         Box::new(MirageStore::new(env())),
         Box::new(HemeraStore::new(env())),
         Box::new(ExpelliarmusRepo::new(env())),
+    ]
+}
+
+/// The five stores with every tiered one (all but raw Qcow2) on `tier`.
+pub fn five_stores_tiered(env: impl Fn() -> SimEnv, tier: TierPolicy) -> Vec<Box<dyn ImageStore>> {
+    vec![
+        Box::new(QcowStore::new(env())),
+        Box::new(GzipStore::new(env()).with_tier(tier)),
+        Box::new(MirageStore::new(env()).with_tier(tier)),
+        Box::new(HemeraStore::new(env()).with_tier(tier)),
+        Box::new(ExpelliarmusRepo::new(env()).with_tier(tier)),
     ]
 }
 
@@ -276,9 +317,9 @@ fn replica(store: Box<dyn ImageStore>, durable: Option<DurableAttachment>) -> Re
 /// The five replicas; with `durable`, Mirage and Expelliarmus write
 /// through to log-structured backends over fault-injecting in-memory
 /// media (each replica owns its medium).
-fn fresh_replicas(durable: bool) -> Vec<Replica> {
+fn fresh_replicas(durable: bool, tier: TierPolicy) -> Vec<Replica> {
     if !durable {
-        return five_stores(SimEnv::testbed)
+        return five_stores_tiered(SimEnv::testbed, tier)
             .into_iter()
             .map(|store| replica(store, None))
             .collect();
@@ -286,10 +327,10 @@ fn fresh_replicas(durable: bool) -> Vec<Replica> {
     let mirage_vfs = Arc::new(MemFs::new());
     let mirage_files = durable_section(&mirage_vfs, "files");
     let mirage = replica(
-        Box::new(MirageStore::new_durable(
-            SimEnv::testbed(),
-            Arc::clone(&mirage_files.1),
-        )),
+        Box::new(
+            MirageStore::new_durable(SimEnv::testbed(), Arc::clone(&mirage_files.1))
+                .with_tier(tier),
+        ),
         Some(DurableAttachment {
             vfs: mirage_vfs,
             sections: vec![mirage_files],
@@ -303,11 +344,14 @@ fn fresh_replicas(durable: bool) -> Vec<Replica> {
     let packages = durable_section(&xpl_vfs, "packages");
     let data = durable_section(&xpl_vfs, "data");
     let expelliarmus = replica(
-        Box::new(ExpelliarmusRepo::new_durable(
-            SimEnv::testbed(),
-            Arc::clone(&packages.1),
-            Arc::clone(&data.1),
-        )),
+        Box::new(
+            ExpelliarmusRepo::new_durable(
+                SimEnv::testbed(),
+                Arc::clone(&packages.1),
+                Arc::clone(&data.1),
+            )
+            .with_tier(tier),
+        ),
         Some(DurableAttachment {
             vfs: xpl_vfs,
             sections: vec![packages, data],
@@ -319,9 +363,15 @@ fn fresh_replicas(durable: bool) -> Vec<Replica> {
     );
     vec![
         replica(Box::new(QcowStore::new(SimEnv::testbed())), None),
-        replica(Box::new(GzipStore::new(SimEnv::testbed())), None),
+        replica(
+            Box::new(GzipStore::new(SimEnv::testbed()).with_tier(tier)),
+            None,
+        ),
         mirage,
-        replica(Box::new(HemeraStore::new(SimEnv::testbed())), None),
+        replica(
+            Box::new(HemeraStore::new(SimEnv::testbed()).with_tier(tier)),
+            None,
+        ),
         expelliarmus,
     ]
 }
@@ -549,6 +599,35 @@ fn apply_delete(
     }
 }
 
+/// Apply one maintenance sweep to one replica with its ledger oracle:
+/// the store re-encodes blobs per its tier policy, content stays pinned
+/// (the deep audit and every later retrieval witness that), and
+/// `repo_bytes` must move by *exactly* the reported `bytes_delta` —
+/// nonzero only for physically-sized stores (Gzip), zero for the CAS
+/// stores whose ledger is logical and therefore codec-invariant.
+fn apply_maintain(r: &mut Replica, step: usize, violations: &mut Vec<String>, checks: &mut u64) {
+    let before = r.store.repo_bytes();
+    let report = r.store.maintain();
+    *checks += 1;
+    let after = r.store.repo_bytes();
+    if after as i128 != before as i128 + i128::from(report.bytes_delta) {
+        violations.push(format!(
+            "step {step} {}: maintain reported delta {} but moved repo \
+             {before} -> {after}",
+            r.store.name(),
+            report.bytes_delta
+        ));
+    }
+    if report.promoted + report.demoted > report.scanned {
+        violations.push(format!(
+            "step {step} {}: maintain re-encoded more entries than it scanned",
+            r.store.name()
+        ));
+    }
+    r.expected_bytes = after;
+    r.sim_seconds += report.duration.as_secs_f64();
+}
+
 /// Retrieve one image from one replica and run the differential checks.
 fn check_retrieve(
     r: &Replica,
@@ -684,13 +763,14 @@ fn check_retrieve_range(
 /// original per-op-integrity driver; `repro churn` without `--threads`).
 pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
     let (world, trace) = churn_trace(cfg);
-    let mut replicas = fresh_replicas(cfg.durable.is_some());
+    let mut replicas = fresh_replicas(cfg.durable.is_some(), cfg.tier);
     let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
     let mut violations: Vec<String> = Vec::new();
     let mut checks = 0u64;
     let (mut publishes, mut retrieves, mut upgrades, mut deletes, mut bursts) = (0, 0, 0, 0, 0);
     let mut burst_retrieves = 0usize;
     let mut range_retrieves = 0usize;
+    let mut maintains = 0usize;
 
     for (step, op) in trace.ops.iter().enumerate() {
         match op {
@@ -776,6 +856,12 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                 }
                 live.remove(image);
             }
+            TraceOp::Maintain => {
+                maintains += 1;
+                for r in replicas.iter_mut() {
+                    apply_maintain(r, step, &mut violations, &mut checks);
+                }
+            }
             TraceOp::Crash => {
                 for r in replicas.iter_mut() {
                     apply_crash(r);
@@ -823,8 +909,10 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
         deletes,
         bursts,
         burst_retrieves,
+        maintains,
         crashes: trace.crashes(),
         oracle_checks: checks,
+        tier: cfg.tier.describe().to_string(),
         trace_sha256: trace.digest_hex(),
         stores: replicas
             .iter()
@@ -881,6 +969,9 @@ enum WriteStep {
         image: String,
         probe: RetrieveRequest,
     },
+    Maintain {
+        step: usize,
+    },
     Crash,
     Recover {
         step: usize,
@@ -906,6 +997,7 @@ fn is_write(op: &TraceOp) -> bool {
         TraceOp::Publish { .. }
             | TraceOp::Upgrade { .. }
             | TraceOp::Delete { .. }
+            | TraceOp::Maintain
             | TraceOp::Crash
             | TraceOp::Recover
     )
@@ -921,7 +1013,7 @@ pub fn run_churn_threads(cfg: &ChurnConfig, threads: usize) -> ChurnReport {
 
 fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
     let (world, trace) = churn_trace(cfg);
-    let mut replicas = fresh_replicas(cfg.durable.is_some());
+    let mut replicas = fresh_replicas(cfg.durable.is_some(), cfg.tier);
     let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
     let mut vmis: Vec<xpl_guestfs::Vmi> = Vec::new();
     // Fingerprints of each publish, parallel to `vmis` — computed once
@@ -932,6 +1024,7 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
     let (mut publishes, mut retrieves, mut upgrades, mut deletes, mut bursts) = (0, 0, 0, 0, 0);
     let mut burst_retrieves = 0usize;
     let mut range_retrieves = 0usize;
+    let mut maintains = 0usize;
 
     // ---- Partition the trace into write/read runs, precomputing the
     // deterministic payloads (built images, delete probes, live-image
@@ -1022,6 +1115,10 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                     });
                 }
             }
+            (Run::Writes(steps), TraceOp::Maintain) => {
+                maintains += 1;
+                steps.push(WriteStep::Maintain { step });
+            }
             (Run::Writes(steps), TraceOp::Crash) => steps.push(WriteStep::Crash),
             (Run::Writes(steps), TraceOp::Recover) => steps.push(WriteStep::Recover { step }),
             _ => unreachable!("run kind matches op kind by construction"),
@@ -1051,7 +1148,9 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                         WriteStep::Delete { image, .. } => {
                             fingerprints.remove(image);
                         }
-                        WriteStep::Crash | WriteStep::Recover { .. } => {}
+                        WriteStep::Maintain { .. }
+                        | WriteStep::Crash
+                        | WriteStep::Recover { .. } => {}
                     }
                 }
                 // Each replica applies the whole run in trace order; the
@@ -1084,6 +1183,9 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
                                 }
                                 WriteStep::Delete { step, image, probe } => {
                                     apply_delete(r, &world, image, probe, *step, &mut v, &mut c);
+                                }
+                                WriteStep::Maintain { step } => {
+                                    apply_maintain(r, *step, &mut v, &mut c);
                                 }
                                 WriteStep::Crash => apply_crash(r),
                                 WriteStep::Recover { step } => {
@@ -1194,8 +1296,10 @@ fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
         deletes,
         bursts,
         burst_retrieves,
+        maintains,
         crashes: trace.crashes(),
         oracle_checks: checks,
+        tier: cfg.tier.describe().to_string(),
         trace_sha256: trace.digest_hex(),
         stores: replicas
             .iter()
@@ -1227,6 +1331,36 @@ mod tests {
         assert_eq!(report.ops, 60);
         assert!(report.publishes > 0 && report.retrieves > 0);
         assert_eq!(report.stores.len(), 5);
+    }
+
+    #[test]
+    fn tier_policies_replay_to_identical_cas_fingerprints() {
+        // The repository-level digest-preservation proof: a mixed-tier
+        // replay (DEFLATE base, LZ4 promotions, live recompression at
+        // every Maintain op) must end on exactly the CAS fingerprints
+        // of the all-DEFLATE and all-LZ4 replays of the same trace.
+        let base = ChurnConfig::small(0xC0DEC, 80);
+        let mixed = run_churn(&base);
+        assert_eq!(mixed.tier, "mixed");
+        assert!(mixed.maintains > 0, "trace never swept the tiers");
+        assert!(mixed.violations.is_empty(), "{:#?}", mixed.violations);
+        for tier in [TierPolicy::dense(), TierPolicy::fast(), TierPolicy::raw()] {
+            let other = run_churn(&base.with_tier(tier));
+            assert!(other.violations.is_empty(), "{:#?}", other.violations);
+            assert_eq!(mixed.cas_fingerprints.len(), other.cas_fingerprints.len());
+            for (a, b) in mixed.cas_fingerprints.iter().zip(&other.cas_fingerprints) {
+                assert_eq!(a.store, b.store);
+                assert_eq!(a.section, b.section);
+                assert_eq!(
+                    a.fingerprint,
+                    b.fingerprint,
+                    "{}/{} diverged between mixed and {}",
+                    a.store,
+                    a.section,
+                    tier.describe()
+                );
+            }
+        }
     }
 
     #[test]

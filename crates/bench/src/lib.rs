@@ -18,6 +18,6 @@ pub use experiments::{
     fig3_sizes, fig4a_publish, fig4b_publish, fig5a_breakdown, fig5b_retrieval, table2,
     Fig3Scenario,
 };
-pub use microbench::{run_microbench, BenchReport};
+pub use microbench::{run_microbench, run_microbench_codec, BenchReport};
 pub use serve::{run_serve, ServeReport, ServeRunConfig, StoreKind};
 pub use serve_net::{run_serve_net, NetServeConfig, NetServeReport, NetTransportKind};

@@ -20,8 +20,9 @@ use std::sync::Arc;
 use std::time::Instant;
 use xpl_chunking::rabin::{chunk_cdc, CdcParams};
 use xpl_compress::{
-    blocked_compress, blocked_decompress_parallel, deflate, gzip_compress_parallel,
-    gzip_decompress, inflate, read_range, BlockIndex, BlockedReader,
+    blocked_compress, blocked_compress_inner, blocked_decompress_parallel, deflate,
+    gzip_compress_parallel, gzip_decompress, inflate, lz4_compress, lz4_decompress, read_range,
+    BlockIndex, BlockedReader, InnerCodec, DEFAULT_BLOCK_SIZE,
 };
 use xpl_core::ExpelliarmusRepo;
 use xpl_persist::{DurableConfig, DurableContentStore, MemFs};
@@ -78,6 +79,31 @@ pub struct BlockedBench {
     /// touched ≪ total (< 1/8 in the standard 8 MiB / 64 KiB shape).
     pub range_blocks_total: usize,
     pub range_read_mib_per_s: f64,
+}
+
+/// The codec-tier comparison: the fast (LZ4-class) codec against
+/// DEFLATE on the same pinned payload. The hot-tier claim BENCH.json
+/// carries: fast-codec decode is several times DEFLATE inflate at a
+/// moderately lighter ratio.
+#[derive(Clone, Debug, Serialize)]
+pub struct CodecBench {
+    /// Inner codec the blocked section's container used (`--codec`;
+    /// `blocked-deflate` unless overridden).
+    pub blocked_codec: String,
+    pub input_bytes: u64,
+    /// `compressed / input` for each codec on the same payload.
+    pub deflate_ratio: f64,
+    pub lz4_ratio: f64,
+    /// Single-stream DEFLATE inflate (the `inflate` kernel).
+    pub inflate_mib_per_s: f64,
+    /// Raw fast-codec decode (the `lz4-decompress` kernel).
+    pub lz4_decompress_mib_per_s: f64,
+    /// `lz4_decompress / inflate` — the hot-tier decode dividend (the
+    /// acceptance floor is 3× on a full run).
+    pub decode_speedup: f64,
+    /// Seekable range read from an LZ4 container (the hot tier's
+    /// random-access path; the `hot-range-read` kernel).
+    pub hot_range_read_mib_per_s: f64,
 }
 
 /// End-to-end wall times.
@@ -159,6 +185,7 @@ pub struct BenchReport {
     pub kernels: Vec<KernelBench>,
     pub parallel: ParallelBench,
     pub blocked: BlockedBench,
+    pub codec: CodecBench,
     pub persist: PersistBench,
     pub serving: ServingBench,
     pub end_to_end: EndToEnd,
@@ -185,7 +212,7 @@ fn payload(len: usize) -> Vec<u8> {
 
 /// Median seconds per iteration: warm up once, then iterate until the
 /// budget is spent (at least 3 iterations).
-fn time_median<F: FnMut()>(budget_s: f64, mut f: F) -> (u32, f64) {
+pub(crate) fn time_median<F: FnMut()>(budget_s: f64, mut f: F) -> (u32, f64) {
     f(); // warm-up
     let mut samples = Vec::new();
     let started = Instant::now();
@@ -212,9 +239,18 @@ fn kernel<F: FnMut()>(name: &str, input_bytes: usize, budget_s: f64, f: F) -> Ke
     }
 }
 
-/// Run the full benchmark suite. `quick` shrinks inputs and budgets so
-/// the smoke tests can execute the whole path in seconds.
+/// Run the full benchmark suite with the default (DEFLATE) blocked
+/// container. `quick` shrinks inputs and budgets so the smoke tests
+/// can execute the whole path in seconds.
 pub fn run_microbench(quick: bool) -> BenchReport {
+    run_microbench_codec(quick, InnerCodec::Deflate)
+}
+
+/// Run the suite with the blocked section's container on a chosen
+/// inner codec (`repro bench --codec`). The codec-tier comparison
+/// kernels (`lz4-compress` / `lz4-decompress` / `hot-range-read`)
+/// always measure both codecs regardless of this choice.
+pub fn run_microbench_codec(quick: bool, blocked_codec: InnerCodec) -> BenchReport {
     let budget = if quick { 0.05 } else { 0.8 };
     let scale = if quick { 1 } else { 8 };
     let mut kernels = Vec::new();
@@ -237,6 +273,19 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     kernels.push(kernel("inflate", dpayload.len(), budget, || {
         std::hint::black_box(inflate(&compressed).expect("inflate"));
     }));
+
+    // --- the fast (LZ4-class) codec over the same payload ----------
+    kernels.push(kernel("lz4-compress", dpayload.len(), budget, || {
+        std::hint::black_box(lz4_compress(&dpayload));
+    }));
+    let lz = lz4_compress(&dpayload);
+    kernels.push(kernel("lz4-decompress", dpayload.len(), budget, || {
+        std::hint::black_box(lz4_decompress(&lz, dpayload.len() as u64).expect("lz4 decode"));
+    }));
+    assert_eq!(
+        lz4_decompress(&lz, dpayload.len() as u64).expect("lz4 round-trip"),
+        dpayload
+    );
 
     // --- DEFLATE over the committed corpus -------------------------
     let corp = corpus();
@@ -280,8 +329,10 @@ pub fn run_microbench(quick: bool) -> BenchReport {
 
     // --- blocked codec: parallel inflate + seekable range reads ----
     // 8 MiB blob → 128 default-size blocks; quick shrinks to 1 MiB.
+    // The container's inner codec is selectable (`--codec`); DEFLATE
+    // is the default so historical BENCH.json trajectories compare.
     let blob = payload(if quick { 1024 * 1024 } else { 8 * 1024 * 1024 });
-    let blocked = blocked_compress(&blob);
+    let blocked = blocked_compress_inner(&blob, DEFAULT_BLOCK_SIZE, blocked_codec);
     let legacy = gzip_compress_parallel(&blob);
     let (_, t_ss) = time_median(budget, || {
         std::hint::black_box(gzip_decompress(&legacy).expect("legacy inflate"));
@@ -342,11 +393,25 @@ pub fn run_microbench(quick: bool) -> BenchReport {
         range_blocks_total: blocks_total,
         range_read_mib_per_s: range_len as f64 / (1024.0 * 1024.0) / t_range,
     };
-    // The same three measurements, surfaced in the kernel table.
+    // The hot tier's random-access path: the same range read out of an
+    // LZ4 container (byte-identity checked against the source once).
+    let hot_container = blocked_compress_inner(&blob, DEFAULT_BLOCK_SIZE, InnerCodec::Lz4);
+    let (i_hot, t_hot) = time_median(budget, || {
+        std::hint::black_box(
+            read_range(&hot_container, range_start, range_len as u64).expect("hot range read"),
+        );
+    });
+    assert_eq!(
+        read_range(&hot_container, range_start, range_len as u64).expect("hot range decodes"),
+        &blob[range_start as usize..range_start as usize + range_len]
+    );
+
+    // The same measurements, surfaced in the kernel table.
     for (name, bytes, iterations, median) in [
         ("blocked-inflate-1t", blob.len(), i_b1, t_b1),
         ("blocked-inflate-nt", blob.len(), i_bn, t_bn),
         ("range-read", range_len, i_range, t_range),
+        ("hot-range-read", range_len, i_hot, t_hot),
     ] {
         kernels.push(KernelBench {
             name: name.to_string(),
@@ -356,6 +421,25 @@ pub fn run_microbench(quick: bool) -> BenchReport {
             mib_per_s: bytes as f64 / (1024.0 * 1024.0) / median,
         });
     }
+
+    // The codec-tier comparison, assembled from the kernel table.
+    let kernel_mib = |name: &str| -> f64 {
+        kernels
+            .iter()
+            .find(|k| k.name == name)
+            .map(|k| k.mib_per_s)
+            .expect("kernel measured above")
+    };
+    let codec = CodecBench {
+        blocked_codec: blocked_codec.name().to_string(),
+        input_bytes: dpayload.len() as u64,
+        deflate_ratio: compressed.len() as f64 / dpayload.len() as f64,
+        lz4_ratio: lz.len() as f64 / dpayload.len() as f64,
+        inflate_mib_per_s: kernel_mib("inflate"),
+        lz4_decompress_mib_per_s: kernel_mib("lz4-decompress"),
+        decode_speedup: kernel_mib("lz4-decompress") / kernel_mib("inflate"),
+        hot_range_read_mib_per_s: kernel_mib("hot-range-read"),
+    };
 
     // --- durable persistence ---------------------------------------
     let persist = persist_bench(quick, budget);
@@ -444,12 +528,13 @@ pub fn run_microbench(quick: bool) -> BenchReport {
     );
 
     BenchReport {
-        schema_version: 5,
+        schema_version: 6,
         quick,
         host_cpus,
         kernels,
         parallel,
         blocked: blocked_bench,
+        codec,
         persist,
         serving,
         end_to_end: EndToEnd {
@@ -586,8 +671,8 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         .get("schema_version")
         .and_then(|s| s.as_f64())
         .ok_or("missing schema_version")?;
-    if schema != 5.0 {
-        return Err(format!("unsupported schema_version {schema} (expected 5)"));
+    if schema != 6.0 {
+        return Err(format!("unsupported schema_version {schema} (expected 6)"));
     }
     let kernels = v
         .get("kernels")
@@ -600,9 +685,12 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         "inflate",
         "deflate-corpus",
         "chunk-cdc",
+        "lz4-compress",
+        "lz4-decompress",
         "blocked-inflate-1t",
         "blocked-inflate-nt",
         "range-read",
+        "hot-range-read",
     ];
     for name in expected {
         let k = kernels
@@ -626,6 +714,10 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         ("blocked", "blocked_inflate_nt_mib_per_s"),
         ("blocked", "inflate_speedup"),
         ("blocked", "range_read_mib_per_s"),
+        ("codec", "inflate_mib_per_s"),
+        ("codec", "lz4_decompress_mib_per_s"),
+        ("codec", "decode_speedup"),
+        ("codec", "hot_range_read_mib_per_s"),
         ("persist", "segment_append_mib_per_s"),
         ("persist", "wal_replay_ops_per_s"),
         ("persist", "recovery_wall_s"),
@@ -681,6 +773,39 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
     if !quick && touched * 8 >= total {
         return Err(format!(
             "blocked range read touched {touched} of {total} blocks — not random access"
+        ));
+    }
+
+    // Codec-tier claims, host-independent where possible. Both ratios
+    // must show real compression of the synthetic payload, and the fast
+    // codec must decode faster than DEFLATE — by at least 3× on a full
+    // (non-quick) run, the acceptance floor for the hot tier. The quick
+    // run only requires >1× (tiny payloads are timer-noise territory).
+    for field in ["deflate_ratio", "lz4_ratio"] {
+        let ratio = v
+            .get("codec")
+            .and_then(|c| c.get(field))
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("codec/{field} missing"))?;
+        if !(ratio > 0.0 && ratio < 1.0) {
+            return Err(format!("codec/{field}: {ratio} out of (0, 1)"));
+        }
+    }
+    v.get("codec")
+        .and_then(|c| c.get("blocked_codec"))
+        .and_then(|x| x.as_str())
+        .filter(|name| ["blocked-deflate", "blocked-lz4"].contains(name))
+        .ok_or("codec/blocked_codec missing or unknown")?;
+    let speedup = v
+        .get("codec")
+        .and_then(|c| c.get("decode_speedup"))
+        .and_then(|x| x.as_f64())
+        .unwrap_or(0.0);
+    let floor = if quick { 1.0 } else { 3.0 };
+    if speedup < floor {
+        return Err(format!(
+            "fast-codec decode speedup {speedup:.2}× below the {floor}× floor \
+             over DEFLATE inflate"
         ));
     }
 
@@ -813,6 +938,19 @@ pub fn render(report: &BenchReport) -> String {
         b.range_blocks_total,
         b.range_read_mib_per_s
     );
+    let c = &report.codec;
+    let _ = writeln!(
+        s,
+        "codec-tiers      {} container; ratios deflate {:.3} / lz4 {:.3}; decode \
+         inflate {:.1} MiB/s vs lz4 {:.1} MiB/s ({:.1}x), hot range read {:.1} MiB/s",
+        c.blocked_codec,
+        c.deflate_ratio,
+        c.lz4_ratio,
+        c.inflate_mib_per_s,
+        c.lz4_decompress_mib_per_s,
+        c.decode_speedup,
+        c.hot_range_read_mib_per_s
+    );
     let d = &report.persist;
     let _ = writeln!(
         s,
@@ -866,20 +1004,37 @@ mod tests {
     #[test]
     fn quick_bench_runs_and_validates() {
         let report = run_microbench(true);
-        assert!(report.kernels.len() >= 9);
+        assert!(report.kernels.len() >= 12);
         for k in &report.kernels {
             assert!(k.mib_per_s > 0.0, "{} throughput must be positive", k.name);
         }
         assert!(report.blocked.range_blocks_touched > 0);
         assert!(report.blocked.range_blocks_touched < report.blocked.range_blocks_total);
         assert_eq!(report.parallel.host_cpus, report.blocked.host_cpus);
+        assert_eq!(report.codec.blocked_codec, "blocked-deflate");
+        assert!(report.codec.deflate_ratio > 0.0 && report.codec.deflate_ratio < 1.0);
+        assert!(report.codec.lz4_ratio > 0.0 && report.codec.lz4_ratio < 1.0);
+        assert!(report.codec.decode_speedup > 0.0);
+        assert!(report.codec.hot_range_read_mib_per_s > 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         check_report_json(&json).expect("self-check must pass");
         let text = render(&report);
         assert!(text.contains("gzip-parallel"));
         assert!(text.contains("blocked-codec"));
+        assert!(text.contains("codec-tiers"));
         assert!(text.contains("serving"));
         assert_eq!(report.serving.request_log_sha256.len(), 64);
+    }
+
+    #[test]
+    fn bench_accepts_the_lz4_container_codec() {
+        // `repro bench --codec lz4` swaps the blocked section's inner
+        // codec; the report must still self-validate and record which
+        // container it measured.
+        let report = run_microbench_codec(true, InnerCodec::Lz4);
+        assert_eq!(report.codec.blocked_codec, "blocked-lz4");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        check_report_json(&json).expect("lz4-container self-check must pass");
     }
 
     #[test]

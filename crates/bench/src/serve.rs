@@ -37,7 +37,7 @@ use xpl_registry::{
     run_registry, RegistryConfig, RegistryOutcome, RequestKey, ServeRequest, ServiceModel,
 };
 use xpl_simio::SimEnv;
-use xpl_store::{semantic_fingerprint, ImageStore, RetrieveRequest, StoreError};
+use xpl_store::{semantic_fingerprint, ImageStore, RetrieveRequest, StoreError, TierPolicy};
 use xpl_util::Sha256;
 use xpl_workloads::{ScaleConfig, ScaledWorld, ServeConfig, ServeSchedule};
 
@@ -73,6 +73,21 @@ impl StoreKind {
             StoreKind::Expelliarmus => Box::new(ExpelliarmusRepo::new(SimEnv::testbed())),
         }
     }
+
+    /// Like [`StoreKind::make`], but with the codec tier policy applied
+    /// to every store that keeps compressed payloads (raw qcow2 has
+    /// nothing to recompress).
+    pub fn make_tiered(self, tier: TierPolicy) -> Box<dyn ImageStore> {
+        match self {
+            StoreKind::Qcow2 => Box::new(QcowStore::new(SimEnv::testbed())),
+            StoreKind::Gzip => Box::new(GzipStore::new(SimEnv::testbed()).with_tier(tier)),
+            StoreKind::Mirage => Box::new(MirageStore::new(SimEnv::testbed()).with_tier(tier)),
+            StoreKind::Hemera => Box::new(HemeraStore::new(SimEnv::testbed()).with_tier(tier)),
+            StoreKind::Expelliarmus => {
+                Box::new(ExpelliarmusRepo::new(SimEnv::testbed()).with_tier(tier))
+            }
+        }
+    }
 }
 
 /// One `repro serve` run's parameters.
@@ -87,6 +102,8 @@ pub struct ServeRunConfig {
     pub queue_depth: usize,
     pub coalesce: bool,
     pub store: StoreKind,
+    /// Codec tier policy the backing store runs under (`--codec`).
+    pub tier: TierPolicy,
 }
 
 impl ServeRunConfig {
@@ -102,6 +119,7 @@ impl ServeRunConfig {
             queue_depth: 64,
             coalesce: true,
             store: StoreKind::Expelliarmus,
+            tier: TierPolicy::mixed(),
         }
     }
 
@@ -117,6 +135,7 @@ impl ServeRunConfig {
             queue_depth: 128,
             coalesce: true,
             store: StoreKind::Expelliarmus,
+            tier: TierPolicy::mixed(),
         }
     }
 }
@@ -144,6 +163,11 @@ pub struct ServeReport {
     pub seed: u64,
     pub scale: String,
     pub store: String,
+    /// Codec tier policy the store ran under (`TierPolicy::describe`).
+    pub tier: String,
+    /// Blobs the post-memoization maintenance sweep re-encoded onto the
+    /// hot codec (zero for raw stores or an all-cold policy).
+    pub maintain_promoted: usize,
     pub tenants: u32,
     pub requests: usize,
     pub servers: usize,
@@ -275,7 +299,7 @@ pub(crate) struct PreparedServe {
 pub(crate) fn prepare(cfg: &ServeRunConfig) -> PreparedServe {
     let world = ScaledWorld::generate(&cfg.scale);
     let names = world.image_names();
-    let store: Arc<dyn ImageStore> = Arc::from(cfg.store.make());
+    let store: Arc<dyn ImageStore> = Arc::from(cfg.store.make_tiered(cfg.tier));
     let mut requests: HashMap<String, (RetrieveRequest, u64)> = HashMap::new();
     for name in &names {
         let vmi = world.build(name, 0);
@@ -333,6 +357,14 @@ pub fn run_serve(cfg: &ServeRunConfig) -> ServeReport {
         }
         total_service += costs[&key].service_ns as u128;
     }
+    // The memoization pass warmed the temperature counters (every
+    // distinct key was read at least once, Zipf-popular images many
+    // times). One maintenance sweep re-encodes the hot set onto the
+    // fast codec, so phases 2–3 run against the mixed-codec state the
+    // policy would converge to in production; phase 3's digest diff
+    // then doubles as the digest-preservation proof on the serving
+    // path. Simulated time only — memoized costs stay valid.
+    let maintain = store.maintain();
     let mean_service_ns = (total_service / cfg.requests.max(1) as u128) as u64;
     // Saturating arrivals: offered load ≈ 4/3 of service capacity.
     let mean_interarrival_ns = (mean_service_ns * 3 / (cfg.servers as u64 * 4)).max(1);
@@ -420,6 +452,8 @@ pub fn run_serve(cfg: &ServeRunConfig) -> ServeReport {
         seed: cfg.seed,
         scale: cfg.scale_name.clone(),
         store: store.name().to_string(),
+        tier: cfg.tier.describe().to_string(),
+        maintain_promoted: maintain.promoted,
         tenants: cfg.tenants,
         requests: cfg.requests,
         servers: cfg.servers,
@@ -470,10 +504,13 @@ pub fn render(r: &ServeReport) -> String {
     );
     let _ = writeln!(
         s,
-        "  registry: {} servers, queue depth {}, coalescing {}",
+        "  registry: {} servers, queue depth {}, coalescing {}, codec tier {} \
+         ({} blobs promoted)",
         r.servers,
         r.queue_depth,
-        if r.coalesce { "on" } else { "off" }
+        if r.coalesce { "on" } else { "off" },
+        r.tier,
+        r.maintain_promoted
     );
     let _ = writeln!(
         s,
@@ -552,6 +589,31 @@ mod tests {
         assert!(on.violations.is_empty(), "{:?}", on.violations);
         assert!(off.violations.is_empty(), "{:?}", off.violations);
         assert_eq!(on.key_digests_sha256, off.key_digests_sha256);
+    }
+
+    #[test]
+    fn codec_tiers_serve_identical_payloads() {
+        // The serving-path digest-preservation pin: one schedule, one
+        // seed, two tier policies. The raw store never recompresses;
+        // the mixed store promotes its Zipf-hot blobs onto LZ4 after
+        // memoization. Payload identity and the registry's virtual-time
+        // behaviour must not notice the difference.
+        let mut cfg = ServeRunConfig::small(0x71E6);
+        cfg.requests = 120;
+        cfg.tenants = 3;
+        cfg.tier = TierPolicy::raw();
+        let raw = run_serve(&cfg);
+        cfg.tier = TierPolicy::mixed();
+        let mixed = run_serve(&cfg);
+        assert!(raw.violations.is_empty(), "{:?}", raw.violations);
+        assert!(mixed.violations.is_empty(), "{:?}", mixed.violations);
+        assert_eq!(raw.key_digests_sha256, mixed.key_digests_sha256);
+        assert_eq!(raw.request_log_sha256, mixed.request_log_sha256);
+        assert_eq!(raw.schedule_sha256, mixed.schedule_sha256);
+        assert_eq!(mixed.tier, "mixed");
+        assert_eq!(raw.tier, "raw");
+        assert!(mixed.maintain_promoted > 0, "Zipf-hot blobs must promote");
+        assert_eq!(raw.maintain_promoted, 0, "raw tier has nothing to promote");
     }
 
     #[test]

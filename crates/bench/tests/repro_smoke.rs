@@ -341,6 +341,9 @@ fn cli_validation_errors_are_one_line_and_exit_2() {
             "--tenants must be at least 1",
         ),
         (vec!["serve", "--store", "zfs"], "unknown --store"),
+        (vec!["churn", "--codec", "zstd"], "unknown --codec"),
+        (vec!["serve", "--codec", "zstd"], "unknown --codec"),
+        (vec!["bench", "--codec", "zstd"], "invalid --codec value"),
         (
             vec!["churn", "--ops", "10", "--durable", "--crashes", "40"],
             "--crashes 40 exceeds the trace's 10 ops",
@@ -359,6 +362,71 @@ fn cli_validation_errors_are_one_line_and_exit_2() {
             .find(|l| l.starts_with("repro: "))
             .unwrap_or_else(|| panic!("{args:?}: no `repro: …` line in {stderr:?}"));
         assert!(line.contains(needle), "{args:?}: {line:?} lacks {needle:?}");
+    }
+}
+
+#[test]
+fn churn_codec_tiers_replay_to_identical_fingerprints() {
+    // The digest-preservation pin through the CLI: the same seeded
+    // trace replayed under the mixed hot/cold tier and under the
+    // all-DEFLATE tier must converge every CAS store to identical
+    // content fingerprints (recompression never changes logical bytes).
+    let path = std::env::temp_dir().join(format!("churn-codec-{}.json", std::process::id()));
+    let run = |codec: &str| {
+        let out = repro()
+            .args(["churn", "--seed", "7", "--ops", "40", "--codec", codec])
+            .args(["--json", path.to_str().unwrap()])
+            .output()
+            .expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "oracle must pass under --codec {codec}; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains(&format!("codec tier: {codec}")), "{stdout}");
+        let json = std::fs::read_to_string(&path).expect("churn JSON written");
+        std::fs::remove_file(&path).ok();
+        json.lines()
+            .filter(|l| l.contains("\"fingerprint\""))
+            .map(|l| l.trim().to_string())
+            .collect::<Vec<_>>()
+    };
+    let mixed = run("mixed");
+    let dense = run("deflate");
+    assert!(!mixed.is_empty(), "CAS fingerprints must be reported");
+    assert_eq!(mixed, dense, "codec tiers must not change content identity");
+}
+
+#[test]
+fn ablate_codec_emits_all_three_tiers() {
+    let path = std::env::temp_dir().join(format!("ablate-codec-{}.json", std::process::id()));
+    let out = repro()
+        .args(["ablate-codec", "--payload-mib", "1"])
+        .args(["--json", path.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CODEC ABLATION"), "{stdout}");
+    for codec in ["raw", "blocked-deflate", "blocked-lz4"] {
+        assert!(stdout.contains(codec), "missing {codec} row: {stdout}");
+    }
+    let json = std::fs::read_to_string(&path).expect("ablation JSON written");
+    std::fs::remove_file(&path).ok();
+    for key in [
+        "\"codec\"",
+        "\"ratio\"",
+        "\"compress_mib_per_s\"",
+        "\"decompress_mib_per_s\"",
+        "\"range_read_mib_per_s\"",
+        "\"blocked-lz4\"",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
     }
 }
 

@@ -35,6 +35,7 @@
 //! (region sizes, offsets, CRC) before any block slice is formed.
 
 use crate::deflate::{deflate, inflate, InflateError};
+use crate::lz4::{lz4_compress, lz4_decompress, Lz4Error, MAX_LZ4_EXPANSION};
 use rayon::prelude::*;
 use xpl_util::Crc32;
 
@@ -43,6 +44,7 @@ use xpl_util::Crc32;
 pub const DEFAULT_BLOCK_SIZE: usize = 64 * 1024;
 
 const MAGIC: &[u8; 4] = b"XBC1";
+const LZ4_MAGIC: &[u8; 4] = b"XBL1";
 const END_MAGIC: &[u8; 4] = b"XBE1";
 const HEADER: usize = 8;
 const FOOTER: usize = 20;
@@ -54,6 +56,63 @@ const INDEX_ENTRY: usize = 12;
 /// describes bytes its block cannot contain — only a corrupt or hostile
 /// index (the footer CRC is attacker-recomputable) can say that.
 const MAX_INFLATE_RATIO: u64 = 1032;
+
+/// The per-block compression algorithm a container was written with,
+/// chosen by its leading magic. The layout (header, blocks, index,
+/// footer) is identical for every inner codec; only the block streams
+/// and the expansion-plausibility bound differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InnerCodec {
+    /// Raw DEFLATE blocks — the dense tier (magic `XBC1`).
+    Deflate,
+    /// LZ4-class blocks — the fast tier (magic `XBL1`).
+    Lz4,
+}
+
+impl InnerCodec {
+    fn magic(self) -> &'static [u8; 4] {
+        match self {
+            InnerCodec::Deflate => MAGIC,
+            InnerCodec::Lz4 => LZ4_MAGIC,
+        }
+    }
+
+    /// Maximum uncompressed-per-compressed-byte ratio a valid block of
+    /// this codec can reach; an index claiming more is corrupt.
+    fn max_expansion(self) -> u64 {
+        match self {
+            InnerCodec::Deflate => MAX_INFLATE_RATIO,
+            InnerCodec::Lz4 => MAX_LZ4_EXPANSION,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            InnerCodec::Deflate => "blocked-deflate",
+            InnerCodec::Lz4 => "blocked-lz4",
+        }
+    }
+
+    fn compress_block(self, chunk: &[u8]) -> Vec<u8> {
+        match self {
+            InnerCodec::Deflate => deflate(chunk),
+            InnerCodec::Lz4 => lz4_compress(chunk),
+        }
+    }
+}
+
+/// The inner codec of a container, by magic; `None` for anything else
+/// (including legacy gzip).
+pub fn inner_codec(bytes: &[u8]) -> Option<InnerCodec> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    match &bytes[0..4] {
+        m if m == MAGIC => Some(InnerCodec::Deflate),
+        m if m == LZ4_MAGIC => Some(InnerCodec::Lz4),
+        _ => None,
+    }
+}
 
 /// Preallocation for a decode buffer: trust the index's claimed size
 /// only up to a small multiple of the compressed input, so a corrupt or
@@ -81,6 +140,8 @@ pub enum BlockedError {
     BlockLenMismatch { block: usize, expect: u32, got: u64 },
     /// A block's DEFLATE stream is damaged.
     Inflate { block: usize, err: InflateError },
+    /// A block's LZ4 stream is damaged.
+    Lz4 { block: usize, err: Lz4Error },
 }
 
 impl std::fmt::Display for BlockedError {
@@ -102,6 +163,9 @@ impl std::fmt::Display for BlockedError {
             }
             BlockedError::Inflate { block, err } => {
                 write!(f, "block {block}: inflate failed: {err:?}")
+            }
+            BlockedError::Lz4 { block, err } => {
+                write!(f, "block {block}: lz4 decode failed: {err}")
             }
         }
     }
@@ -125,6 +189,7 @@ pub struct BlockEntry {
 /// The parsed, validated block index of a container.
 #[derive(Clone, Debug)]
 pub struct BlockIndex {
+    pub codec: InnerCodec,
     pub block_size: u32,
     pub total_len: u64,
     pub entries: Vec<BlockEntry>,
@@ -142,9 +207,9 @@ impl BlockIndex {
                 have,
             });
         }
-        if &data[0..4] != MAGIC {
+        let Some(codec) = inner_codec(data) else {
             return Err(BlockedError::BadMagic);
-        }
+        };
         if &data[data.len() - 4..] != END_MAGIC {
             return Err(BlockedError::CorruptIndex("bad footer magic".into()));
         }
@@ -191,10 +256,11 @@ impl BlockIndex {
                     "final block: {uncomp_len} uncompressed bytes vs block size {block_size}"
                 )));
             }
-            if uncomp_len as u64 > comp_len as u64 * MAX_INFLATE_RATIO {
+            if uncomp_len as u64 > comp_len as u64 * codec.max_expansion() {
                 return Err(BlockedError::CorruptIndex(format!(
                     "block {i}: {uncomp_len} uncompressed bytes from {comp_len} compressed \
-                     exceeds DEFLATE's maximum expansion"
+                     exceeds {}'s maximum expansion",
+                    codec.name()
                 )));
             }
             entries.push(BlockEntry {
@@ -220,6 +286,7 @@ impl BlockIndex {
             )));
         }
         Ok(BlockIndex {
+            codec,
             block_size,
             total_len,
             entries,
@@ -254,28 +321,47 @@ impl BlockIndex {
     }
 }
 
-/// `true` if `bytes` carries the blocked-container magic.
+/// `true` if `bytes` carries either blocked-container magic (DEFLATE or
+/// LZ4 inner codec — the layout, and thus every reader, is shared).
 pub fn is_blocked(bytes: &[u8]) -> bool {
-    bytes.len() >= 4 && &bytes[0..4] == MAGIC
+    inner_codec(bytes).is_some()
 }
 
-/// Compress with the default block size.
+/// Compress with the default block size (DEFLATE inner codec).
 pub fn blocked_compress(data: &[u8]) -> Vec<u8> {
-    blocked_compress_with(data, DEFAULT_BLOCK_SIZE)
+    blocked_compress_inner(data, DEFAULT_BLOCK_SIZE, InnerCodec::Deflate)
 }
 
-/// Compress `data` into a blocked container, deflating blocks in
-/// parallel across the rayon pool.
+/// Compress `data` into a blocked-DEFLATE container with a chosen block
+/// size.
 pub fn blocked_compress_with(data: &[u8], block_size: usize) -> Vec<u8> {
+    blocked_compress_inner(data, block_size, InnerCodec::Deflate)
+}
+
+/// Compress with the default block size and the LZ4 inner codec — the
+/// fast tier.
+pub fn blocked_compress_lz4(data: &[u8]) -> Vec<u8> {
+    blocked_compress_inner(data, DEFAULT_BLOCK_SIZE, InnerCodec::Lz4)
+}
+
+/// Compress `data` into a blocked container, encoding blocks in
+/// parallel across the rayon pool with the chosen inner codec.
+pub fn blocked_compress_inner(data: &[u8], block_size: usize, codec: InnerCodec) -> Vec<u8> {
     assert!(block_size > 0 && block_size <= u32::MAX as usize);
     let compressed: Vec<(Vec<u8>, u32, u32)> = data
         .par_chunks(block_size)
-        .map(|chunk| (deflate(chunk), chunk.len() as u32, Crc32::checksum(chunk)))
+        .map(|chunk| {
+            (
+                codec.compress_block(chunk),
+                chunk.len() as u32,
+                Crc32::checksum(chunk),
+            )
+        })
         .collect();
     let blocks_bytes: usize = compressed.iter().map(|(b, _, _)| b.len()).sum();
     let mut out =
         Vec::with_capacity(HEADER + blocks_bytes + compressed.len() * INDEX_ENTRY + FOOTER);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(codec.magic());
     out.extend_from_slice(&(block_size as u32).to_le_bytes());
     for (block, _, _) in &compressed {
         out.extend_from_slice(block);
@@ -294,7 +380,8 @@ pub fn blocked_compress_with(data: &[u8], block_size: usize) -> Vec<u8> {
     out
 }
 
-/// Inflate and CRC-check one block.
+/// Decode and CRC-check one block, dispatching on the container's
+/// inner codec.
 pub fn inflate_block(
     data: &[u8],
     index: &BlockIndex,
@@ -302,7 +389,11 @@ pub fn inflate_block(
 ) -> Result<Vec<u8>, BlockedError> {
     let e = &index.entries[block];
     let comp = &data[e.comp_off as usize..(e.comp_off + e.comp_len as u64) as usize];
-    let out = inflate(comp).map_err(|err| BlockedError::Inflate { block, err })?;
+    let out = match index.codec {
+        InnerCodec::Deflate => inflate(comp).map_err(|err| BlockedError::Inflate { block, err })?,
+        InnerCodec::Lz4 => lz4_decompress(comp, e.uncomp_len as u64)
+            .map_err(|err| BlockedError::Lz4 { block, err })?,
+    };
     if out.len() as u64 != e.uncomp_len as u64 {
         return Err(BlockedError::BlockLenMismatch {
             block,
@@ -539,6 +630,39 @@ impl BlockCodec for BlockedDeflate {
     }
 }
 
+/// The blocked container with the LZ4 inner codec — the hot tier:
+/// decode runs several times faster than inflate at a worse ratio, and
+/// range reads keep their CRC-checked per-block validation.
+pub struct BlockedLz4 {
+    pub block_size: usize,
+}
+
+impl Default for BlockedLz4 {
+    fn default() -> Self {
+        BlockedLz4 {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+}
+
+impl BlockCodec for BlockedLz4 {
+    fn name(&self) -> &'static str {
+        "blocked-lz4"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        blocked_compress_inner(data, self.block_size, InnerCodec::Lz4)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(blocked_decompress_parallel(stream)?)
+    }
+
+    fn read_range(&self, stream: &[u8], start: u64, len: u64) -> Result<Vec<u8>, CodecError> {
+        Ok(read_range(stream, start, len)?)
+    }
+}
+
 /// The legacy single-stream gzip codec. Kept readable for containers
 /// written before the blocked format existed; a range read must inflate
 /// the whole stream and slice — the cost the blocked format removes.
@@ -565,22 +689,40 @@ impl BlockCodec for LegacyGzip {
     }
 }
 
-/// Identify the codec a stream was written with (by magic).
+static BLOCKED: BlockedDeflate = BlockedDeflate {
+    block_size: DEFAULT_BLOCK_SIZE,
+};
+static BLOCKED_LZ4: BlockedLz4 = BlockedLz4 {
+    block_size: DEFAULT_BLOCK_SIZE,
+};
+static GZIP: LegacyGzip = LegacyGzip;
+
+/// Identify the codec a stream was written with (by magic). A stream
+/// shorter than any full magic — including every proper prefix of a
+/// known magic — is [`CodecError::UnknownFormat`], never a misdetection:
+/// dispatch requires the *complete* magic of exactly one codec.
 pub fn codec_for(stream: &[u8]) -> Result<&'static dyn BlockCodec, CodecError> {
-    static BLOCKED: BlockedDeflate = BlockedDeflate {
-        block_size: DEFAULT_BLOCK_SIZE,
-    };
-    static GZIP: LegacyGzip = LegacyGzip;
-    if is_blocked(stream) {
-        Ok(&BLOCKED)
-    } else if stream.len() >= 2 && stream[0] == 0x1F && stream[1] == 0x8B {
-        Ok(&GZIP)
-    } else {
-        Err(CodecError::UnknownFormat)
+    match inner_codec(stream) {
+        Some(InnerCodec::Deflate) => Ok(&BLOCKED),
+        Some(InnerCodec::Lz4) => Ok(&BLOCKED_LZ4),
+        None if stream.len() >= 2 && stream[0] == 0x1F && stream[1] == 0x8B => Ok(&GZIP),
+        None => Err(CodecError::UnknownFormat),
     }
 }
 
-/// Decompress a stream of either format, dispatching on its magic —
+/// Look up a codec by CLI/config name. Accepts the canonical names
+/// (`blocked-deflate`, `blocked-lz4`, `gzip`) and the short tier names
+/// (`deflate`, `lz4`). `None` for anything else.
+pub fn codec_by_name(name: &str) -> Option<&'static dyn BlockCodec> {
+    match name.to_ascii_lowercase().as_str() {
+        "blocked-deflate" | "deflate" => Some(&BLOCKED),
+        "blocked-lz4" | "lz4" => Some(&BLOCKED_LZ4),
+        "gzip" => Some(&GZIP),
+        _ => None,
+    }
+}
+
+/// Decompress a stream of any known format, dispatching on its magic —
 /// the backward-compatibility read path.
 pub fn decompress_auto(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
     codec_for(stream)?.decompress(stream)
@@ -798,5 +940,150 @@ mod tests {
         let mut bad = c.clone();
         bad[HEADER + 5] ^= 0x01;
         assert!(verify_blocks(&bad).is_err());
+    }
+
+    #[test]
+    fn lz4_container_roundtrips_and_serves_ranges() {
+        for n in [
+            0,
+            1,
+            DEFAULT_BLOCK_SIZE - 1,
+            DEFAULT_BLOCK_SIZE,
+            DEFAULT_BLOCK_SIZE + 1,
+            300_000,
+        ] {
+            let data = sample(n);
+            let c = blocked_compress_lz4(&data);
+            assert_eq!(inner_codec(&c), Some(InnerCodec::Lz4), "n={n}");
+            assert!(is_blocked(&c));
+            assert_eq!(blocked_decompress(&c).unwrap(), data, "n={n}");
+            assert_eq!(blocked_decompress_parallel(&c).unwrap(), data, "n={n}");
+        }
+        let data = sample(500_000);
+        let c = blocked_compress_lz4(&data);
+        let idx = BlockIndex::parse(&c).unwrap();
+        assert_eq!(idx.codec, InnerCodec::Lz4);
+        // Range reads inflate only the touched blocks, same as DEFLATE.
+        let got = read_range(&c, 123_456, 10_000).unwrap();
+        assert_eq!(got, &data[123_456..133_456]);
+        assert!(idx.blocks_for_range(123_456, 10_000).len() <= 2);
+        let mut r = BlockedReader::new(&c).unwrap();
+        assert_eq!(r.read_at(400_000, 64).unwrap(), &data[400_000..400_064]);
+        assert!(r.blocks_inflated() <= 2);
+        assert_eq!(verify_blocks(&c).unwrap(), idx.entries.len());
+    }
+
+    #[test]
+    fn lz4_container_corruption_and_truncation_are_typed() {
+        let data = sample(150_000);
+        let c = blocked_compress_lz4(&data);
+        // A flipped block byte is caught by the per-block checks even
+        // when the damaged stream still decodes (CRC backstop).
+        let mut bad = c.clone();
+        bad[HEADER + 977] ^= 0x40;
+        let err = blocked_decompress(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BlockedError::Lz4 { block: 0, .. }
+                    | BlockedError::BlockCrcMismatch { block: 0 }
+                    | BlockedError::BlockLenMismatch { block: 0, .. }
+            ),
+            "{err:?}"
+        );
+        // Every truncation of the container is a typed error: the index
+        // and footer live at the end, so no prefix parses.
+        let small = blocked_compress_lz4(&sample(3000));
+        for cut in 0..small.len() {
+            let err = blocked_decompress(&small[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    BlockedError::BadMagic
+                        | BlockedError::Truncated { .. }
+                        | BlockedError::CorruptIndex(_)
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_magic_prefixes_are_typed_errors_never_misdetected() {
+        // Satellite: every proper prefix of every known magic — blocked
+        // DEFLATE ("XBC1"), blocked LZ4 ("XBL1"), gzip (0x1F 0x8B) —
+        // must surface as a typed error from both `codec_for` and
+        // `decompress_auto`. A gzip prefix of length 1 must not be
+        // "detected" as gzip; a 3-byte "XBC" must not be blocked.
+        let magics: [&[u8]; 3] = [MAGIC, LZ4_MAGIC, &[0x1F, 0x8B]];
+        for magic in magics {
+            for take in 0..magic.len() {
+                let prefix = &magic[..take];
+                assert_eq!(
+                    codec_for(prefix).err(),
+                    Some(CodecError::UnknownFormat),
+                    "prefix {prefix:?} of {magic:?} must be UnknownFormat"
+                );
+                assert_eq!(
+                    decompress_auto(prefix).err(),
+                    Some(CodecError::UnknownFormat),
+                    "prefix {prefix:?} of {magic:?} must not decompress"
+                );
+            }
+            // The complete magic alone dispatches, then fails typed in
+            // the codec (truncated container / truncated gzip) — never
+            // a panic, never Ok.
+            let whole = magic;
+            match codec_for(whole) {
+                Ok(codec) => {
+                    let err = codec.decompress(whole).unwrap_err();
+                    assert!(
+                        matches!(err, CodecError::Blocked(_) | CodecError::Gzip(_)),
+                        "{err:?}"
+                    );
+                }
+                Err(e) => panic!("complete magic {whole:?} must dispatch, got {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn codec_by_name_resolves_tiers() {
+        assert_eq!(
+            codec_by_name("blocked-deflate").unwrap().name(),
+            "blocked-deflate"
+        );
+        assert_eq!(codec_by_name("deflate").unwrap().name(), "blocked-deflate");
+        assert_eq!(codec_by_name("LZ4").unwrap().name(), "blocked-lz4");
+        assert_eq!(codec_by_name("blocked-lz4").unwrap().name(), "blocked-lz4");
+        assert_eq!(codec_by_name("gzip").unwrap().name(), "gzip");
+        assert!(codec_by_name("zstd").is_none());
+        assert!(codec_by_name("").is_none());
+    }
+
+    #[test]
+    fn lz4_codec_dispatch_roundtrip() {
+        let data = sample(200_000);
+        let fast = BlockedLz4::default().compress(&data);
+        assert_eq!(codec_for(&fast).unwrap().name(), "blocked-lz4");
+        assert_eq!(decompress_auto(&fast).unwrap(), data);
+        assert_eq!(
+            codec_for(&fast)
+                .unwrap()
+                .read_range(&fast, 9_876, 543)
+                .unwrap(),
+            &data[9_876..9_876 + 543]
+        );
+        // The three formats stay mutually distinguishable.
+        let dense = blocked_compress(&data);
+        let legacy = crate::gzip_compress_parallel(&data);
+        assert_eq!(codec_for(&dense).unwrap().name(), "blocked-deflate");
+        assert_eq!(codec_for(&legacy).unwrap().name(), "gzip");
+        // LZ4 trades ratio for decode speed: the fast container may be
+        // larger, but both reproduce the bytes.
+        assert_eq!(
+            decompress_auto(&dense).unwrap(),
+            decompress_auto(&fast).unwrap()
+        );
     }
 }

@@ -12,24 +12,32 @@
 //! * [`gzip_compress_parallel`] — rayon-parallel multi-member gzip
 //!   (RFC 1952 concatenation semantics), used for large image payloads.
 //! * [`blocked`] — the seekable blocked container: parallel inflate and
-//!   byte-range reads over independently-deflated 64 KiB blocks, behind
+//!   byte-range reads over independently-encoded 64 KiB blocks, behind
 //!   the [`BlockCodec`] trait (legacy gzip stays readable via
 //!   [`decompress_auto`]).
+//! * [`lz4`] — the LZ4-class fast codec: greedy hash-table matching, a
+//!   literal-run/match token format, no entropy stage. Slots into the
+//!   blocked container as the hot-tier inner codec ([`BlockedLz4`],
+//!   magic `XBL1`) so range reads and parallel decode come for free.
 
 pub mod bitio;
 pub mod blocked;
 pub mod deflate;
 pub mod gzip;
 pub mod huffman;
+pub mod lz4;
 pub mod lz77;
 
 pub use blocked::{
-    blocked_compress, blocked_compress_with, blocked_decompress, blocked_decompress_parallel,
-    decompress_auto, is_blocked, read_range, verify_blocks, BlockCodec, BlockIndex, BlockedDeflate,
-    BlockedError, BlockedReader, CodecError, LegacyGzip, DEFAULT_BLOCK_SIZE,
+    blocked_compress, blocked_compress_inner, blocked_compress_lz4, blocked_compress_with,
+    blocked_decompress, blocked_decompress_parallel, codec_by_name, codec_for, decompress_auto,
+    inner_codec, is_blocked, read_range, verify_blocks, BlockCodec, BlockIndex, BlockedDeflate,
+    BlockedError, BlockedLz4, BlockedReader, CodecError, InnerCodec, LegacyGzip,
+    DEFAULT_BLOCK_SIZE,
 };
 pub use deflate::{deflate, inflate, InflateError};
 pub use gzip::{gzip_compress, gzip_decompress, GzipError};
+pub use lz4::{lz4_compress, lz4_decompress, Lz4Error};
 
 use rayon::prelude::*;
 

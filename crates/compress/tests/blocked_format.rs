@@ -150,7 +150,8 @@ fn corruption_at_every_index_byte_is_typed() {
                     | BlockedError::CorruptIndex(_)
                     | BlockedError::BlockCrcMismatch { .. }
                     | BlockedError::BlockLenMismatch { .. }
-                    | BlockedError::Inflate { .. },
+                    | BlockedError::Inflate { .. }
+                    | BlockedError::Lz4 { .. },
                 ) => {}
             }
         }

@@ -280,6 +280,17 @@ impl ExpelliarmusRepo {
         }
     }
 
+    /// Builder: select the codec tier of both content-addressed
+    /// sections (package blobs and user-data blobs). The repository's
+    /// size ledger and fingerprints are logical, so they are
+    /// codec-invariant; the tier changes only the in-memory
+    /// representation and the real CPU of (de)compression.
+    pub fn with_tier(mut self, tier: xpl_store::TierPolicy) -> Self {
+        self.state.packages = self.state.packages.with_tier(tier);
+        self.state.data_store = self.state.data_store.with_tier(tier);
+        self
+    }
+
     pub fn base_count(&self) -> usize {
         self.state.semantic.read().unwrap().bases.len()
     }
@@ -482,6 +493,22 @@ impl ImageStore for ExpelliarmusRepo {
             .data_store
             .check_integrity(true)
             .map_err(|e| format!("data CAS content: {e}"))
+    }
+
+    fn maintain(&self) -> xpl_store::MaintainReport {
+        // Take the gate in write mode: maintenance is a mutation of the
+        // representation and must not race an in-flight retrieval.
+        let _gate = self.state.op_gate.write().unwrap();
+        let t0 = self.state.env.clock.now();
+        let pkgs = self.state.packages.maintain();
+        let data = self.state.data_store.maintain();
+        xpl_store::MaintainReport {
+            duration: self.state.env.clock.since(t0),
+            scanned: pkgs.scanned + data.scanned,
+            promoted: pkgs.promoted + data.promoted,
+            demoted: pkgs.demoted + data.demoted,
+            bytes_delta: 0,
+        }
     }
 
     fn cas_fingerprints(&self) -> Vec<(String, String)> {

@@ -758,6 +758,41 @@ mod tests {
     }
 
     #[test]
+    fn blocked_lz4_payloads_survive_recovery_and_deep_verify() {
+        // The fast-codec container (`XBL1`) is just another blob to the
+        // durable layer, but deep_verify's blocked special-case must
+        // sweep its per-block CRCs too — and recovery must hand the
+        // container back byte-identical.
+        let (vfs, store) = fresh(DurableConfig::named("cas"));
+        let raw: Vec<u8> = (0..30_000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 53) as u8)
+            .collect();
+        let lz4 = xpl_compress::blocked_compress_inner(&raw, 4096, xpl_compress::InnerCodec::Lz4);
+        let (d, _) = store.put(&lz4).unwrap();
+        assert_eq!(store.deep_verify().unwrap(), 1);
+
+        let (recovered, _) =
+            DurableContentStore::open(vfs.clone(), DurableConfig::named("cas")).expect("reopen");
+        assert_eq!(recovered.deep_verify().unwrap(), 1);
+        let back = recovered.get(&d).unwrap();
+        assert_eq!(back, lz4);
+        assert_eq!(xpl_compress::decompress_auto(&back).unwrap(), raw);
+
+        // Damage inside the LZ4 block data is localized by deep_verify.
+        let file = segment::file_name("cas", 1);
+        let mut bytes = vfs.read(&file).unwrap();
+        let flip = segment::RECORD_HEADER as usize + 8 + 40;
+        bytes[flip] ^= 0x40;
+        vfs.set_file(&file, &bytes);
+        match store.deep_verify().unwrap_err() {
+            PersistError::CorruptRecord { detail, .. } => {
+                assert!(detail.contains("block"), "damage not localized: {detail}");
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn reopen_replays_the_wal() {
         let vfs = Arc::new(MemFs::new());
         let mut cfg = DurableConfig::named("cas");

@@ -82,6 +82,25 @@ pub struct RetrieveReport {
     pub bytes_read: u64,
 }
 
+/// Outcome of a temperature-driven maintenance pass (codec tiering).
+#[derive(Clone, Debug, Default)]
+pub struct MaintainReport {
+    /// Simulated wall time of the sweep.
+    pub duration: SimDuration,
+    /// Entries examined.
+    pub scanned: usize,
+    /// Entries re-encoded onto the hot (fast) codec.
+    pub promoted: usize,
+    /// Entries re-encoded back to the dense base codec.
+    pub demoted: usize,
+    /// Net change of the store's *reported* `repo_bytes` — nonzero only
+    /// for stores whose footprint is the physical compressed size
+    /// (Gzip); zero for CAS stores, whose ledger is logical bytes and
+    /// therefore codec-invariant. The churn oracle shifts its expected
+    /// size by exactly this much.
+    pub bytes_delta: i64,
+}
+
 /// Store errors.
 #[derive(Debug)]
 pub enum StoreError {
@@ -184,6 +203,16 @@ pub trait ImageStore: Send + Sync {
     /// end of a replay.
     fn check_integrity_deep(&self) -> Result<(), String> {
         self.check_integrity()
+    }
+
+    /// Temperature-driven maintenance: re-encode hot content onto the
+    /// fast codec and demote cooled content to the dense one, per the
+    /// store's tier policy. Logical content and digests are pinned —
+    /// only the in-memory representation (and, for physically-sized
+    /// stores, `repo_bytes` by the returned `bytes_delta`) may change.
+    /// Stores without codec tiers return the default (all-zero) report.
+    fn maintain(&self) -> MaintainReport {
+        MaintainReport::default()
     }
 
     /// Canonical fingerprints of this store's content-addressed

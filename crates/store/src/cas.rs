@@ -37,6 +37,28 @@
 //! by construction the harness only crashes the medium at operation
 //! boundaries (and recovers before the next op), so an error here is a
 //! subsystem bug, not an injected fault.
+//!
+//! # Codec tiers
+//!
+//! A store built [`ContentStore::with_tier`] keeps each blob's *memory
+//! representation* in a blocked container ([`BlobCodec::Deflate`] for
+//! density, [`BlobCodec::Lz4`] for decode speed) instead of raw bytes.
+//! The tier is invisible to the simulated ledger: digests, refcounts,
+//! `unique_bytes`, device charges, and [`state_fingerprint`] are all in
+//! *logical* (uncompressed) bytes, so every simulated metric is
+//! codec-invariant by construction — re-encoding a blob cannot change
+//! what the oracle observes. What the codec does change is real CPU and
+//! the physical footprint tracked by [`ContentStore::encoded_bytes`].
+//!
+//! Temperature drives the tier: `get` / `get_range` bump a per-blob
+//! read counter (audits do not), and [`ContentStore::maintain`] sweeps
+//! the store, re-encoding blobs whose counter crossed the policy's
+//! threshold onto the hot codec and demoting cooled ones back to the
+//! base, then halves every counter so temperature decays. The durable
+//! backend always holds raw bytes — recompression is an in-memory
+//! representation change, never a durable mutation.
+//!
+//! [`state_fingerprint`]: ContentStore::state_fingerprint
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -49,12 +71,142 @@ use xpl_util::{Digest, FxHashMap, Sha256};
 /// digest is a mask of its first byte.
 pub const SHARD_COUNT: usize = 16;
 
+/// How a blob is represented in memory. `Raw` stores the bytes as-is;
+/// the other two wrap them in the seekable blocked container with the
+/// named inner codec, so range reads decode only the touched blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlobCodec {
+    /// Uncompressed bytes (the default; zero CPU on either path).
+    Raw,
+    /// Blocked DEFLATE (`XBC1`) — dense, slower to decode.
+    Deflate,
+    /// Blocked LZ4 (`XBL1`) — lighter ratio, several-× faster decode.
+    Lz4,
+}
+
+impl BlobCodec {
+    pub fn name(self) -> &'static str {
+        match self {
+            BlobCodec::Raw => "raw",
+            BlobCodec::Deflate => "deflate",
+            BlobCodec::Lz4 => "lz4",
+        }
+    }
+
+    fn encode(self, raw: &[u8]) -> Vec<u8> {
+        match self {
+            BlobCodec::Raw => raw.to_vec(),
+            BlobCodec::Deflate => xpl_compress::blocked_compress(raw),
+            BlobCodec::Lz4 => xpl_compress::blocked_compress_lz4(raw),
+        }
+    }
+}
+
+/// Which codec new blobs get, and what read temperature promotes a blob
+/// onto the hot codec at the next [`ContentStore::maintain`] sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Codec for cold (and freshly stored) blobs.
+    pub base: BlobCodec,
+    /// Codec for hot blobs; `None` disables temperature moves.
+    pub hot: Option<BlobCodec>,
+    /// Reads since the last sweep at which a blob counts as hot.
+    pub hot_reads: u64,
+}
+
+impl TierPolicy {
+    /// Raw bytes, no tiering — the historical store behaviour.
+    pub fn raw() -> Self {
+        TierPolicy {
+            base: BlobCodec::Raw,
+            hot: None,
+            hot_reads: 0,
+        }
+    }
+
+    /// Everything on blocked DEFLATE (the dense all-cold tier).
+    pub fn dense() -> Self {
+        TierPolicy {
+            base: BlobCodec::Deflate,
+            hot: None,
+            hot_reads: 0,
+        }
+    }
+
+    /// Everything on blocked LZ4 (the all-hot fast tier).
+    pub fn fast() -> Self {
+        TierPolicy {
+            base: BlobCodec::Lz4,
+            hot: None,
+            hot_reads: 0,
+        }
+    }
+
+    /// DEFLATE base with LZ4 promotion for blobs read twice or more
+    /// between sweeps — the default for the tiered stores.
+    pub fn mixed() -> Self {
+        TierPolicy {
+            base: BlobCodec::Deflate,
+            hot: Some(BlobCodec::Lz4),
+            hot_reads: 2,
+        }
+    }
+
+    /// Parse a CLI tier name; `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "raw" => Some(Self::raw()),
+            "deflate" | "dense" => Some(Self::dense()),
+            "lz4" | "fast" => Some(Self::fast()),
+            "mixed" => Some(Self::mixed()),
+            _ => None,
+        }
+    }
+
+    /// Canonical name of a preset policy (reports, CLI echo).
+    pub fn describe(self) -> &'static str {
+        if self == Self::raw() {
+            "raw"
+        } else if self == Self::dense() {
+            "deflate"
+        } else if self == Self::fast() {
+            "lz4"
+        } else if self == Self::mixed() {
+            "mixed"
+        } else {
+            "custom"
+        }
+    }
+}
+
+/// Outcome of one [`ContentStore::maintain`] sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierSweep {
+    /// Blobs examined.
+    pub scanned: usize,
+    /// Blobs re-encoded onto the hot codec.
+    pub promoted: usize,
+    /// Blobs re-encoded back to the base codec.
+    pub demoted: usize,
+    /// Net change of the physical [`ContentStore::encoded_bytes`]
+    /// ledger (logical bytes never move).
+    pub encoded_delta: i64,
+}
+
 struct Blob {
-    bytes: Arc<Vec<u8>>,
-    /// Length recorded when the blob was stored; `get` checks the held
-    /// bytes still match it (cheap truncation detection).
+    /// The in-memory representation: raw bytes, or a blocked container
+    /// per `codec`.
+    enc: Arc<Vec<u8>>,
+    codec: BlobCodec,
+    /// Logical (uncompressed) length recorded at `put` time — the unit
+    /// of every simulated charge and of the `unique_bytes` ledger.
     stored_len: u64,
+    /// Encoded length recorded when `enc` was produced; the cheap
+    /// truncation check on the hot path.
+    enc_len: u64,
     refs: u32,
+    /// Reads since the last maintenance sweep (audits don't count).
+    reads: AtomicU64,
 }
 
 /// The store.
@@ -62,7 +214,10 @@ pub struct ContentStore {
     device: Arc<SimDevice>,
     shards: Vec<RwLock<FxHashMap<Digest, Blob>>>,
     unique_bytes: AtomicU64,
+    /// Physical bytes held across all encoded representations.
+    encoded_bytes: AtomicU64,
     dedup_hits: AtomicU64,
+    tier: TierPolicy,
     /// Optional write-through durable backend (see module docs).
     durable: Option<Arc<DurableContentStore>>,
 }
@@ -87,7 +242,9 @@ impl ContentStore {
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
             unique_bytes: AtomicU64::new(0),
+            encoded_bytes: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
+            tier: TierPolicy::raw(),
             durable: None,
         }
     }
@@ -98,6 +255,19 @@ impl ContentStore {
         let mut store = Self::new(device);
         store.durable = Some(durable);
         store
+    }
+
+    /// Builder: select the codec tier for this store. Must be applied
+    /// before any blob is stored (the policy governs encode-at-put).
+    pub fn with_tier(mut self, tier: TierPolicy) -> Self {
+        debug_assert_eq!(self.blob_count(), 0, "set the tier before storing blobs");
+        self.tier = tier;
+        self
+    }
+
+    /// The active codec tier policy.
+    pub fn tier(&self) -> TierPolicy {
+        self.tier
     }
 
     /// The attached durable backend, if any.
@@ -143,19 +313,48 @@ impl ContentStore {
             self.device.charge_db_read(1); // index hit
             return false;
         }
+        // All simulated charges are in logical bytes — the codec tier
+        // changes the memory representation, never the ledger.
         self.device.charge_create(bytes.len() as u64);
         self.device.charge_write(bytes.len() as u64);
         self.unique_bytes
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let enc = self.tier.base.encode(bytes);
+        self.encoded_bytes
+            .fetch_add(enc.len() as u64, Ordering::Relaxed);
         shard.insert(
             digest,
             Blob {
-                bytes: Arc::new(bytes.to_vec()),
+                enc_len: enc.len() as u64,
+                enc: Arc::new(enc),
+                codec: self.tier.base,
                 stored_len: bytes.len() as u64,
                 refs: 1,
+                reads: AtomicU64::new(0),
             },
         );
         true
+    }
+
+    /// Decode a blob's in-memory representation back to logical bytes.
+    /// Container-level failures (CRC, truncation) surface as
+    /// `DigestMismatch` — the representation no longer matches what the
+    /// digest promised.
+    fn decode_blob(digest: &Digest, b: &Blob) -> Result<Arc<Vec<u8>>, CasError> {
+        if b.enc.len() as u64 != b.enc_len {
+            return Err(CasError::DigestMismatch(*digest));
+        }
+        match b.codec {
+            BlobCodec::Raw => Ok(Arc::clone(&b.enc)),
+            BlobCodec::Deflate | BlobCodec::Lz4 => {
+                let raw = xpl_compress::blocked_decompress(&b.enc)
+                    .map_err(|_| CasError::DigestMismatch(*digest))?;
+                if raw.len() as u64 != b.stored_len {
+                    return Err(CasError::DigestMismatch(*digest));
+                }
+                Ok(Arc::new(raw))
+            }
+        }
     }
 
     /// Record a reference to existing content without providing bytes
@@ -187,12 +386,10 @@ impl ContentStore {
     pub fn get(&self, digest: &Digest) -> Result<Arc<Vec<u8>>, CasError> {
         let shard = self.shard(digest).read().unwrap();
         let b = shard.get(digest).ok_or(CasError::NotFound(*digest))?;
-        self.device.charge_open(b.bytes.len() as u64);
-        self.device.charge_read(b.bytes.len() as u64);
-        if b.bytes.len() as u64 != b.stored_len {
-            return Err(CasError::DigestMismatch(*digest));
-        }
-        Ok(Arc::clone(&b.bytes))
+        self.device.charge_open(b.stored_len);
+        self.device.charge_read(b.stored_len);
+        b.reads.fetch_add(1, Ordering::Relaxed);
+        Self::decode_blob(digest, b)
     }
 
     /// Read `[start, start+len)` of a blob, clamped like a slice (a
@@ -203,14 +400,23 @@ impl ContentStore {
     pub fn get_range(&self, digest: &Digest, start: u64, len: u64) -> Result<Vec<u8>, CasError> {
         let shard = self.shard(digest).read().unwrap();
         let b = shard.get(digest).ok_or(CasError::NotFound(*digest))?;
-        if b.bytes.len() as u64 != b.stored_len {
+        if b.enc.len() as u64 != b.enc_len {
             return Err(CasError::DigestMismatch(*digest));
         }
-        let end = start.saturating_add(len).min(b.bytes.len() as u64);
+        // Charges follow the logical span regardless of codec, so range
+        // costs are codec-invariant too.
+        let end = start.saturating_add(len).min(b.stored_len);
         let start = start.min(end);
         self.device.charge_open(end - start);
         self.device.charge_read(end - start);
-        Ok(b.bytes[start as usize..end as usize].to_vec())
+        b.reads.fetch_add(1, Ordering::Relaxed);
+        match b.codec {
+            BlobCodec::Raw => Ok(b.enc[start as usize..end as usize].to_vec()),
+            BlobCodec::Deflate | BlobCodec::Lz4 => {
+                xpl_compress::read_range(&b.enc, start, end - start)
+                    .map_err(|_| CasError::DigestMismatch(*digest))
+            }
+        }
     }
 
     /// Full integrity check of one blob: recompute the SHA-256 and compare
@@ -218,19 +424,38 @@ impl ContentStore {
     pub fn verify(&self, digest: &Digest) -> Result<(), CasError> {
         let shard = self.shard(digest).read().unwrap();
         let b = shard.get(digest).ok_or(CasError::NotFound(*digest))?;
-        if b.bytes.len() as u64 != b.stored_len || Sha256::digest(&b.bytes) != *digest {
+        let raw = Self::decode_blob(digest, b)?;
+        if Sha256::digest(&raw) != *digest {
             return Err(CasError::DigestMismatch(*digest));
         }
         Ok(())
     }
 
-    /// Size of a stored blob without reading it.
+    /// Logical size of a stored blob without reading it.
     pub fn size_of(&self, digest: &Digest) -> Option<u64> {
         self.shard(digest)
             .read()
             .unwrap()
             .get(digest)
-            .map(|b| b.bytes.len() as u64)
+            .map(|b| b.stored_len)
+    }
+
+    /// Current in-memory codec of a blob.
+    pub fn codec_of(&self, digest: &Digest) -> Option<BlobCodec> {
+        self.shard(digest)
+            .read()
+            .unwrap()
+            .get(digest)
+            .map(|b| b.codec)
+    }
+
+    /// Reads since the last maintenance sweep (introspection).
+    pub fn reads_of(&self, digest: &Digest) -> Option<u64> {
+        self.shard(digest)
+            .read()
+            .unwrap()
+            .get(digest)
+            .map(|b| b.reads.load(Ordering::Relaxed))
     }
 
     /// Drop one reference; frees the blob at zero. Returns freed bytes.
@@ -247,18 +472,28 @@ impl ContentStore {
         }
         b.refs -= 1;
         if b.refs == 0 {
-            let freed = b.bytes.len() as u64;
+            let freed = b.stored_len;
+            let enc_freed = b.enc_len;
             shard.remove(digest);
             self.unique_bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.encoded_bytes.fetch_sub(enc_freed, Ordering::Relaxed);
             self.device.charge_db_write(1);
             return Ok(freed);
         }
         Ok(0)
     }
 
-    /// Unique stored payload bytes (lock-free read).
+    /// Unique stored payload bytes, logical / uncompressed (lock-free
+    /// read). Codec-invariant: the Figure-3 ledger and every fingerprint
+    /// are built on this, never on the encoded representation.
     pub fn unique_bytes(&self) -> u64 {
         self.unique_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Physical bytes held across all encoded representations (equals
+    /// `unique_bytes` for a raw-tier store).
+    pub fn encoded_bytes(&self) -> u64 {
+        self.encoded_bytes.load(Ordering::Relaxed)
     }
 
     /// Reference count of a blob (introspection; charges nothing).
@@ -278,11 +513,7 @@ impl ContentStore {
         let mut out = Vec::new();
         for shard in &self.shards {
             let shard = shard.read().unwrap();
-            out.extend(
-                shard
-                    .iter()
-                    .map(|(d, b)| (*d, b.refs, b.bytes.len() as u64)),
-            );
+            out.extend(shard.iter().map(|(d, b)| (*d, b.refs, b.stored_len)));
         }
         out
     }
@@ -313,20 +544,31 @@ impl ContentStore {
     /// every blob's digest (the opt-in full corruption sweep).
     pub fn check_integrity(&self, deep: bool) -> Result<(), String> {
         let mut summed = 0u64;
+        let mut summed_enc = 0u64;
         for shard in &self.shards {
             let shard = shard.read().unwrap();
             for (digest, b) in shard.iter() {
-                if b.bytes.len() as u64 != b.stored_len {
+                if b.enc.len() as u64 != b.enc_len {
                     return Err(format!(
-                        "blob {digest}: {} bytes held, {} recorded",
-                        b.bytes.len(),
-                        b.stored_len
+                        "blob {digest}: {} encoded bytes held, {} recorded",
+                        b.enc.len(),
+                        b.enc_len
                     ));
                 }
-                if deep && Sha256::digest(&b.bytes) != *digest {
-                    return Err(format!("blob {digest}: content no longer matches digest"));
+                if deep {
+                    match Self::decode_blob(digest, b) {
+                        Ok(raw) if Sha256::digest(&raw) == *digest => {}
+                        _ => {
+                            return Err(format!(
+                                "blob {digest}: content no longer matches digest \
+                                 ({} codec)",
+                                b.codec.name()
+                            ))
+                        }
+                    }
                 }
                 summed += b.stored_len;
+                summed_enc += b.enc_len;
             }
         }
         let ledger = self.unique_bytes();
@@ -335,7 +577,91 @@ impl ContentStore {
                 "unique_bytes ledger {ledger} vs {summed} bytes stored"
             ));
         }
+        let enc_ledger = self.encoded_bytes();
+        if summed_enc != enc_ledger {
+            return Err(format!(
+                "encoded_bytes ledger {enc_ledger} vs {summed_enc} bytes held"
+            ));
+        }
         Ok(())
+    }
+
+    /// Re-encode one blob's in-memory representation with `codec`,
+    /// keeping the uncompressed digest pinned byte-identical: the blob
+    /// is decoded, its SHA-256 recomputed and compared against the key,
+    /// and only then re-encoded. Returns `(old, new)` encoded lengths.
+    /// Refcounts, `unique_bytes`, and the durable backend (which always
+    /// holds raw bytes) are untouched.
+    pub fn recompress(&self, digest: &Digest, codec: BlobCodec) -> Result<(u64, u64), CasError> {
+        let mut shard = self.shard(digest).write().unwrap();
+        let b = shard.get_mut(digest).ok_or(CasError::NotFound(*digest))?;
+        self.device.charge_db_write(1);
+        self.recompress_blob(digest, b, codec)
+    }
+
+    /// The locked inner half of [`ContentStore::recompress`]; shared
+    /// with the maintenance sweep.
+    fn recompress_blob(
+        &self,
+        digest: &Digest,
+        b: &mut Blob,
+        codec: BlobCodec,
+    ) -> Result<(u64, u64), CasError> {
+        let old = b.enc_len;
+        if b.codec == codec {
+            return Ok((old, old));
+        }
+        let raw = Self::decode_blob(digest, b)?;
+        if Sha256::digest(&raw) != *digest {
+            return Err(CasError::DigestMismatch(*digest));
+        }
+        let enc = codec.encode(&raw);
+        let new = enc.len() as u64;
+        b.enc = Arc::new(enc);
+        b.enc_len = new;
+        b.codec = codec;
+        self.encoded_bytes.fetch_sub(old, Ordering::Relaxed);
+        self.encoded_bytes.fetch_add(new, Ordering::Relaxed);
+        Ok((old, new))
+    }
+
+    /// Temperature-driven maintenance: re-encode every blob whose read
+    /// counter crossed the policy threshold onto the hot codec, demote
+    /// cooled blobs back to the base codec, then halve all counters so
+    /// temperature decays. A raw-tier store is a no-op. The sweep's
+    /// outcome depends only on the multiset of completed reads, so it is
+    /// deterministic at any thread count.
+    pub fn maintain(&self) -> TierSweep {
+        let mut sweep = TierSweep::default();
+        if self.tier.base == BlobCodec::Raw {
+            return sweep;
+        }
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap();
+            for (digest, b) in shard.iter_mut() {
+                sweep.scanned += 1;
+                let reads = b.reads.load(Ordering::Relaxed);
+                let target = match self.tier.hot {
+                    Some(hot) if reads >= self.tier.hot_reads => hot,
+                    _ => self.tier.base,
+                };
+                if target != b.codec {
+                    // A decode failure here means injected corruption;
+                    // leave the blob for the audits to report.
+                    if let Ok((old, new)) = self.recompress_blob(digest, b, target) {
+                        if target == self.tier.base {
+                            sweep.demoted += 1;
+                        } else {
+                            sweep.promoted += 1;
+                        }
+                        sweep.encoded_delta += new as i64 - old as i64;
+                        self.device.charge_db_write(1);
+                    }
+                }
+                b.reads.store(reads / 2, Ordering::Relaxed);
+            }
+        }
+        sweep
     }
 
     pub fn blob_count(&self) -> usize {
@@ -346,25 +672,26 @@ impl ContentStore {
         self.dedup_hits.load(Ordering::Relaxed)
     }
 
-    /// Test hook: truncate a stored blob in place (failure injection the
-    /// cheap `get`-path length check catches).
+    /// Test hook: truncate a stored blob's representation in place
+    /// (failure injection the cheap length check catches).
     pub fn corrupt_for_test(&self, digest: &Digest) -> bool {
         let mut shard = self.shard(digest).write().unwrap();
         if let Some(b) = shard.get_mut(digest) {
-            if !b.bytes.is_empty() {
-                Arc::make_mut(&mut b.bytes).pop();
+            if !b.enc.is_empty() {
+                Arc::make_mut(&mut b.enc).pop();
                 return true;
             }
         }
         false
     }
 
-    /// Test hook: flip a bit without changing the length (failure
-    /// injection only the deep digest check catches).
+    /// Test hook: flip a bit without changing the length. On a raw blob
+    /// only the deep digest check catches this; on an encoded blob the
+    /// container CRC may surface it on the read path too.
     pub fn corrupt_bitflip_for_test(&self, digest: &Digest) -> bool {
         let mut shard = self.shard(digest).write().unwrap();
         if let Some(b) = shard.get_mut(digest) {
-            if let Some(x) = Arc::make_mut(&mut b.bytes).first_mut() {
+            if let Some(x) = Arc::make_mut(&mut b.enc).first_mut() {
                 *x ^= 0xFF;
                 return true;
             }
@@ -542,6 +869,188 @@ mod tests {
         assert_eq!(report.wal_records_replayed, 6);
         assert_eq!(reopened.state_fingerprint(), cas.state_fingerprint());
         assert_eq!(reopened.get(&d1).unwrap(), b"alpha");
+    }
+
+    fn tiered(policy: TierPolicy) -> (SimEnv, ContentStore) {
+        let env = SimEnv::testbed();
+        let cas = ContentStore::new(Arc::clone(&env.repo)).with_tier(policy);
+        (env, cas)
+    }
+
+    fn payload(seed: u64, n: usize) -> Vec<u8> {
+        let mut rng = xpl_util::SplitMix64::new(seed);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match rng.next_u64() % 3 {
+                0 => out.extend_from_slice(b"/usr/share/doc/"),
+                1 => out.extend_from_slice(&rng.next_u64().to_le_bytes()),
+                _ => out.extend_from_slice(&[0u8; 13]),
+            }
+        }
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn tiered_store_roundtrips_and_ranges_like_raw() {
+        let data = payload(1, 200_000);
+        for policy in [TierPolicy::dense(), TierPolicy::fast(), TierPolicy::mixed()] {
+            let (_e, cas) = tiered(policy);
+            let (d, new) = cas.put(&data);
+            assert!(new);
+            assert_eq!(cas.get(&d).unwrap().as_slice(), data.as_slice());
+            assert_eq!(cas.get_range(&d, 1000, 64).unwrap(), &data[1000..1064]);
+            assert_eq!(
+                cas.get_range(&d, data.len() as u64 - 5, 100).unwrap(),
+                &data[data.len() - 5..]
+            );
+            assert_eq!(cas.get_range(&d, u64::MAX - 3, 100).unwrap(), b"");
+            assert_eq!(cas.size_of(&d), Some(data.len() as u64));
+            assert_eq!(cas.codec_of(&d), Some(policy.base));
+            assert!(cas.check_integrity(true).is_ok());
+            cas.verify(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn ledgers_and_charges_are_codec_invariant() {
+        // The core tier invariant: the simulated ledger (unique_bytes,
+        // device charges, fingerprints) is identical across codecs; only
+        // encoded_bytes differs.
+        let data = payload(2, 150_000);
+        let mut fingerprints = Vec::new();
+        let mut charges = Vec::new();
+        for policy in [
+            TierPolicy::raw(),
+            TierPolicy::dense(),
+            TierPolicy::fast(),
+            TierPolicy::mixed(),
+        ] {
+            let (env, cas) = tiered(policy);
+            let (d, _) = cas.put(&data);
+            cas.get(&d).unwrap();
+            cas.get_range(&d, 77, 4096).unwrap();
+            assert_eq!(cas.unique_bytes(), data.len() as u64);
+            fingerprints.push(cas.state_fingerprint());
+            let s = env.repo.stats();
+            charges.push((s.bytes_written, s.bytes_read));
+            if policy.base == BlobCodec::Raw {
+                assert_eq!(cas.encoded_bytes(), data.len() as u64);
+            } else {
+                assert!(cas.encoded_bytes() < data.len() as u64);
+            }
+        }
+        assert!(fingerprints.windows(2).all(|w| w[0] == w[1]));
+        assert!(charges.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn recompress_pins_the_digest_and_updates_the_physical_ledger() {
+        let data = payload(3, 120_000);
+        let (_e, cas) = tiered(TierPolicy::dense());
+        let (d, _) = cas.put(&data);
+        let enc_before = cas.encoded_bytes();
+        let (old, new) = cas.recompress(&d, BlobCodec::Lz4).unwrap();
+        assert_eq!(old, enc_before);
+        assert_eq!(cas.encoded_bytes(), new);
+        assert_eq!(cas.codec_of(&d), Some(BlobCodec::Lz4));
+        // Logical state untouched: same digest, same bytes, same ledger.
+        assert_eq!(cas.get(&d).unwrap().as_slice(), data.as_slice());
+        assert_eq!(cas.unique_bytes(), data.len() as u64);
+        assert!(cas.check_integrity(true).is_ok());
+        // Idempotent on a same-codec call.
+        assert_eq!(cas.recompress(&d, BlobCodec::Lz4).unwrap(), (new, new));
+        let missing = Sha256::digest(b"nope");
+        assert_eq!(
+            cas.recompress(&missing, BlobCodec::Lz4),
+            Err(CasError::NotFound(missing))
+        );
+    }
+
+    #[test]
+    fn maintain_promotes_hot_and_demotes_cold() {
+        let (_e, cas) = tiered(TierPolicy::mixed());
+        let hot = payload(4, 60_000);
+        let cold = payload(5, 60_000);
+        let (dh, _) = cas.put(&hot);
+        let (dc, _) = cas.put(&cold);
+        cas.get(&dh).unwrap();
+        cas.get(&dh).unwrap();
+        // Audits must not heat blobs up.
+        cas.verify(&dc).unwrap();
+        cas.check_integrity(true).unwrap();
+        assert_eq!(cas.reads_of(&dc), Some(0));
+
+        let sweep = cas.maintain();
+        assert_eq!((sweep.scanned, sweep.promoted, sweep.demoted), (2, 1, 0));
+        assert_eq!(cas.codec_of(&dh), Some(BlobCodec::Lz4));
+        assert_eq!(cas.codec_of(&dc), Some(BlobCodec::Deflate));
+        // Counters decay: 2 reads halve to 1, below the threshold, so a
+        // quiet interval demotes the blob back to the dense tier.
+        assert_eq!(cas.reads_of(&dh), Some(1));
+        let sweep = cas.maintain();
+        assert_eq!((sweep.promoted, sweep.demoted), (0, 1));
+        assert_eq!(cas.codec_of(&dh), Some(BlobCodec::Deflate));
+        assert!(cas.check_integrity(true).is_ok());
+    }
+
+    #[test]
+    fn maintain_is_a_noop_for_raw_stores() {
+        let (_e, cas) = store();
+        cas.put(b"anything");
+        assert_eq!(cas.maintain(), TierSweep::default());
+    }
+
+    #[test]
+    fn tiered_corruption_is_caught_on_the_read_path() {
+        // A bitflip in an encoded representation breaks the container
+        // CRC (or magic), so even the cheap read path surfaces it.
+        let data = payload(6, 50_000);
+        let (_e, cas) = tiered(TierPolicy::dense());
+        let (d, _) = cas.put(&data);
+        assert!(cas.corrupt_bitflip_for_test(&d));
+        assert_eq!(cas.get(&d).err(), Some(CasError::DigestMismatch(d)));
+        assert!(cas.check_integrity(true).is_err());
+    }
+
+    #[test]
+    fn tier_policy_parse_and_describe() {
+        for (name, policy) in [
+            ("deflate", TierPolicy::dense()),
+            ("lz4", TierPolicy::fast()),
+            ("mixed", TierPolicy::mixed()),
+            ("raw", TierPolicy::raw()),
+        ] {
+            assert_eq!(TierPolicy::parse(name), Some(policy));
+            assert_eq!(policy.describe(), name);
+        }
+        assert_eq!(TierPolicy::parse("dense"), Some(TierPolicy::dense()));
+        assert_eq!(TierPolicy::parse("fast"), Some(TierPolicy::fast()));
+        assert_eq!(TierPolicy::parse("zstd"), None);
+        assert_eq!(TierPolicy::parse(""), None);
+    }
+
+    #[test]
+    fn durable_fingerprint_converges_for_tiered_stores() {
+        // The durable backend holds raw bytes regardless of tier;
+        // recompression never writes through, and the convergence
+        // fingerprint stays equal across representation changes.
+        use xpl_persist::{DurableConfig, DurableContentStore, MemFs};
+        let env = SimEnv::testbed();
+        let vfs = Arc::new(MemFs::new());
+        let (durable, _) =
+            DurableContentStore::open(vfs.clone(), DurableConfig::named("cas")).unwrap();
+        let cas = ContentStore::new_durable(Arc::clone(&env.repo), Arc::new(durable))
+            .with_tier(TierPolicy::mixed());
+        let data = payload(7, 80_000);
+        let (d, _) = cas.put(&data);
+        cas.get(&d).unwrap();
+        cas.get(&d).unwrap();
+        cas.maintain();
+        assert_eq!(cas.codec_of(&d), Some(BlobCodec::Lz4));
+        let (reopened, _) = DurableContentStore::open(vfs, DurableConfig::named("cas")).unwrap();
+        assert_eq!(reopened.state_fingerprint(), cas.state_fingerprint());
+        assert_eq!(reopened.get(&d).unwrap(), data);
     }
 
     #[test]

@@ -19,8 +19,9 @@ pub mod oracle;
 pub mod stripe;
 
 pub use api::{
-    DeleteReport, ImageStore, PublishReport, RetrieveReport, RetrieveRequest, StoreError,
+    DeleteReport, ImageStore, MaintainReport, PublishReport, RetrieveReport, RetrieveRequest,
+    StoreError,
 };
-pub use cas::ContentStore;
+pub use cas::{BlobCodec, ContentStore, TierPolicy, TierSweep};
 pub use oracle::{full_fingerprint, semantic_fingerprint};
 pub use stripe::NameLocks;

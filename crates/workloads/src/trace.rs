@@ -36,6 +36,11 @@ pub enum TraceOp {
     Delete { image: String },
     /// Flash crowd: `count` back-to-back retrievals.
     Burst { image: String, count: u32 },
+    /// Temperature-driven maintenance: every store re-encodes hot
+    /// content onto its fast codec and demotes cooled content, per its
+    /// tier policy. Logical content is pinned; a no-op for untiered
+    /// stores.
+    Maintain,
     /// Power-cut the durable medium (torn WAL tail, unsynced bytes
     /// lost). A no-op for purely in-memory replicas.
     Crash,
@@ -59,6 +64,7 @@ impl TraceOp {
             TraceOp::Upgrade { image, generation } => format!("upgrade {image} gen={generation}"),
             TraceOp::Delete { image } => format!("delete {image}"),
             TraceOp::Burst { image, count } => format!("burst {image} x{count}"),
+            TraceOp::Maintain => "maintain".to_string(),
             TraceOp::Crash => "crash".to_string(),
             TraceOp::Recover => "recover".to_string(),
         }
@@ -129,6 +135,8 @@ impl Trace {
                     let (image, gen) = live.swap_remove(idx);
                     retired.push((image.clone(), gen));
                     TraceOp::Delete { image }
+                } else if roll < 0.88 {
+                    TraceOp::Maintain
                 } else {
                     TraceOp::Burst {
                         image: live[idx].0.clone(),
@@ -192,10 +200,19 @@ impl Trace {
                 TraceOp::Upgrade { .. } => m.2 += 1,
                 TraceOp::Delete { .. } => m.3 += 1,
                 TraceOp::Burst { .. } => m.4 += 1,
-                TraceOp::Crash | TraceOp::Recover => {}
+                TraceOp::Maintain | TraceOp::Crash | TraceOp::Recover => {}
             }
         }
         m
+    }
+
+    /// Count of maintenance ops (tallied separately from [`Trace::mix`],
+    /// like crashes: maintenance touches no image).
+    pub fn maintains(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Maintain))
+            .count()
     }
 
     /// Count of range-retrieval ops.
@@ -243,8 +260,9 @@ mod tests {
     fn all_op_kinds_appear_at_scale() {
         let t = Trace::generate(&names(24), &TraceConfig { seed: 7, ops: 500 });
         let (p, r, u, d, b) = t.mix();
-        assert_eq!(p + r + u + d + b, 500);
+        assert_eq!(p + r + u + d + b + t.maintains(), 500);
         assert!(p > 0 && r > 0 && u > 0 && d > 0 && b > 0, "{:?}", t.mix());
+        assert!(t.maintains() > 0, "no maintenance ops at scale");
         assert!(t.range_retrieves() > 0, "no range retrievals at scale");
         assert!(
             t.ops.iter().all(|op| match op {
@@ -281,7 +299,7 @@ mod tests {
                 TraceOp::Delete { image } => {
                     assert!(live.remove(image.as_str()).is_some(), "delete dead {image}");
                 }
-                TraceOp::Crash | TraceOp::Recover => {}
+                TraceOp::Maintain | TraceOp::Crash | TraceOp::Recover => {}
             }
         }
     }

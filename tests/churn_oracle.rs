@@ -64,7 +64,9 @@ fn concurrent_replay_is_byte_identical_across_thread_counts() {
     // violation list, check counts — must not depend on the worker-pool
     // size. 1 thread is the degenerate sequential schedule; 2 and 8
     // exercise real interleavings of the per-image retrieval groups and
-    // the five store replicas.
+    // the five store replicas. The replay runs under the default mixed
+    // codec tier, so the pin also covers mid-trace recompression sweeps
+    // over mixed-codec CAS states.
     let cfg = ChurnConfig::small(SEED, 200);
     let one = serde_json::to_string_pretty(&run_churn_threads(&cfg, 1)).unwrap();
     let two = serde_json::to_string_pretty(&run_churn_threads(&cfg, 2)).unwrap();
@@ -74,6 +76,8 @@ fn concurrent_replay_is_byte_identical_across_thread_counts() {
     let report = run_churn_threads(&cfg, 8);
     assert!(report.violations.is_empty(), "{:?}", report.violations);
     assert!(report.retrieves > 0 && report.publishes > 0 && report.deletes > 0);
+    assert_eq!(report.tier, "mixed");
+    assert!(report.maintains > 0, "no recompression sweeps in the trace");
 }
 
 #[test]
@@ -142,12 +146,13 @@ fn pinned_seed_trace_exercises_every_lifecycle_path() {
     let cfg = ChurnConfig::small(SEED, 520);
     let (world, trace) = churn_trace(&cfg);
     let (p, r, u, d, b) = trace.mix();
-    assert_eq!(p + r + u + d + b, 520);
+    assert_eq!(p + r + u + d + b + trace.maintains(), 520);
     assert!(
         p > 20 && r > 100 && u > 20 && d > 10 && b > 10,
         "{:?}",
         (p, r, u, d, b)
     );
+    assert!(trace.maintains() > 5, "tier sweeps must recur in the trace");
     // Re-publish after delete (generation > 0 publishes) must occur.
     assert!(
         trace
