@@ -273,6 +273,9 @@ macro_rules! delegate_store {
             fn name(&self) -> &'static str {
                 self.0.label
             }
+            fn attach_obs(&self, reg: &std::sync::Arc<xpl_obs::Registry>) {
+                self.0.cas.attach_obs(reg);
+            }
             fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
                 self.0.publish(vmi)
             }

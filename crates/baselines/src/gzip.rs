@@ -57,6 +57,7 @@ pub struct GzipStore {
     images: RwLock<FxHashMap<String, Entry>>,
     names: NameLocks,
     tier: TierPolicy,
+    codec_obs: xpl_obs::ObsSlot<xpl_compress::CodecObs>,
 }
 
 impl GzipStore {
@@ -66,6 +67,7 @@ impl GzipStore {
             images: RwLock::new(FxHashMap::default()),
             names: NameLocks::new(),
             tier: TierPolicy::mixed(),
+            codec_obs: xpl_obs::ObsSlot::new(),
         }
     }
 
@@ -112,6 +114,12 @@ impl GzipStore {
 impl ImageStore for GzipStore {
     fn name(&self) -> &'static str {
         "Qcow2+Gzip"
+    }
+
+    fn attach_obs(&self, reg: &std::sync::Arc<xpl_obs::Registry>) {
+        let _ = self
+            .codec_obs
+            .set(std::sync::Arc::new(xpl_compress::CodecObs::new(reg)));
     }
 
     fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
@@ -231,6 +239,9 @@ impl ImageStore for GzipStore {
         // compressed blocks the range's clusters live in are inflated.
         let mut reader = xpl_compress::BlockedReader::new(&entry.compressed)
             .map_err(|e| StoreError::Corrupt(format!("blocked: {e}")))?;
+        if let Some(o) = self.codec_obs.get() {
+            reader.attach_obs(std::sync::Arc::clone(o));
+        }
         let bytes = report
             .breakdown
             .measure(&self.env.clock, "range inflate", || {

@@ -166,6 +166,10 @@ impl ImageStore for HemeraStore {
         "Hemera"
     }
 
+    fn attach_obs(&self, reg: &std::sync::Arc<xpl_obs::Registry>) {
+        self.cas.attach_obs(reg);
+    }
+
     fn publish(&self, _catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         let _name_guard = self.names.lock(&vmi.name);
         let t0 = self.env.clock.now();

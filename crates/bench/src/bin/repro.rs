@@ -60,6 +60,13 @@
 //!                     wire responses must be byte-identical to the
 //!                     in-process table at any fault rate; exits 1
 //!                     otherwise.
+//! repro profile [--images N] [--seed N] [--json F]
+//!                     span-tree profile of the dedup publish pipeline:
+//!                     each image's publish is traced through its
+//!                     chunk / dedup / compress / append phases and the
+//!                     aggregated tree is printed with per-phase totals.
+//!                     Exits 1 if the span accounting does not nest
+//!                     (sum of phases <= publish <= run wall).
 //! repro audit [--world small]
 //!                     publish the world into all five stores, delete a
 //!                     third of the images, then run every store's deep
@@ -83,6 +90,14 @@
 //! test world (used by the CLI smoke tests). It applies to the
 //! catalog-driven commands — table2, fig3b, fig4b, fig5a, fig5b;
 //! fig3a/fig3c/fig4a reference images only the standard world defines.
+//!
+//! `churn`, `serve`, and `bench` additionally take `--metrics FILE`:
+//! an xpl-obs registry is attached to every store/server in the run
+//! and its snapshot (deterministic + wall sections, with fingerprints)
+//! is written to FILE as canonical JSON. Attaching the registry never
+//! changes the run's report or exit code — the det section is a pure
+//! function of the executed ops, byte-identical at any `--threads`.
+//! `--no-metrics` spells the default explicitly.
 
 use std::io::Write as _;
 use xpl_bench::experiments::*;
@@ -176,6 +191,51 @@ fn parse_codec_tier(args: &[String]) -> Option<xpl_store::TierPolicy> {
     })
 }
 
+/// `--metrics FILE`: an xpl-obs registry attached to the run and
+/// snapshotted to FILE afterwards (canonical JSON, det + wall
+/// sections). `--no-metrics` spells the default explicitly so CI
+/// invocations that pin "report unchanged by metrics" are
+/// self-documenting. Attaching a registry never changes any report or
+/// exit code — only whether FILE is written.
+struct Metrics {
+    path: String,
+    registry: std::sync::Arc<xpl_obs::Registry>,
+}
+
+fn parse_metrics(args: &[String]) -> Option<Metrics> {
+    let path = flag_value(args, "--metrics");
+    if args.iter().any(|a| a == "--no-metrics") {
+        if path.is_some() {
+            fail("--metrics and --no-metrics are mutually exclusive".to_string());
+        }
+        return None;
+    }
+    path.map(|path| Metrics {
+        path,
+        registry: xpl_obs::Registry::new(),
+    })
+}
+
+impl Metrics {
+    fn registry(&self) -> Option<&std::sync::Arc<xpl_obs::Registry>> {
+        Some(&self.registry)
+    }
+
+    /// Snapshot the registry into the requested file. Written even when
+    /// the run's oracle fails, so a red CI job still uploads metrics.
+    fn finish(&self) {
+        let snap = self.registry.snapshot();
+        std::fs::File::create(&self.path)
+            .and_then(|mut f| f.write_all(snap.render_json().as_bytes()))
+            .expect("write metrics JSON");
+        eprintln!(
+            "[repro] wrote {} (det fingerprint {})",
+            self.path,
+            snap.det_fingerprint()
+        );
+    }
+}
+
 fn run_churn_cmd(args: &[String]) -> ! {
     let seed: u64 = parse_u64_flag(args, "--seed").unwrap_or(0xDEADBEEF);
     let ops: usize = parse_nonzero_flag(args, "--ops").unwrap_or(500) as usize;
@@ -202,17 +262,19 @@ fn run_churn_cmd(args: &[String]) -> ! {
         }
         cfg = cfg.with_durable(dcfg);
     }
+    let metrics = parse_metrics(args);
+    let registry = metrics.as_ref().and_then(Metrics::registry);
     let threads = parse_threads(args);
     let report = match threads {
         Some(n) => {
             eprintln!(
                 "[repro] churn replay: seed={seed:#x} ops={ops} threads={n} durable={durable}"
             );
-            churn::run_churn_threads(&cfg, n)
+            churn::run_churn_threads_with(&cfg, n, registry)
         }
         None => {
             eprintln!("[repro] churn replay: seed={seed:#x} ops={ops} durable={durable}");
-            churn::run_churn(&cfg)
+            churn::run_churn_with(&cfg, registry)
         }
     };
     println!("CHURN: {} ops replayed against 5 stores", report.ops);
@@ -263,6 +325,9 @@ fn run_churn_cmd(args: &[String]) -> ! {
             .and_then(|mut f| f.write_all(json.as_bytes()))
             .expect("write churn JSON");
         eprintln!("[repro] wrote {path}");
+    }
+    if let Some(m) = &metrics {
+        m.finish();
     }
     if report.violations.is_empty() {
         println!("  oracle: PASS");
@@ -333,7 +398,7 @@ fn run_audit_cmd(args: &[String]) -> ! {
 /// `repro serve` — the multi-tenant registry serving benchmark (see
 /// `xpl_bench::serve` for the three-phase pipeline).
 fn run_serve_cmd(args: &[String]) -> ! {
-    use xpl_bench::{run_serve, ServeRunConfig, StoreKind};
+    use xpl_bench::{ServeRunConfig, StoreKind};
     let seed: u64 = parse_u64_flag(args, "--seed").unwrap_or(0xC0FFEE);
     let mut cfg = match parse_scale(args) {
         "standard" => ServeRunConfig::standard(seed),
@@ -364,11 +429,13 @@ fn run_serve_cmd(args: &[String]) -> ! {
     if let Some(tier) = parse_codec_tier(args) {
         cfg.tier = tier;
     }
+    let metrics = parse_metrics(args);
+    let registry = metrics.as_ref().and_then(Metrics::registry);
 
     // `--net`: serve the schedule over the wire layer instead of the
     // virtual-time registry simulation (see `xpl_bench::serve_net`).
     if args.iter().any(|a| a == "--net") || flag_value(args, "--net-faults").is_some() {
-        use xpl_bench::{run_serve_net, NetServeConfig, NetTransportKind};
+        use xpl_bench::{NetServeConfig, NetTransportKind};
         let mut net = NetServeConfig::default();
         if let Some(rate) = parse_u64_flag(args, "--net-faults") {
             if rate > 256 {
@@ -396,7 +463,7 @@ fn run_serve_cmd(args: &[String]) -> ! {
              transport={:?} faults={}/256",
             cfg.scale_name, cfg.tenants, cfg.requests, cfg.store, net.transport, net.fault_rate
         );
-        let report = run_serve_net(&cfg, &net);
+        let report = xpl_bench::run_serve_net_with(&cfg, &net, registry);
         print!("{}", xpl_bench::serve_net::render_net(&report));
         if let Some(path) = flag_value(args, "--json") {
             let json = serde_json::to_string_pretty(&report).expect("serialize net serve report");
@@ -404,6 +471,9 @@ fn run_serve_cmd(args: &[String]) -> ! {
                 .and_then(|mut f| f.write_all(json.as_bytes()))
                 .expect("write net serve JSON");
             eprintln!("[repro] wrote {path}");
+        }
+        if let Some(m) = &metrics {
+            m.finish();
         }
         if report.violations.is_empty() {
             println!("  oracle: PASS");
@@ -421,7 +491,7 @@ fn run_serve_cmd(args: &[String]) -> ! {
         "[repro] serve: seed={seed:#x} scale={} tenants={} requests={} store={:?}",
         cfg.scale_name, cfg.tenants, cfg.requests, cfg.store
     );
-    let run = || run_serve(&cfg);
+    let run = || xpl_bench::run_serve_with(&cfg, registry);
     let report = match threads {
         Some(n) => rayon::with_num_threads(n, run),
         None => run(),
@@ -433,6 +503,9 @@ fn run_serve_cmd(args: &[String]) -> ! {
             .and_then(|mut f| f.write_all(json.as_bytes()))
             .expect("write serve JSON");
         eprintln!("[repro] wrote {path}");
+    }
+    if let Some(m) = &metrics {
+        m.finish();
     }
     if report.violations.is_empty() {
         println!("  oracle: PASS");
@@ -474,8 +547,13 @@ fn run_bench_cmd(args: &[String]) -> ! {
         if quick { "quick" } else { "full" },
         blocked_codec.name()
     );
+    let metrics = parse_metrics(args);
     let t0 = std::time::Instant::now();
-    let report = xpl_bench::run_microbench_codec(quick, blocked_codec);
+    let report = xpl_bench::run_microbench_codec_with(
+        quick,
+        blocked_codec,
+        metrics.as_ref().and_then(Metrics::registry),
+    );
     print!("{}", xpl_bench::microbench::render(&report));
     if let Some(path) = flag_value(args, "--json") {
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
@@ -484,7 +562,42 @@ fn run_bench_cmd(args: &[String]) -> ! {
             .expect("write bench JSON");
         eprintln!("[repro] wrote {path}");
     }
+    if let Some(m) = &metrics {
+        m.finish();
+    }
     eprintln!("[repro] bench done in {:.1}s", t0.elapsed().as_secs_f64());
+    std::process::exit(0);
+}
+
+/// `repro profile` — the span-tree profile of the publish pipeline
+/// (see `xpl_bench::profile`). Exits 1 if the span accounting
+/// invariant (`sum(phases) <= publish <= wall`) fails.
+fn run_profile_cmd(args: &[String]) -> ! {
+    use xpl_bench::{render_profile, run_profile, ProfileConfig};
+    let mut cfg = ProfileConfig::default();
+    if let Some(n) = parse_nonzero_flag(args, "--images") {
+        cfg.images = n as usize;
+    }
+    if let Some(s) = parse_u64_flag(args, "--seed") {
+        cfg.seed = s;
+    }
+    eprintln!(
+        "[repro] profiling the publish pipeline: images={} seed={:#x}",
+        cfg.images, cfg.seed
+    );
+    let report = run_profile(&cfg);
+    print!("{}", render_profile(&report));
+    if let Some(path) = flag_value(args, "--json") {
+        let json = serde_json::to_string_pretty(&report).expect("serialize profile report");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .expect("write profile JSON");
+        eprintln!("[repro] wrote {path}");
+    }
+    if !report.spans_nest {
+        eprintln!("PROFILE: span accounting violated (sum(phases) <= publish <= wall failed)");
+        std::process::exit(1);
+    }
     std::process::exit(0);
 }
 
@@ -543,6 +656,10 @@ fn main() {
         // The serving benchmark generates its own scaled world.
         run_serve_cmd(&args);
     }
+    if cmd == "profile" {
+        // The profile generates its own scaled world.
+        run_profile_cmd(&args);
+    }
     if cmd == "audit" {
         // The audit builds its own world (honoring --world small).
         run_audit_cmd(&args);
@@ -562,7 +679,7 @@ fn main() {
     if !KNOWN.contains(&cmd) {
         eprintln!("unknown experiment: {cmd}");
         eprintln!(
-            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|ablate-codec|churn|serve|bench|audit|all]"
+            "usage: repro [table2|fig3a|fig3b|fig3c|fig4a|fig4b|fig5a|fig5b|ablations|ablate-codec|churn|serve|profile|bench|audit|all]"
         );
         std::process::exit(2);
     }

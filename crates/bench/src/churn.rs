@@ -762,8 +762,23 @@ fn check_retrieve_range(
 /// Replay `cfg` sequentially and return the oracle's report (the
 /// original per-op-integrity driver; `repro churn` without `--threads`).
 pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
+    run_churn_with(cfg, None)
+}
+
+/// [`run_churn`] with an optional metrics registry attached to every
+/// replica before the replay. Attachment must never change the report:
+/// the `det` section of the resulting snapshot is derived purely from
+/// the executed op multiset, so it is byte-identical at any thread
+/// count, and the report itself is byte-identical with or without the
+/// registry (CI pins both properties).
+pub fn run_churn_with(cfg: &ChurnConfig, registry: Option<&Arc<xpl_obs::Registry>>) -> ChurnReport {
     let (world, trace) = churn_trace(cfg);
     let mut replicas = fresh_replicas(cfg.durable.is_some(), cfg.tier);
+    if let Some(reg) = registry {
+        for r in &replicas {
+            r.store.attach_obs(reg);
+        }
+    }
     let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
     let mut violations: Vec<String> = Vec::new();
     let mut checks = 0u64;
@@ -1008,12 +1023,30 @@ fn is_write(op: &TraceOp) -> bool {
 /// out across the pool. The report is byte-identical for every
 /// `threads` value (see the module docs for why).
 pub fn run_churn_threads(cfg: &ChurnConfig, threads: usize) -> ChurnReport {
-    rayon::with_num_threads(threads.max(1), || run_churn_concurrent_inner(cfg))
+    run_churn_threads_with(cfg, threads, None)
 }
 
-fn run_churn_concurrent_inner(cfg: &ChurnConfig) -> ChurnReport {
+/// [`run_churn_threads`] with an optional metrics registry; see
+/// [`run_churn_with`] for the determinism contract.
+pub fn run_churn_threads_with(
+    cfg: &ChurnConfig,
+    threads: usize,
+    registry: Option<&Arc<xpl_obs::Registry>>,
+) -> ChurnReport {
+    rayon::with_num_threads(threads.max(1), || run_churn_concurrent_inner(cfg, registry))
+}
+
+fn run_churn_concurrent_inner(
+    cfg: &ChurnConfig,
+    registry: Option<&Arc<xpl_obs::Registry>>,
+) -> ChurnReport {
     let (world, trace) = churn_trace(cfg);
     let mut replicas = fresh_replicas(cfg.durable.is_some(), cfg.tier);
+    if let Some(reg) = registry {
+        for r in &replicas {
+            r.store.attach_obs(reg);
+        }
+    }
     let mut live: FxHashMap<String, LiveImage> = FxHashMap::default();
     let mut vmis: Vec<xpl_guestfs::Vmi> = Vec::new();
     // Fingerprints of each publish, parallel to `vmis` — computed once
@@ -1428,6 +1461,67 @@ mod tests {
             assert_eq!(a.wal_appends, b.wal_appends);
             assert_eq!(a.checkpoints, b.checkpoints);
         }
+    }
+
+    #[test]
+    fn det_metrics_are_thread_count_invariant() {
+        // The tentpole pin: the registry's deterministic section is a
+        // pure function of the executed op multiset, so its fingerprint
+        // must be byte-identical at 1, 2, and 8 pool threads — and
+        // match the sequential driver too (same trace, same ops).
+        let cfg = ChurnConfig::small(0x0B5EED, 60);
+        let fp_at = |threads: usize| {
+            let registry = xpl_obs::Registry::new();
+            let r = run_churn_threads_with(&cfg, threads, Some(&registry));
+            assert!(r.violations.is_empty(), "{:#?}", r.violations);
+            let snap = registry.snapshot();
+            (
+                snap.det_fingerprint(),
+                snap.render_section_json(xpl_obs::Section::Det),
+            )
+        };
+        let (fp1, det1) = fp_at(1);
+        let (fp2, det2) = fp_at(2);
+        let (fp8, det8) = fp_at(8);
+        assert_eq!(det1, det2, "det section diverged between 1 and 2 threads");
+        assert_eq!(det1, det8, "det section diverged between 1 and 8 threads");
+        assert_eq!(fp1, fp2);
+        assert_eq!(fp1, fp8);
+
+        let seq_registry = xpl_obs::Registry::new();
+        let seq = run_churn_with(&cfg, Some(&seq_registry));
+        assert!(seq.violations.is_empty(), "{:#?}", seq.violations);
+        assert_eq!(
+            seq_registry
+                .snapshot()
+                .render_section_json(xpl_obs::Section::Det),
+            det1,
+            "sequential and pooled drivers must count the same ops"
+        );
+    }
+
+    #[test]
+    fn attaching_metrics_never_changes_the_report() {
+        // The zero-interference pin: the churn report (fingerprints,
+        // ledgers, violations — everything) is byte-identical whether
+        // or not a registry was attached, in both drivers.
+        let cfg = ChurnConfig::small(0xFACADE, 60);
+        let render = |r: &ChurnReport| serde_json::to_string_pretty(r).unwrap();
+
+        let plain = run_churn(&cfg);
+        let registry = xpl_obs::Registry::new();
+        let with = run_churn_with(&cfg, Some(&registry));
+        assert_eq!(render(&plain), render(&with));
+        assert!(
+            registry.snapshot().det_fingerprint()
+                != xpl_obs::Registry::new().snapshot().det_fingerprint(),
+            "the attached registry must actually have counted something"
+        );
+
+        let plain_t = run_churn_threads(&cfg, 4);
+        let registry_t = xpl_obs::Registry::new();
+        let with_t = run_churn_threads_with(&cfg, 4, Some(&registry_t));
+        assert_eq!(render(&plain_t), render(&with_t));
     }
 
     #[test]

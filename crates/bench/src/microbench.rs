@@ -30,8 +30,8 @@ use xpl_store::ImageStore;
 use xpl_util::{Crc32, Sha256};
 use xpl_workloads::World;
 
-use crate::churn::{run_churn, ChurnConfig};
-use crate::serve::{run_serve, ServeRunConfig};
+use crate::churn::ChurnConfig;
+use crate::serve::ServeRunConfig;
 
 /// One kernel measurement.
 #[derive(Clone, Debug, Serialize)]
@@ -175,6 +175,25 @@ pub struct ServingBench {
     pub request_log_sha256: String,
 }
 
+/// The observability tax: the same fixed-seed churn replay timed bare
+/// and with a metrics registry attached (every counter bump live on the
+/// hot paths), min-of-N each so scheduler noise cancels.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsOverhead {
+    pub churn_ops: usize,
+    /// Runs per leg; the reported walls are each leg's minimum.
+    pub runs_each: u32,
+    pub plain_wall_s: f64,
+    pub metrics_wall_s: f64,
+    /// `metrics_wall_s / plain_wall_s - 1` (negative = noise).
+    pub overhead_frac: f64,
+    /// CPUs the host actually has (see [`ParallelBench::host_cpus`]).
+    pub host_cpus: usize,
+    /// Whether the <5% overhead gate applies. Single-core hosts are
+    /// exempt: one preempted timeslice there swamps the signal.
+    pub gated: bool,
+}
+
 /// The machine-readable `BENCH.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -188,6 +207,7 @@ pub struct BenchReport {
     pub codec: CodecBench,
     pub persist: PersistBench,
     pub serving: ServingBench,
+    pub metrics_overhead: MetricsOverhead,
     pub end_to_end: EndToEnd,
 }
 
@@ -251,6 +271,19 @@ pub fn run_microbench(quick: bool) -> BenchReport {
 /// kernels (`lz4-compress` / `lz4-decompress` / `hot-range-read`)
 /// always measure both codecs regardless of this choice.
 pub fn run_microbench_codec(quick: bool, blocked_codec: InnerCodec) -> BenchReport {
+    run_microbench_codec_with(quick, blocked_codec, None)
+}
+
+/// Like [`run_microbench_codec`], with an optional metrics registry
+/// (`repro bench --metrics`). The registry is attached to the serving
+/// and churn legs; the `metrics_overhead` section always builds its own
+/// private registries so the instrumented-vs-bare comparison stays
+/// clean regardless of this choice.
+pub fn run_microbench_codec_with(
+    quick: bool,
+    blocked_codec: InnerCodec,
+    registry: Option<&std::sync::Arc<xpl_obs::Registry>>,
+) -> BenchReport {
     let budget = if quick { 0.05 } else { 0.8 };
     let scale = if quick { 1 } else { 8 };
     let mut kernels = Vec::new();
@@ -454,7 +487,7 @@ pub fn run_microbench_codec(quick: bool, blocked_codec: InnerCodec) -> BenchRepo
     } else {
         ServeRunConfig::standard(0xBE6C)
     };
-    let serve = run_serve(&serve_cfg);
+    let serve = crate::serve::run_serve_with(&serve_cfg, registry);
     assert!(
         serve.violations.is_empty(),
         "serve differential oracle failed during bench: {:?}",
@@ -519,7 +552,7 @@ pub fn run_microbench_codec(quick: bool, blocked_codec: InnerCodec) -> BenchRepo
         ChurnConfig::standard(0xBE6C, churn_ops)
     };
     let t0 = Instant::now();
-    let report = run_churn(&cfg);
+    let report = crate::churn::run_churn_with(&cfg, registry);
     let churn_wall_s = t0.elapsed().as_secs_f64();
     assert!(
         report.violations.is_empty(),
@@ -527,8 +560,42 @@ pub fn run_microbench_codec(quick: bool, blocked_codec: InnerCodec) -> BenchRepo
         report.violations
     );
 
+    // --- metrics overhead -------------------------------------------
+    // The same replay, smaller, timed bare vs instrumented. Min-of-N:
+    // the fastest run of each leg is the one least disturbed by the
+    // scheduler, which is exactly the comparison we want.
+    let overhead_ops = if quick { 24 } else { 120 };
+    let overhead_cfg = if quick {
+        ChurnConfig::small(0xBE6C, overhead_ops)
+    } else {
+        ChurnConfig::standard(0xBE6C, overhead_ops)
+    };
+    let runs_each = 3u32;
+    let time_leg = |with_metrics: bool| -> f64 {
+        (0..runs_each)
+            .map(|_| {
+                let registry = with_metrics.then(xpl_obs::Registry::new);
+                let t = Instant::now();
+                let r = crate::churn::run_churn_with(&overhead_cfg, registry.as_ref());
+                assert!(r.violations.is_empty(), "{:?}", r.violations);
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let plain_wall_s = time_leg(false);
+    let metrics_wall_s = time_leg(true);
+    let metrics_overhead = MetricsOverhead {
+        churn_ops: overhead_ops,
+        runs_each,
+        plain_wall_s,
+        metrics_wall_s,
+        overhead_frac: metrics_wall_s / plain_wall_s - 1.0,
+        host_cpus,
+        gated: host_cpus > 1,
+    };
+
     BenchReport {
-        schema_version: 6,
+        schema_version: 7,
         quick,
         host_cpus,
         kernels,
@@ -537,6 +604,7 @@ pub fn run_microbench_codec(quick: bool, blocked_codec: InnerCodec) -> BenchRepo
         codec,
         persist,
         serving,
+        metrics_overhead,
         end_to_end: EndToEnd {
             publish_images: names.len(),
             publish_wall_s,
@@ -671,8 +739,8 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         .get("schema_version")
         .and_then(|s| s.as_f64())
         .ok_or("missing schema_version")?;
-    if schema != 6.0 {
-        return Err(format!("unsupported schema_version {schema} (expected 6)"));
+    if schema != 7.0 {
+        return Err(format!("unsupported schema_version {schema} (expected 7)"));
     }
     let kernels = v
         .get("kernels")
@@ -724,6 +792,8 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         ("serving", "p50_latency_ms"),
         ("serving", "sustained_ops_per_s"),
         ("serving", "fairness_max_min_served"),
+        ("metrics_overhead", "plain_wall_s"),
+        ("metrics_overhead", "metrics_wall_s"),
     ] {
         let t = v
             .get(path.0)
@@ -749,6 +819,28 @@ pub fn check_report_json(json: &str) -> Result<(), String> {
         if !(t.is_finite() && t > 0.0) {
             return Err(format!("end_to_end/{field}: {t} not positive"));
         }
+    }
+
+    // The observability-tax gate: with real parallelism available the
+    // metrics leg must stay within 5% of the bare leg. Single-core
+    // hosts (gated=false) are exempt — one preempted timeslice there
+    // dwarfs any counter cost.
+    let mo = v
+        .get("metrics_overhead")
+        .ok_or("metrics_overhead missing")?;
+    let gated = mo.get("gated").and_then(|g| g.as_bool()).unwrap_or(false);
+    let overhead = mo
+        .get("overhead_frac")
+        .and_then(|x| x.as_f64())
+        .ok_or("metrics_overhead/overhead_frac missing")?;
+    if !overhead.is_finite() {
+        return Err(format!("metrics_overhead/overhead_frac: {overhead}"));
+    }
+    if gated && overhead >= 0.05 {
+        return Err(format!(
+            "metrics registry costs {:.1}% churn wall (>= 5% gate)",
+            overhead * 100.0
+        ));
     }
 
     // Structural random-access claim, host-independent: the standard

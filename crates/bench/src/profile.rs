@@ -1,0 +1,234 @@
+//! `repro profile` — a wall-clock span profile of the dedup publish
+//! pipeline.
+//!
+//! Drives the pipeline's four phases by hand over a seeded
+//! [`ScaledWorld`] so each phase lands in its own trace span:
+//! **chunk** (serialize the image's disk and content-define chunk
+//! boundaries), **dedup** (digest each chunk against the repository
+//! index), **compress** (encode the novel chunks), **append** (write
+//! the encoded records into the segment). Every image gets one
+//! `publish` parent span; the four phases are its children. The output
+//! is the aggregated span tree ([`xpl_obs::render_tree`]) plus a
+//! machine-readable report, and the report carries the invariant the
+//! subcommand asserts: the phase totals sum to no more than the
+//! `publish` total, which sums to no more than the measured run wall.
+//! (Real time, real work — this is the one deliberately
+//! non-deterministic corner of the bench crate.)
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use xpl_chunking::rabin::{chunk_cdc, CdcParams};
+use xpl_chunking::ChunkIndex;
+use xpl_obs::{aggregate_spans, render_tree, AggSpan, TraceRing, WallClock};
+use xpl_workloads::{ScaleConfig, ScaledWorld};
+
+/// `repro profile` parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileConfig {
+    /// Images to publish (capped at the generated catalog size).
+    pub images: usize,
+    /// Seeds the generated world.
+    pub seed: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            images: 12,
+            seed: 0xDEADBEEF,
+        }
+    }
+}
+
+/// One phase's aggregate from the span tree.
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseRow {
+    pub phase: String,
+    pub calls: u64,
+    pub total_ns: u64,
+}
+
+/// The machine-readable `repro profile` report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProfileReport {
+    pub schema_version: u32,
+    pub seed: u64,
+    pub images: usize,
+    pub chunks: u64,
+    pub unique_chunks: u64,
+    pub logical_bytes: u64,
+    pub stored_bytes: u64,
+    /// Total time under `publish` spans.
+    pub publish_ns: u64,
+    /// The four phases, in pipeline order.
+    pub phases: Vec<PhaseRow>,
+    /// Wall clock of the whole run (world generation included).
+    pub wall_ns: u64,
+    /// `true` iff `sum(phases) <= publish_ns <= wall_ns` held.
+    pub spans_nest: bool,
+    /// The rendered span tree.
+    pub tree: String,
+}
+
+/// Run the profile. See the module docs for the phase structure.
+pub fn run_profile(cfg: &ProfileConfig) -> ProfileReport {
+    let t0 = Instant::now();
+    let world = ScaledWorld::generate(&ScaleConfig::small(cfg.seed));
+    let names = world.image_names();
+    let images = cfg.images.clamp(1, names.len());
+
+    let ring = TraceRing::new(64 * 1024, Arc::new(WallClock::new()));
+    let mut index = ChunkIndex::new();
+    let mut segment: Vec<u8> = Vec::new();
+    let (mut chunks, mut unique, mut logical) = (0u64, 0u64, 0u64);
+
+    // Each image is published twice — its initial generation and one
+    // upgrade — so the dedup leg sees the repository's actual
+    // redundancy profile (cross-generation content plus shared
+    // libraries), not a cold index every time.
+    let publishes: Vec<(&String, u32)> = names
+        .iter()
+        .take(images)
+        .flat_map(|n| [(n, 0u32), (n, 1u32)])
+        .collect();
+    for &(name, generation) in &publishes {
+        let vmi = world.build(name, generation);
+        let publish = TraceRing::span(&ring, "publish", None);
+
+        let (raw, spans) = {
+            let _s = TraceRing::span(&ring, "chunk", Some(publish.id()));
+            let raw = vmi.disk.serialize();
+            let spans = chunk_cdc(&raw, CdcParams::with_avg(1024));
+            (raw, spans)
+        };
+        logical += raw.len() as u64;
+        chunks += spans.len() as u64;
+
+        // Dedup: digest every chunk against the cross-image index; only
+        // novel content moves on to the encode + append legs.
+        let novel: Vec<&[u8]> = {
+            let _s = TraceRing::span(&ring, "dedup", Some(publish.id()));
+            spans
+                .iter()
+                .map(|sp| &raw[sp.offset..sp.offset + sp.len])
+                .filter(|chunk| index.insert(chunk))
+                .collect()
+        };
+        unique += novel.len() as u64;
+
+        let encoded: Vec<Vec<u8>> = {
+            let _s = TraceRing::span(&ring, "compress", Some(publish.id()));
+            novel
+                .iter()
+                .map(|chunk| xpl_compress::lz4_compress(chunk))
+                .collect()
+        };
+
+        {
+            let _s = TraceRing::span(&ring, "append", Some(publish.id()));
+            for rec in &encoded {
+                segment.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+                segment.extend_from_slice(rec);
+            }
+        }
+    }
+
+    let spans = ring.completed();
+    let agg = aggregate_spans(&spans);
+    let tree = render_tree(&spans);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let publish_agg: Option<&AggSpan> = agg.iter().find(|a| a.name == "publish");
+    let publish_ns = publish_agg.map_or(0, |a| a.total_ns);
+    let phases: Vec<PhaseRow> = ["chunk", "dedup", "compress", "append"]
+        .iter()
+        .map(|phase| {
+            let node = publish_agg.and_then(|p| p.children.iter().find(|c| &c.name == phase));
+            PhaseRow {
+                phase: phase.to_string(),
+                calls: node.map_or(0, |n| n.count),
+                total_ns: node.map_or(0, |n| n.total_ns),
+            }
+        })
+        .collect();
+    let phase_sum: u64 = phases.iter().map(|p| p.total_ns).sum();
+    let spans_nest = phase_sum <= publish_ns && publish_ns <= wall_ns;
+
+    ProfileReport {
+        schema_version: 1,
+        seed: cfg.seed,
+        images,
+        chunks,
+        unique_chunks: unique,
+        logical_bytes: logical,
+        stored_bytes: segment.len() as u64,
+        publish_ns,
+        phases,
+        wall_ns,
+        spans_nest,
+        tree,
+    }
+}
+
+/// Console rendering of a profile report.
+pub fn render_profile(r: &ProfileReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "PROFILE: {} images published (seed {:#x}) — {} chunks, {} unique, \
+         {} logical bytes -> {} stored",
+        r.images, r.seed, r.chunks, r.unique_chunks, r.logical_bytes, r.stored_bytes
+    );
+    s.push_str(&r.tree);
+    let _ = writeln!(
+        s,
+        "publish total {:.3} ms of {:.3} ms run wall (phases nest: {})",
+        r.publish_ns as f64 / 1e6,
+        r.wall_ns as f64 / 1e6,
+        r.spans_nest
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_nest_and_account_for_the_pipeline() {
+        let r = run_profile(&ProfileConfig {
+            images: 4,
+            seed: 0xBEE,
+        });
+        assert!(r.spans_nest, "phase sums must nest inside publish/wall");
+        assert_eq!(r.phases.len(), 4);
+        for p in &r.phases {
+            assert_eq!(p.calls, 8, "{}: one span per publish (2/image)", p.phase);
+        }
+        assert!(r.chunks >= r.unique_chunks);
+        assert!(r.unique_chunks > 0, "pipeline stored nothing");
+        assert!(
+            r.stored_bytes < r.logical_bytes,
+            "dedup+compression should shrink the stream"
+        );
+        let text = render_profile(&r);
+        assert!(text.contains("publish"), "{text}");
+        assert!(text.contains("compress"), "{text}");
+    }
+
+    #[test]
+    fn dedup_sees_cross_image_redundancy() {
+        let r = run_profile(&ProfileConfig {
+            images: 8,
+            seed: 0xBEEF,
+        });
+        assert!(
+            r.unique_chunks < r.chunks,
+            "shared libraries must dedup across images: {} of {}",
+            r.unique_chunks,
+            r.chunks
+        );
+    }
+}

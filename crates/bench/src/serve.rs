@@ -34,7 +34,8 @@ use std::time::Instant;
 use xpl_baselines::{GzipStore, HemeraStore, MirageStore, QcowStore};
 use xpl_core::ExpelliarmusRepo;
 use xpl_registry::{
-    run_registry, RegistryConfig, RegistryOutcome, RequestKey, ServeRequest, ServiceModel,
+    run_registry_obs, RegObs, RegistryConfig, RegistryOutcome, RequestKey, ServeRequest,
+    ServiceModel,
 };
 use xpl_simio::SimEnv;
 use xpl_store::{semantic_fingerprint, ImageStore, RetrieveRequest, StoreError, TierPolicy};
@@ -322,12 +323,26 @@ pub(crate) fn prepare(cfg: &ServeRunConfig) -> PreparedServe {
 
 /// Run the full serve pipeline. See the module docs for the phases.
 pub fn run_serve(cfg: &ServeRunConfig) -> ServeReport {
+    run_serve_with(cfg, None)
+}
+
+/// [`run_serve`] with an optional metrics registry: the store mirrors
+/// its CAS accounting into `cas.*` and the registry simulation folds
+/// its outcome into `registry.*` after the run. The report is
+/// byte-identical with or without the registry attached.
+pub fn run_serve_with(
+    cfg: &ServeRunConfig,
+    registry: Option<&Arc<xpl_obs::Registry>>,
+) -> ServeReport {
     let PreparedServe {
         world,
         names,
         store,
         requests,
     } = prepare(cfg);
+    if let Some(reg) = registry {
+        store.attach_obs(reg);
+    }
 
     // Phase 1 — generate the key stream and memoize costs. The
     // placeholder-gap schedule draws the same RNG stream as the final
@@ -388,7 +403,9 @@ pub fn run_serve(cfg: &ServeRunConfig) -> ServeReport {
         coalesce: cfg.coalesce,
     };
     let model = MeasuredModel { costs: &costs };
-    let outcome: RegistryOutcome = run_registry(&reg_requests, &model, &reg_cfg);
+    let reg_obs = registry.map(|r| RegObs::new(r));
+    let outcome: RegistryOutcome =
+        run_registry_obs(&reg_requests, &model, &reg_cfg, reg_obs.as_ref());
 
     // Phase 3 — wall-clock replay of the store-hit schedule on the
     // worker pool, with the differential digest check.

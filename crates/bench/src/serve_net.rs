@@ -24,6 +24,7 @@
 use crate::serve::{execute_key, prepare, spec_key, PreparedServe, ServeRunConfig};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xpl_net::{
@@ -109,6 +110,13 @@ pub struct NetServeReport {
     pub faults_torn_writes: u64,
     pub faults_short_reads: u64,
     pub faults_delays: u64,
+    /// Successful `Stats` wire probes issued while the schedule (and
+    /// any fault storm) was in flight. Zero without a registry.
+    pub stats_probes: u64,
+    /// Deterministic-section fingerprint from the last `Stats` probe —
+    /// the mid-drain one when the in-memory host ran, else the last
+    /// mid-storm one. Empty without a registry.
+    pub stats_probe_fingerprint: String,
     pub wall_s: f64,
     pub wire_ops_per_s: f64,
     /// Differential-oracle violations (must be empty at any fault
@@ -154,12 +162,30 @@ fn sorted_table_sha256(table: &HashMap<String, String>) -> String {
 
 /// Run the wire pipeline. See the module docs for the legs.
 pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeReport {
+    run_serve_net_with(cfg, net, None)
+}
+
+/// [`run_serve_net`] with an optional metrics registry. When attached:
+/// the store mirrors its CAS accounting, the server mirrors its
+/// connection accounting onto `net.*` counters, a prober thread issues
+/// `Stats` wire requests *while* the schedule (and any fault storm) is
+/// in flight, and one more probe lands mid-drain on the in-memory
+/// host — every snapshot must come back parseable with a well-formed
+/// deterministic-section fingerprint, or the run records a violation.
+pub fn run_serve_net_with(
+    cfg: &ServeRunConfig,
+    net: &NetServeConfig,
+    registry: Option<&Arc<xpl_obs::Registry>>,
+) -> NetServeReport {
     let PreparedServe {
         world,
         names,
         store,
         requests,
     } = prepare(cfg);
+    if let Some(reg) = registry {
+        store.attach_obs(reg);
+    }
     let world = Arc::new(world);
     let requests = Arc::new(requests);
 
@@ -219,10 +245,29 @@ pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeRepo
     };
     let host = match net.transport {
         NetTransportKind::Tcp => Host::Tcp(
-            NetServer::bind("127.0.0.1:0", svc, wire_cfg)
+            NetServer::bind_obs("127.0.0.1:0", svc, wire_cfg, registry)
                 .unwrap_or_else(|e| panic!("net serve: bind: {e}")),
         ),
-        NetTransportKind::Mem => Host::Mem(Arc::new(MemHost::new(svc, wire_cfg, faults))),
+        NetTransportKind::Mem => {
+            Host::Mem(Arc::new(MemHost::new_obs(svc, wire_cfg, faults, registry)))
+        }
+    };
+    let probe_client = |tenant: u32, seed: u64| -> NetClient {
+        match &host {
+            Host::Tcp(server) => {
+                NetClient::tcp(server.local_addr(), tenant, wire_cfg, backoff, seed)
+            }
+            Host::Mem(host) => {
+                let host = host.clone();
+                NetClient::new(
+                    tenant,
+                    wire_cfg,
+                    backoff,
+                    seed,
+                    Box::new(move || Ok(host.connect())),
+                )
+            }
+        }
     };
 
     // Partition each tenant's request stream round-robin across its
@@ -231,6 +276,9 @@ pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeRepo
     let wire_table: Mutex<HashMap<String, String>> = Mutex::new(HashMap::new());
     let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let pool_stats: Mutex<Vec<ClientStats>> = Mutex::new(Vec::new());
+    let workers_live = AtomicUsize::new(0);
+    let probes_ok = AtomicU64::new(0);
+    let last_probe_fp: Mutex<String> = Mutex::new(String::new());
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for tenant in 0..cfg.tenants {
@@ -261,8 +309,9 @@ pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeRepo
                         )
                     }
                 };
-                let (wire_table, violations, pool_stats, memo) =
-                    (&wire_table, &violations, &pool_stats, &memo);
+                workers_live.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let (wire_table, violations, pool_stats, memo, workers_live) =
+                    (&wire_table, &violations, &pool_stats, &memo, &workers_live);
                 scope.spawn(move || {
                     for key in slice {
                         match client.call(key.as_bytes()) {
@@ -294,11 +343,78 @@ pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeRepo
                     }
                     client.close();
                     pool_stats.lock().unwrap().push(client.stats);
+                    workers_live.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
                 });
             }
         }
+
+        // The mid-storm prober: while worker clients push the schedule
+        // through (and the storm tears at their connections), keep
+        // asking the same server for its metrics snapshot over the
+        // wire. Every reply must parse and carry a fingerprint.
+        if registry.is_some() {
+            let (violations, workers_live, probes_ok, last_probe_fp) =
+                (&violations, &workers_live, &probes_ok, &last_probe_fp);
+            let mut prober = probe_client(0, net.net_seed ^ 0x5747_5053);
+            scope.spawn(move || {
+                while workers_live.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+                    match prober.stats_snapshot() {
+                        Ok(raw) => match std::str::from_utf8(&raw)
+                            .ok()
+                            .and_then(xpl_obs::parse_det_fingerprint)
+                        {
+                            Some(fp) => {
+                                probes_ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                *last_probe_fp.lock().unwrap() = fp.to_string();
+                            }
+                            None => violations
+                                .lock()
+                                .unwrap()
+                                .push("mid-storm stats probe: unparseable snapshot".into()),
+                        },
+                        Err(e) => violations
+                            .lock()
+                            .unwrap()
+                            .push(format!("mid-storm stats probe failed: {e}")),
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                prober.close();
+            });
+        }
     });
     let wall_s = t0.elapsed().as_secs_f64();
+
+    // Mid-drain probe (in-memory host only: it exposes the drain flag
+    // without joining): the draining server must still answer `Stats`
+    // even as it rejects ordinary requests.
+    if let (Some(_), Host::Mem(mem)) = (registry, &host) {
+        mem.begin_drain();
+        let mut prober = probe_client(0, net.net_seed ^ 0x4452_4149);
+        match prober.stats_snapshot() {
+            Ok(raw) => match std::str::from_utf8(&raw)
+                .ok()
+                .and_then(xpl_obs::parse_det_fingerprint)
+            {
+                Some(fp) => *last_probe_fp.lock().unwrap() = fp.to_string(),
+                None => violations
+                    .lock()
+                    .unwrap()
+                    .push("mid-drain stats probe: unparseable snapshot".into()),
+            },
+            Err(e) => violations
+                .lock()
+                .unwrap()
+                .push(format!("mid-drain stats probe failed: {e}")),
+        }
+        match prober.call(b"retrieve anything") {
+            Err(xpl_net::NetError::Rejected(_)) => {}
+            other => violations.lock().unwrap().push(format!(
+                "mid-drain ordinary call should be Rejected, got {other:?}"
+            )),
+        }
+        prober.close();
+    }
 
     // Leg 3 — drain and close the books.
     let (srv, fault_counts, transport_name) = match host {
@@ -344,8 +460,36 @@ pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeRepo
         ));
     }
 
+    let retries: u64 = pool_stats.iter().map(|s| s.retries).sum();
+    let reconnects: u64 = pool_stats.iter().map(|s| s.reconnects).sum();
+    let overloads_seen: u64 = pool_stats.iter().map(|s| s.overloads_seen).sum();
+    if let Some(reg) = registry {
+        // Fold the client-pool and injected-fault accounting onto the
+        // canonical metric names, so the snapshot carries the same
+        // numbers the report does (the server side already mirrored
+        // live through `ServerObs`).
+        use xpl_obs::Section::Wall;
+        reg.counter("net.client.served", Wall).add(served);
+        reg.counter("net.client.retries", Wall).add(retries);
+        reg.counter("net.client.reconnects", Wall).add(reconnects);
+        reg.counter("net.client.overloads_seen", Wall)
+            .add(overloads_seen);
+        reg.counter("net.faults.resets", Wall).add(fault_counts[0]);
+        reg.counter("net.faults.torn_writes", Wall)
+            .add(fault_counts[1]);
+        reg.counter("net.faults.short_reads", Wall)
+            .add(fault_counts[2]);
+        reg.counter("net.faults.delays", Wall).add(fault_counts[3]);
+        // Quiesced registry: two consecutive snapshots must agree.
+        let a = reg.snapshot().fingerprint();
+        let b = reg.snapshot().fingerprint();
+        if a != b {
+            violations.push(format!("quiesced registry unstable: {a} != {b}"));
+        }
+    }
+
     NetServeReport {
-        schema_version: 1,
+        schema_version: 2,
         seed: cfg.seed,
         net_seed: net.net_seed,
         scale: cfg.scale_name.clone(),
@@ -361,9 +505,9 @@ pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeRepo
         key_digests_sha256,
         wire_key_digests_sha256,
         served,
-        retries: pool_stats.iter().map(|s| s.retries).sum(),
-        reconnects: pool_stats.iter().map(|s| s.reconnects).sum(),
-        overloads_seen: pool_stats.iter().map(|s| s.overloads_seen).sum(),
+        retries,
+        reconnects,
+        overloads_seen,
         srv_connections: srv.connections,
         srv_served: srv.served,
         srv_overloads: srv.overloads,
@@ -375,6 +519,8 @@ pub fn run_serve_net(cfg: &ServeRunConfig, net: &NetServeConfig) -> NetServeRepo
         faults_torn_writes: fault_counts[1],
         faults_short_reads: fault_counts[2],
         faults_delays: fault_counts[3],
+        stats_probes: probes_ok.load(std::sync::atomic::Ordering::Relaxed),
+        stats_probe_fingerprint: last_probe_fp.into_inner().unwrap(),
         wall_s,
         wire_ops_per_s: if wall_s > 0.0 {
             served as f64 / wall_s
@@ -485,6 +631,38 @@ mod tests {
         let wire = run_serve_net(&cfg, &net);
         assert_eq!(wire.key_digests_sha256, in_process.key_digests_sha256);
         assert_eq!(wire.wire_key_digests_sha256, in_process.key_digests_sha256);
+    }
+
+    #[test]
+    fn stats_probes_survive_the_storm_and_the_drain() {
+        // The acceptance pin: `Stats` is served over the wire while the
+        // fault storm is tearing at every other connection, and again
+        // mid-drain — parseable, fingerprinted, zero violations.
+        let cfg = tiny_cfg(0x11EB);
+        let net = NetServeConfig {
+            transport: NetTransportKind::Mem,
+            fault_rate: 24,
+            net_seed: 0xF00D,
+            conns_per_tenant: 2,
+        };
+        let registry = xpl_obs::Registry::new();
+        let r = run_serve_net_with(&cfg, &net, Some(&registry));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.stats_probes >= 1, "no mid-storm probe landed");
+        assert_eq!(
+            r.stats_probe_fingerprint.len(),
+            64,
+            "{}",
+            r.stats_probe_fingerprint
+        );
+        // The registry saw both sides: CAS work (det) and wire traffic
+        // (wall), including the client/fault fold-in.
+        let json = registry.snapshot().render_json();
+        assert!(json.contains("\"cas.get.hits\""), "{json}");
+        assert!(json.contains("\"net.served\""), "{json}");
+        assert!(json.contains("\"net.stats.served\""), "{json}");
+        assert!(json.contains("\"net.client.served\""), "{json}");
+        assert!(json.contains("\"net.faults.resets\""), "{json}");
     }
 
     #[test]

@@ -477,14 +477,42 @@ pub fn verify_blocks(data: &[u8]) -> Result<usize, BlockedError> {
     Ok(index.entries.len())
 }
 
+/// Pre-resolved `xpl-obs` handles for blocked-codec random access.
+/// Counters are cumulative across every reader wired to the same
+/// registry, so callers no longer have to harvest per-reader fields —
+/// the registry is the one source of truth. All deterministic: which
+/// blocks a range read inflates is a pure function of the range and
+/// the container geometry. `verify_blocks` (the audit sweep) bypasses
+/// readers entirely and never moves these.
+pub struct CodecObs {
+    blocks_inflated: std::sync::Arc<xpl_obs::Counter>,
+    inflated_bytes: std::sync::Arc<xpl_obs::Counter>,
+    compressed_bytes_touched: std::sync::Arc<xpl_obs::Counter>,
+}
+
+impl CodecObs {
+    /// Resolve (or re-use) the `codec.*` metric family in `reg`.
+    pub fn new(reg: &xpl_obs::Registry) -> Self {
+        use xpl_obs::Section;
+        CodecObs {
+            blocks_inflated: reg.counter("codec.blocks_inflated", Section::Det),
+            inflated_bytes: reg.counter("codec.inflated_bytes", Section::Det),
+            compressed_bytes_touched: reg.counter("codec.compressed_bytes_touched", Section::Det),
+        }
+    }
+}
+
 /// A random-access reader over one container that caches inflated
 /// blocks, so overlapping reads (a binary search, a cluster walk) pay
 /// each block's inflation once. Tracks distinct blocks inflated — the
-/// honest "how much decompression did this range cost" metric.
+/// honest "how much decompression did this range cost" metric — both
+/// in per-reader accessors and, when an obs sink is attached, in
+/// registry counters bumped incrementally at each cache miss.
 pub struct BlockedReader<'a> {
     data: &'a [u8],
     index: BlockIndex,
     cache: std::collections::HashMap<usize, Vec<u8>>,
+    obs: Option<std::sync::Arc<CodecObs>>,
 }
 
 impl<'a> BlockedReader<'a> {
@@ -493,7 +521,20 @@ impl<'a> BlockedReader<'a> {
             data,
             index: BlockIndex::parse(data)?,
             cache: std::collections::HashMap::new(),
+            obs: None,
         })
+    }
+
+    /// Wire this reader's block accounting into a registry. The fixed
+    /// container overhead (header, footer, index) is charged once, at
+    /// attach time — per-block compressed bytes accrue on each miss,
+    /// keeping the counter consistent with
+    /// [`BlockedReader::compressed_bytes_touched`].
+    pub fn attach_obs(&mut self, obs: std::sync::Arc<CodecObs>) {
+        debug_assert!(self.cache.is_empty(), "attach before reading");
+        obs.compressed_bytes_touched
+            .add((HEADER + FOOTER) as u64 + self.index.entries.len() as u64 * INDEX_ENTRY as u64);
+        self.obs = Some(obs);
     }
 
     pub fn index(&self) -> &BlockIndex {
@@ -538,6 +579,12 @@ impl<'a> BlockedReader<'a> {
         for i in span {
             if !self.cache.contains_key(&i) {
                 let block = inflate_block(self.data, &self.index, i)?;
+                if let Some(o) = &self.obs {
+                    o.blocks_inflated.inc();
+                    o.inflated_bytes.add(block.len() as u64);
+                    o.compressed_bytes_touched
+                        .add(self.index.entries[i].comp_len as u64);
+                }
                 self.cache.insert(i, block);
             }
             let e = &self.index.entries[i];

@@ -354,6 +354,14 @@ impl ImageStore for ExpelliarmusRepo {
         "Expelliarmus"
     }
 
+    fn attach_obs(&self, reg: &std::sync::Arc<xpl_obs::Registry>) {
+        // Both shards share one registry: their `cas.*` counters resolve
+        // to the same metric names, so the snapshot reports the
+        // repository-wide aggregate (relaxed adds commute).
+        self.state.packages.attach_obs(reg);
+        self.state.data_store.attach_obs(reg);
+    }
+
     fn publish(&self, catalog: &Catalog, vmi: &Vmi) -> Result<PublishReport, StoreError> {
         crate::publish::publish(&self.state, catalog, vmi)
     }

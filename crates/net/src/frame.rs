@@ -40,6 +40,10 @@ pub enum FrameKind {
     Request = 2,
     /// A server response (id + status + opaque body).
     Response = 3,
+    /// A metrics-snapshot request (id + empty body). Answered before
+    /// the draining check and outside the admission gate, so snapshots
+    /// stay observable mid-storm and mid-drain.
+    Stats = 4,
 }
 
 impl FrameKind {
@@ -48,6 +52,7 @@ impl FrameKind {
             1 => Ok(FrameKind::Hello),
             2 => Ok(FrameKind::Request),
             3 => Ok(FrameKind::Response),
+            4 => Ok(FrameKind::Stats),
             other => Err(NetError::BadKind(other)),
         }
     }

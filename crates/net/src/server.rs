@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use xpl_obs::{Counter, Registry, Section};
 use xpl_registry::AdmissionGate;
 
 /// What the server executes once a request is admitted. Implemented by
@@ -99,9 +100,100 @@ pub struct ServerStatsSnapshot {
     pub frame_errors: u64,
 }
 
+/// Every way a request or connection can end — the one event vocabulary
+/// both [`ServerStats`] and the registry mirror count in.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Connection,
+    Served,
+    Overload,
+    DrainReject,
+    ServiceError,
+    Eviction,
+    PeerClosed,
+    FrameError,
+}
+
+/// Registry-side mirror of the server's wire accounting, plus raw frame
+/// counts and `Stats`-request serves. All wall-section: connection
+/// lifetimes, deadline evictions and fault-triggered retries depend on
+/// real scheduling, so these counts are honest but not thread-count
+/// deterministic.
+pub struct ServerObs {
+    registry: Arc<Registry>,
+    connections: Arc<Counter>,
+    served: Arc<Counter>,
+    overloads: Arc<Counter>,
+    drain_rejects: Arc<Counter>,
+    service_errors: Arc<Counter>,
+    evictions: Arc<Counter>,
+    peer_closed: Arc<Counter>,
+    frame_errors: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    stats_served: Arc<Counter>,
+}
+
+impl ServerObs {
+    /// Resolve (or re-use) the `net.*` metric family in `reg`.
+    pub fn new(reg: &Arc<Registry>) -> Arc<ServerObs> {
+        let c = |name: &str| reg.counter(name, Section::Wall);
+        Arc::new(ServerObs {
+            connections: c("net.connections"),
+            served: c("net.served"),
+            overloads: c("net.overloads"),
+            drain_rejects: c("net.drain_rejects"),
+            service_errors: c("net.service_errors"),
+            evictions: c("net.evictions"),
+            peer_closed: c("net.peer_closed"),
+            frame_errors: c("net.frame_errors"),
+            frames_in: c("net.frames.in"),
+            frames_out: c("net.frames.out"),
+            stats_served: c("net.stats.served"),
+            registry: Arc::clone(reg),
+        })
+    }
+
+    /// The registry whose snapshot answers `Stats` wire requests.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn counter(&self, ev: Event) -> &Counter {
+        match ev {
+            Event::Connection => &self.connections,
+            Event::Served => &self.served,
+            Event::Overload => &self.overloads,
+            Event::DrainReject => &self.drain_rejects,
+            Event::ServiceError => &self.service_errors,
+            Event::Eviction => &self.evictions,
+            Event::PeerClosed => &self.peer_closed,
+            Event::FrameError => &self.frame_errors,
+        }
+    }
+}
+
 impl ServerStats {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn field(&self, ev: Event) -> &AtomicU64 {
+        match ev {
+            Event::Connection => &self.connections,
+            Event::Served => &self.served,
+            Event::Overload => &self.overloads,
+            Event::DrainReject => &self.drain_rejects,
+            Event::ServiceError => &self.service_errors,
+            Event::Eviction => &self.evictions,
+            Event::PeerClosed => &self.peer_closed,
+            Event::FrameError => &self.frame_errors,
+        }
+    }
+
+    /// Count `ev` in the atomic field and, when attached, the registry
+    /// mirror — one call site per event, so the two can never skew.
+    fn count(&self, ev: Event, obs: Option<&ServerObs>) {
+        self.field(ev).fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = obs {
+            o.counter(ev).inc();
+        }
     }
 
     pub fn snapshot(&self) -> ServerStatsSnapshot {
@@ -129,6 +221,7 @@ pub fn serve_connection(
     cfg: &WireConfig,
     draining: &AtomicBool,
     stats: &ServerStats,
+    obs: Option<&ServerObs>,
 ) {
     let _ = t.set_read_deadline(Some(cfg.read_deadline));
     let _ = t.set_write_deadline(Some(cfg.write_deadline));
@@ -136,26 +229,29 @@ pub fn serve_connection(
     // Handshake: the first frame must be Hello naming the tenant.
     let tenant = match read_frame(&mut *t, cfg.max_frame) {
         Ok(Some(f)) if f.kind == FrameKind::Hello && f.payload.len() == 4 => {
+            if let Some(o) = obs {
+                o.frames_in.inc();
+            }
             u32::from_le_bytes(f.payload[..4].try_into().unwrap())
         }
         Ok(None) => return, // connected and left: nothing lost
         Ok(Some(_)) => {
-            ServerStats::bump(&stats.frame_errors);
+            stats.count(Event::FrameError, obs);
             t.shutdown();
             return;
         }
         Err(NetError::Timeout) => {
-            ServerStats::bump(&stats.evictions);
+            stats.count(Event::Eviction, obs);
             t.shutdown();
             return;
         }
         Err(NetError::PeerClosed | NetError::Reset | NetError::Truncated { .. }) => {
-            ServerStats::bump(&stats.peer_closed);
+            stats.count(Event::PeerClosed, obs);
             t.shutdown();
             return;
         }
         Err(_) => {
-            ServerStats::bump(&stats.frame_errors);
+            stats.count(Event::FrameError, obs);
             t.shutdown();
             return;
         }
@@ -168,39 +264,59 @@ pub fn serve_connection(
             Err(NetError::Timeout) => {
                 // Slow-client eviction: stalled mid-request past the
                 // read deadline.
-                ServerStats::bump(&stats.evictions);
+                stats.count(Event::Eviction, obs);
                 break;
             }
             Err(NetError::PeerClosed | NetError::Reset | NetError::Truncated { .. }) => {
-                ServerStats::bump(&stats.peer_closed);
+                stats.count(Event::PeerClosed, obs);
                 break;
             }
             Err(_) => {
                 // Hostile header (oversized length, bad CRC, bad magic):
                 // rejected typed before any allocation; drop the link.
-                ServerStats::bump(&stats.frame_errors);
+                stats.count(Event::FrameError, obs);
                 break;
             }
         };
-        if frame.kind != FrameKind::Request {
-            ServerStats::bump(&stats.frame_errors);
+        if let Some(o) = obs {
+            o.frames_in.inc();
+        }
+        if frame.kind != FrameKind::Request && frame.kind != FrameKind::Stats {
+            stats.count(Event::FrameError, obs);
             break;
         }
         let (id, body) = match decode_request(&frame.payload) {
             Ok(x) => x,
             Err(_) => {
-                ServerStats::bump(&stats.frame_errors);
+                stats.count(Event::FrameError, obs);
                 break;
             }
         };
 
+        // A Stats request is answered before the draining check and
+        // outside the admission gate: observability must keep working
+        // exactly when the server is overloaded, faulting, or drained.
+        if frame.kind == FrameKind::Stats {
+            let (status, reply) = match obs {
+                Some(o) => {
+                    o.stats_served.inc();
+                    (STATUS_OK, o.registry.snapshot().render_json().into_bytes())
+                }
+                None => (STATUS_ERROR, b"no metrics registry attached".to_vec()),
+            };
+            if !send_reply(&mut *t, stats, obs, id, status, &reply) {
+                break;
+            }
+            continue;
+        }
+
         let (status, reply) = if draining.load(Ordering::Acquire) {
-            ServerStats::bump(&stats.drain_rejects);
+            stats.count(Event::DrainReject, obs);
             (STATUS_DRAINING, b"server draining".to_vec())
         } else {
             match gate.try_admit(tenant) {
                 Err(over) => {
-                    ServerStats::bump(&stats.overloads);
+                    stats.count(Event::Overload, obs);
                     (
                         STATUS_OVERLOAD,
                         format!("{} in flight", over.in_flight).into_bytes(),
@@ -208,43 +324,59 @@ pub fn serve_connection(
                 }
                 Ok(_permit) => match svc.call(tenant, body) {
                     Ok(bytes) => {
-                        ServerStats::bump(&stats.served);
+                        stats.count(Event::Served, obs);
                         (STATUS_OK, bytes)
                     }
                     Err(msg) => {
-                        ServerStats::bump(&stats.service_errors);
+                        stats.count(Event::ServiceError, obs);
                         (STATUS_ERROR, msg.into_bytes())
                     }
                 },
             }
         };
 
-        match write_frame(
-            &mut *t,
-            FrameKind::Response,
-            &encode_response(id, status, &reply),
-        ) {
-            Ok(()) => {}
-            Err(NetError::PeerClosed | NetError::Reset) => {
-                // The client died mid-response: typed, counted, never a
-                // panic (SIGPIPE is ignored; EPIPE maps to PeerClosed).
-                ServerStats::bump(&stats.peer_closed);
-                break;
-            }
-            Err(NetError::Timeout) => {
-                ServerStats::bump(&stats.evictions);
-                break;
-            }
-            Err(_) => {
-                ServerStats::bump(&stats.frame_errors);
-                break;
-            }
+        if !send_reply(&mut *t, stats, obs, id, status, &reply) {
+            break;
         }
         if status == STATUS_DRAINING {
             break; // drained response flushed; close the connection
         }
     }
     t.shutdown();
+}
+
+/// Write one response frame, counting every failure mode. Returns
+/// `false` when the connection is done for.
+fn send_reply(
+    t: &mut dyn Transport,
+    stats: &ServerStats,
+    obs: Option<&ServerObs>,
+    id: u64,
+    status: u8,
+    reply: &[u8],
+) -> bool {
+    match write_frame(t, FrameKind::Response, &encode_response(id, status, reply)) {
+        Ok(()) => {
+            if let Some(o) = obs {
+                o.frames_out.inc();
+            }
+            true
+        }
+        Err(NetError::PeerClosed | NetError::Reset) => {
+            // The client died mid-response: typed, counted, never a
+            // panic (SIGPIPE is ignored; EPIPE maps to PeerClosed).
+            stats.count(Event::PeerClosed, obs);
+            false
+        }
+        Err(NetError::Timeout) => {
+            stats.count(Event::Eviction, obs);
+            false
+        }
+        Err(_) => {
+            stats.count(Event::FrameError, obs);
+            false
+        }
+    }
 }
 
 // ---------------------------------------------------------- TCP server
@@ -267,6 +399,18 @@ impl NetServer {
         svc: Arc<dyn WireService>,
         cfg: WireConfig,
     ) -> Result<NetServer, NetError> {
+        NetServer::bind_obs(addr, svc, cfg, None)
+    }
+
+    /// [`NetServer::bind`] with a metrics registry: every connection
+    /// mirrors its accounting into `net.*` counters and answers
+    /// [`FrameKind::Stats`] requests with a registry snapshot.
+    pub fn bind_obs(
+        addr: &str,
+        svc: Arc<dyn WireService>,
+        cfg: WireConfig,
+        registry: Option<&Arc<Registry>>,
+    ) -> Result<NetServer, NetError> {
         let listener = TcpListener::bind(addr).map_err(NetError::from_io)?;
         let addr = listener.local_addr().map_err(NetError::from_io)?;
         let stopped = Arc::new(AtomicBool::new(false));
@@ -274,6 +418,7 @@ impl NetServer {
         let stats = Arc::new(ServerStats::default());
         let gate = Arc::new(AdmissionGate::new(cfg.queue_depth));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let obs: Option<Arc<ServerObs>> = registry.map(ServerObs::new);
 
         let accept = {
             let (stopped, draining, stats, conns) = (
@@ -290,9 +435,14 @@ impl NetServer {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        ServerStats::bump(&stats.connections);
-                        let (svc, gate, draining, stats) =
-                            (svc.clone(), gate.clone(), draining.clone(), stats.clone());
+                        stats.count(Event::Connection, obs.as_deref());
+                        let (svc, gate, draining, stats, obs) = (
+                            svc.clone(),
+                            gate.clone(),
+                            draining.clone(),
+                            stats.clone(),
+                            obs.clone(),
+                        );
                         let handle = std::thread::Builder::new()
                             .name("xpl-net-conn".into())
                             .spawn(move || {
@@ -303,6 +453,7 @@ impl NetServer {
                                     &cfg,
                                     &draining,
                                     &stats,
+                                    obs.as_deref(),
                                 );
                             })
                             .expect("spawn connection thread");
@@ -375,10 +526,23 @@ pub struct MemHost {
     fault_stats: Arc<FaultStats>,
     conns: Mutex<Vec<JoinHandle<()>>>,
     next_conn: AtomicU64,
+    obs: Option<Arc<ServerObs>>,
 }
 
 impl MemHost {
     pub fn new(svc: Arc<dyn WireService>, cfg: WireConfig, faults: FaultConfig) -> MemHost {
+        MemHost::new_obs(svc, cfg, faults, None)
+    }
+
+    /// [`MemHost::new`] with a metrics registry: connections mirror
+    /// their accounting into `net.*` counters and answer
+    /// [`FrameKind::Stats`] requests with a registry snapshot.
+    pub fn new_obs(
+        svc: Arc<dyn WireService>,
+        cfg: WireConfig,
+        faults: FaultConfig,
+        registry: Option<&Arc<Registry>>,
+    ) -> MemHost {
         MemHost {
             svc,
             gate: Arc::new(AdmissionGate::new(cfg.queue_depth)),
@@ -389,6 +553,7 @@ impl MemHost {
             fault_stats: Arc::new(FaultStats::default()),
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
+            obs: registry.map(ServerObs::new),
         }
     }
 
@@ -416,17 +581,28 @@ impl MemHost {
                 self.fault_stats.clone(),
             ))
         };
-        ServerStats::bump(&self.stats.connections);
-        let (svc, gate, cfg, draining, stats) = (
+        self.stats.count(Event::Connection, self.obs.as_deref());
+        let (svc, gate, cfg, draining, stats, obs) = (
             self.svc.clone(),
             self.gate.clone(),
             self.cfg,
             self.draining.clone(),
             self.stats.clone(),
+            self.obs.clone(),
         );
         let handle = std::thread::Builder::new()
             .name(format!("xpl-net-mem-{id}"))
-            .spawn(move || serve_connection(server_t, &*svc, &gate, &cfg, &draining, &stats))
+            .spawn(move || {
+                serve_connection(
+                    server_t,
+                    &*svc,
+                    &gate,
+                    &cfg,
+                    &draining,
+                    &stats,
+                    obs.as_deref(),
+                )
+            })
             .expect("spawn mem connection thread");
         self.conns.lock().unwrap().push(handle);
         client_t

@@ -451,3 +451,72 @@ fn fault_storm_converges_with_nothing_lost() {
     );
     host.drain();
 }
+
+// ---------------------------------------------------------- stats frames
+
+#[test]
+fn stats_frame_roundtrips_and_survives_drain() {
+    let registry = xpl_obs::Registry::new();
+    let host = Arc::new(MemHost::new_obs(
+        echo_service(),
+        WireConfig::default(),
+        FaultConfig::none(0),
+        Some(&registry),
+    ));
+
+    let conn_host = host.clone();
+    let mut client = NetClient::new(
+        3,
+        WireConfig::default(),
+        BackoffPolicy::default(),
+        41,
+        Box::new(move || Ok(conn_host.connect())),
+    );
+    assert_eq!(client.call(b"warm").unwrap(), expected_echo(3, b"warm"));
+
+    // A healthy-server snapshot: parseable, fingerprint-stable JSON.
+    let snap = client.stats_snapshot().unwrap();
+    let json = String::from_utf8(snap).unwrap();
+    let fp = xpl_obs::parse_det_fingerprint(&json)
+        .expect("snapshot carries a det fingerprint")
+        .to_string();
+    assert_eq!(fp.len(), 64, "sha-256 hex fingerprint: {fp}");
+    assert!(json.contains("\"net.served\""), "{json}");
+
+    host.begin_drain();
+
+    // Ordinary calls now fail fast with Rejected...
+    let err = client.call(b"after").unwrap_err();
+    assert!(matches!(err, NetError::Rejected(_)), "{err:?}");
+
+    // ...but Stats is answered before the draining check: observability
+    // keeps working on the very server that is going away.
+    let snap2 = client.stats_snapshot().unwrap();
+    let json2 = String::from_utf8(snap2).unwrap();
+    let fp2 = xpl_obs::parse_det_fingerprint(&json2).unwrap().to_string();
+    assert_eq!(fp2.len(), 64);
+
+    client.close();
+    host.drain();
+}
+
+#[test]
+fn stats_without_registry_is_a_typed_service_error() {
+    let host = Arc::new(MemHost::new(
+        echo_service(),
+        WireConfig::default(),
+        FaultConfig::none(0),
+    ));
+    let conn_host = host.clone();
+    let mut client = NetClient::new(
+        1,
+        WireConfig::default(),
+        BackoffPolicy::default(),
+        42,
+        Box::new(move || Ok(conn_host.connect())),
+    );
+    let err = client.stats_snapshot().unwrap_err();
+    assert!(matches!(err, NetError::Service(_)), "{err:?}");
+    client.close();
+    host.drain();
+}

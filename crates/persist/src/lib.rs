@@ -57,7 +57,9 @@ pub mod vfs;
 pub mod wal;
 
 pub use error::PersistError;
-pub use store::{cas_state_fingerprint, DurableConfig, DurableContentStore, RecoveryReport};
+pub use store::{
+    cas_state_fingerprint, DurableConfig, DurableContentStore, PersistObs, RecoveryReport,
+};
 pub use vfs::{MemFs, StdFs, Vfs};
 
 /// Little-endian codec helpers shared by the WAL, segment and manifest

@@ -30,6 +30,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use xpl_obs::{Counter, ObsSlot, Registry, Section, TraceRing};
 use xpl_util::{Digest, FxHashMap, Sha256};
 
 use crate::manifest::{self, Manifest, ManifestEntry};
@@ -101,6 +102,40 @@ pub struct RecoveryReport {
     pub unique_bytes: u64,
 }
 
+/// Pre-resolved `xpl-obs` handles for the durable hot paths. All
+/// counters are op-count-derived and deterministic (the log lock
+/// serializes mutations, but the *multiset* of logged ops is
+/// thread-count-invariant, so totals are too). `deep_verify` — an audit
+/// — reads through uncounted helpers and bumps nothing.
+pub struct PersistObs {
+    wal_appends: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    segment_appends: Arc<Counter>,
+    segment_reads: Arc<Counter>,
+    segment_read_bytes: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    replay_records: Arc<Counter>,
+    replay_torn_tails: Arc<Counter>,
+}
+
+impl PersistObs {
+    /// Resolve (or re-use) the `persist.*` metric family in `reg`.
+    pub fn new(reg: &Registry) -> Self {
+        PersistObs {
+            wal_appends: reg.counter("persist.wal.appends", Section::Det),
+            fsyncs: reg.counter("persist.fsyncs", Section::Det),
+            segment_appends: reg.counter("persist.segment.appends", Section::Det),
+            segment_reads: reg.counter("persist.segment.reads", Section::Det),
+            segment_read_bytes: reg.counter("persist.segment.read_bytes", Section::Det),
+            checkpoints: reg.counter("persist.checkpoints", Section::Det),
+            recoveries: reg.counter("persist.recover.runs", Section::Det),
+            replay_records: reg.counter("persist.recover.replayed", Section::Det),
+            replay_torn_tails: reg.counter("persist.recover.torn_tails", Section::Det),
+        }
+    }
+}
+
 /// The durable CAS.
 pub struct DurableContentStore {
     vfs: Arc<dyn Vfs>,
@@ -111,6 +146,10 @@ pub struct DurableContentStore {
     dedup_hits: AtomicU64,
     wal_appends: AtomicU64,
     checkpoints: AtomicU64,
+    obs: ObsSlot<PersistObs>,
+    /// Optional span sink; recovery replay shows up as
+    /// `persist.recover` spans when attached.
+    trace: ObsSlot<TraceRing>,
 }
 
 /// Recovered logical state, before it is installed into a store.
@@ -156,6 +195,8 @@ impl DurableContentStore {
             dedup_hits: AtomicU64::new(0),
             wal_appends: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            obs: ObsSlot::new(),
+            trace: ObsSlot::new(),
             vfs,
             cfg,
         };
@@ -177,6 +218,10 @@ impl DurableContentStore {
     /// recovered one — never a half-cleared index.
     pub fn reopen_in_place(&self) -> Result<RecoveryReport, PersistError> {
         let mut log = self.log.lock().unwrap();
+        let _span = self
+            .trace
+            .get()
+            .map(|t| TraceRing::span(t, "persist.recover", None));
         let recovered = Self::recover_state(self.vfs.as_ref(), &self.cfg)?;
         {
             let mut guards: Vec<_> = self.shards.iter().map(|s| s.write().unwrap()).collect();
@@ -192,7 +237,24 @@ impl DurableContentStore {
         log.segment = recovered.segment;
         log.ops_since_checkpoint = recovered.report.wal_records_replayed;
         log.epoch = recovered.epoch;
+        if let Some(o) = self.obs.get() {
+            o.recoveries.inc();
+            o.replay_records.add(recovered.report.wal_records_replayed);
+            if recovered.report.torn_wal_tail {
+                o.replay_torn_tails.inc();
+            }
+        }
         Ok(recovered.report)
+    }
+
+    /// Attach an observability registry (idempotent; first wins).
+    pub fn attach_obs(&self, reg: &Arc<Registry>) {
+        let _ = self.obs.set(Arc::new(PersistObs::new(reg)));
+    }
+
+    /// Attach a span sink so recovery replay shows up in traces.
+    pub fn attach_trace(&self, ring: &Arc<TraceRing>) {
+        let _ = self.trace.set(Arc::clone(ring));
     }
 
     fn recover_state(vfs: &dyn Vfs, cfg: &DurableConfig) -> Result<Recovered, PersistError> {
@@ -337,6 +399,10 @@ impl DurableContentStore {
         self.vfs.append(&file, &op.frame())?;
         self.vfs.sync(&file)?;
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.wal_appends.inc();
+            o.fsyncs.inc();
+        }
         log.ops_since_checkpoint += 1;
         Ok(())
     }
@@ -377,6 +443,9 @@ impl DurableContentStore {
         log.epoch += 1;
         log.ops_since_checkpoint = 0;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.checkpoints.inc();
+        }
         self.vfs.remove(&stale)?;
         Ok(())
     }
@@ -422,6 +491,10 @@ impl DurableContentStore {
         self.vfs
             .append(&file, &segment::encode_record(&digest, bytes))?;
         self.vfs.sync(&file)?;
+        if let Some(o) = self.obs.get() {
+            o.segment_appends.inc();
+            o.fsyncs.inc();
+        }
         self.wal_append(
             &mut log,
             &WalOp::Put {
@@ -491,13 +564,17 @@ impl DurableContentStore {
         Ok(freed)
     }
 
-    /// Read a blob back, validating magic, digest and CRC-32 — a
-    /// damaged record is a typed [`PersistError::CorruptRecord`].
-    pub fn get(&self, digest: &Digest) -> Result<Vec<u8>, PersistError> {
-        let blob = {
-            let shard = self.shards[shard_of(digest)].read().unwrap();
-            *shard.get(digest).ok_or(PersistError::NotFound(*digest))?
-        };
+    fn lookup(&self, digest: &Digest) -> Result<DurableBlob, PersistError> {
+        let shard = self.shards[shard_of(digest)].read().unwrap();
+        shard
+            .get(digest)
+            .copied()
+            .ok_or(PersistError::NotFound(*digest))
+    }
+
+    /// The uncounted read shared by [`DurableContentStore::get`] and
+    /// the `deep_verify` audit (which must not move read metrics).
+    fn read_blob(&self, blob: &DurableBlob, digest: &Digest) -> Result<Vec<u8>, PersistError> {
         segment::read_record(
             self.vfs.as_ref(),
             &self.cfg.prefix,
@@ -506,6 +583,17 @@ impl DurableContentStore {
             blob.len,
             digest,
         )
+    }
+
+    /// Read a blob back, validating magic, digest and CRC-32 — a
+    /// damaged record is a typed [`PersistError::CorruptRecord`].
+    pub fn get(&self, digest: &Digest) -> Result<Vec<u8>, PersistError> {
+        let blob = self.lookup(digest)?;
+        if let Some(o) = self.obs.get() {
+            o.segment_reads.inc();
+            o.segment_read_bytes.add(blob.len);
+        }
+        self.read_blob(&blob, digest)
     }
 
     /// Read bytes `[start, start+len)` of a blob's payload (clamped
@@ -522,10 +610,23 @@ impl DurableContentStore {
         start: u64,
         len: u64,
     ) -> Result<Vec<u8>, PersistError> {
-        let blob = {
-            let shard = self.shards[shard_of(digest)].read().unwrap();
-            *shard.get(digest).ok_or(PersistError::NotFound(*digest))?
-        };
+        let blob = self.lookup(digest)?;
+        if let Some(o) = self.obs.get() {
+            o.segment_reads.inc();
+            o.segment_read_bytes
+                .add(len.min(blob.len.saturating_sub(start.min(blob.len))));
+        }
+        self.read_blob_range(&blob, digest, start, len)
+    }
+
+    /// Uncounted ranged read (see [`DurableContentStore::read_blob`]).
+    fn read_blob_range(
+        &self,
+        blob: &DurableBlob,
+        digest: &Digest,
+        start: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, PersistError> {
         segment::read_record_range(
             self.vfs.as_ref(),
             &self.cfg.prefix,
@@ -612,7 +713,7 @@ impl DurableContentStore {
                 offset: blob.offset,
                 detail,
             };
-            let payload = match self.get(&digest) {
+            let payload = match self.read_blob(&blob, &digest) {
                 Ok(p) => p,
                 Err(PersistError::CorruptRecord {
                     file,
@@ -624,7 +725,7 @@ impl DurableContentStore {
                     // without the record CRC and let the per-block CRCs
                     // name the damaged block.
                     let mut detail = detail;
-                    if let Ok(raw) = self.get_range(&digest, 0, u64::MAX) {
+                    if let Ok(raw) = self.read_blob_range(&blob, &digest, 0, u64::MAX) {
                         if xpl_compress::is_blocked(&raw) {
                             if let Err(e) = xpl_compress::verify_blocks(&raw) {
                                 detail = format!("{detail}; {e}");

@@ -12,6 +12,8 @@
 use crate::{RequestKey, ServeRequest, ServiceModel};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use xpl_obs::{Counter, Gauge, Histogram, Registry, Section};
 use xpl_util::Sha256;
 
 /// Registry policy knobs.
@@ -101,6 +103,12 @@ pub struct RegistryOutcome {
     pub makespan_ns: u64,
     /// Sojourn times of served requests, ascending.
     pub latencies_sorted_ns: Vec<u64>,
+    /// DRR scheduler visits: ring-front examinations during dispatch
+    /// (each either dispatches, coalesces, or earns a quantum and
+    /// rotates). A pure function of the schedule — deterministic.
+    pub ring_visits: u64,
+    /// Deepest any tenant queue got at admission time.
+    pub max_queue_depth: usize,
 }
 
 impl RegistryOutcome {
@@ -204,6 +212,8 @@ struct Engine<'a, M: ServiceModel> {
     completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
     outcomes: Vec<Option<Outcome>>,
     store_hit_indices: Vec<usize>,
+    ring_visits: u64,
+    max_queue_depth: usize,
 }
 
 impl<M: ServiceModel> Engine<'_, M> {
@@ -228,6 +238,7 @@ impl<M: ServiceModel> Engine<'_, M> {
             return;
         }
         tenant.queue.push_back(idx);
+        self.max_queue_depth = self.max_queue_depth.max(tenant.queue.len());
         self.stats[t].admitted += 1;
         if !tenant.in_ring {
             tenant.in_ring = true;
@@ -244,6 +255,7 @@ impl<M: ServiceModel> Engine<'_, M> {
     fn dispatch(&mut self) {
         while self.busy < self.cfg.servers {
             let Some(&tn) = self.ring.front() else { break };
+            self.ring_visits += 1;
             let t = tn as usize;
             let head = *self.tenants[t]
                 .queue
@@ -375,6 +387,8 @@ pub fn run_registry<M: ServiceModel>(
         completions: BinaryHeap::new(),
         outcomes: vec![None; requests.len()],
         store_hit_indices: Vec::new(),
+        ring_visits: 0,
+        max_queue_depth: 0,
     };
 
     for (idx, req) in requests.iter().enumerate() {
@@ -444,7 +458,76 @@ pub fn run_registry<M: ServiceModel>(
         latencies_sorted_ns: latencies,
         records,
         tenants: eng.stats,
+        ring_visits: eng.ring_visits,
+        max_queue_depth: eng.max_queue_depth,
     }
+}
+
+/// Pre-resolved `xpl-obs` handles for the registry engine. The engine
+/// is a sequential DES over virtual time, so everything op-derived here
+/// is deterministic; the queue-depth gauge is a high-water mark and
+/// lives in the wall section (gauges are point-in-time by nature).
+pub struct RegObs {
+    served: Arc<Counter>,
+    overloads: Arc<Counter>,
+    coalesce_hits: Arc<Counter>,
+    store_hits: Arc<Counter>,
+    ring_visits: Arc<Counter>,
+    sojourn_ns: Arc<Histogram>,
+    tenant_served: Arc<Histogram>,
+    queue_depth_max: Arc<Gauge>,
+}
+
+impl RegObs {
+    /// Resolve (or re-use) the `registry.*` metric family in `reg`.
+    pub fn new(reg: &Registry) -> Self {
+        RegObs {
+            served: reg.counter("registry.served", Section::Det),
+            overloads: reg.counter("registry.overloads", Section::Det),
+            coalesce_hits: reg.counter("registry.coalesce.hits", Section::Det),
+            store_hits: reg.counter("registry.store_hits", Section::Det),
+            ring_visits: reg.counter("registry.ring.visits", Section::Det),
+            sojourn_ns: reg.histogram("registry.sojourn_ns", Section::Det),
+            tenant_served: reg.histogram("registry.tenant_served", Section::Det),
+            queue_depth_max: reg.gauge("registry.queue_depth.max", Section::Wall),
+        }
+    }
+
+    /// Fold one finished run into the registry. Sojourns are recorded
+    /// from the sorted latency list (same multiset, canonical order),
+    /// per-tenant served counts as one histogram sample per tenant that
+    /// submitted anything.
+    pub fn record(&self, out: &RegistryOutcome) {
+        self.served.add(out.served);
+        self.overloads.add(out.rejected);
+        self.coalesce_hits.add(out.coalesced_hits);
+        self.store_hits.add(out.store_hits);
+        self.ring_visits.add(out.ring_visits);
+        for &ns in &out.latencies_sorted_ns {
+            self.sojourn_ns.record(ns);
+        }
+        for t in out.tenants.iter().filter(|t| t.submitted > 0) {
+            self.tenant_served.record(t.served);
+        }
+        self.queue_depth_max.set_max(out.max_queue_depth as u64);
+    }
+}
+
+/// [`run_registry`] with an optional metrics sink. The sink is folded
+/// in *after* the run from the outcome alone, so attaching one cannot
+/// perturb the schedule — the outcome (and its log fingerprint) is
+/// byte-identical with or without `obs`.
+pub fn run_registry_obs<M: ServiceModel>(
+    requests: &[ServeRequest],
+    model: &M,
+    cfg: &RegistryConfig,
+    obs: Option<&RegObs>,
+) -> RegistryOutcome {
+    let out = run_registry(requests, model, cfg);
+    if let Some(o) = obs {
+        o.record(&out);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -673,6 +756,8 @@ mod tests {
             store_hit_indices: vec![],
             makespan_ns: 0,
             latencies_sorted_ns: vec![10, 20, 30, 40],
+            ring_visits: 0,
+            max_queue_depth: 0,
         };
         assert_eq!(out.latency_percentile_ns(0), 10);
         assert_eq!(out.latency_percentile_ns(50), 20);

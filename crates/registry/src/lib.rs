@@ -34,7 +34,8 @@ mod engine;
 mod gate;
 
 pub use engine::{
-    run_registry, Outcome, RegistryConfig, RegistryOutcome, RequestRecord, TenantStats,
+    run_registry, run_registry_obs, Outcome, RegObs, RegistryConfig, RegistryOutcome,
+    RequestRecord, TenantStats,
 };
 pub use gate::{AdmissionGate, AdmissionPermit, Overloaded};
 

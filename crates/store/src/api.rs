@@ -225,6 +225,15 @@ pub trait ImageStore: Send + Sync {
     fn cas_fingerprints(&self) -> Vec<(String, String)> {
         Vec::new()
     }
+
+    /// Attach an observability registry to this store's hot paths. The
+    /// default is a no-op (a store with no instrumented substrate has
+    /// nothing to report); CAS-backed stores forward to their
+    /// [`ContentStore::attach_obs`](crate::cas::ContentStore::attach_obs)
+    /// sections. Attachment is idempotent — first registry wins — and
+    /// must never change simulated behaviour: reports and fingerprints
+    /// are byte-identical with or without a registry attached.
+    fn attach_obs(&self, _reg: &std::sync::Arc<xpl_obs::Registry>) {}
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use xpl_obs::{Counter, Histogram, ObsSlot, Registry, Section};
 use xpl_persist::{cas_state_fingerprint, DurableContentStore};
 use xpl_simio::SimDevice;
 use xpl_util::{Digest, FxHashMap, Sha256};
@@ -193,6 +194,55 @@ pub struct TierSweep {
     pub encoded_delta: i64,
 }
 
+/// Pre-resolved `xpl-obs` handles for the CAS hot paths. Every metric
+/// here is op-count-derived and lives in the deterministic section: the
+/// multiset of completed operations is thread-count-invariant, so the
+/// relaxed adds commute to the same totals at any parallelism. Audits
+/// (`verify`, `check_integrity`) bump nothing, mirroring the
+/// read-temperature rule.
+pub struct CasObs {
+    put_new: Arc<Counter>,
+    put_dedup: Arc<Counter>,
+    put_logical_bytes: Arc<Counter>,
+    put_encoded_bytes: Arc<Counter>,
+    get_hits: Arc<Counter>,
+    get_bytes: Arc<Counter>,
+    range_hits: Arc<Counter>,
+    range_bytes: Arc<Counter>,
+    frees: Arc<Counter>,
+    freed_bytes: Arc<Counter>,
+    recompress_ops: Arc<Counter>,
+    maintain_scanned: Arc<Counter>,
+    maintain_promoted: Arc<Counter>,
+    maintain_demoted: Arc<Counter>,
+    blob_len: Arc<Histogram>,
+}
+
+impl CasObs {
+    /// Resolve (or re-use) the `cas.*` metric family in `reg`. Stores
+    /// sharing a registry share counters — aggregation across replicas
+    /// is the sum of their op multisets, still deterministic.
+    pub fn new(reg: &Registry) -> Self {
+        CasObs {
+            put_new: reg.counter("cas.put.new", Section::Det),
+            put_dedup: reg.counter("cas.put.dedup", Section::Det),
+            put_logical_bytes: reg.counter("cas.put.logical_bytes", Section::Det),
+            put_encoded_bytes: reg.counter("cas.put.encoded_bytes", Section::Det),
+            get_hits: reg.counter("cas.get.hits", Section::Det),
+            get_bytes: reg.counter("cas.get.bytes", Section::Det),
+            range_hits: reg.counter("cas.range.hits", Section::Det),
+            range_bytes: reg.counter("cas.range.bytes", Section::Det),
+            frees: reg.counter("cas.release.frees", Section::Det),
+            freed_bytes: reg.counter("cas.release.freed_bytes", Section::Det),
+            recompress_ops: reg.counter("cas.recompress.ops", Section::Det),
+            maintain_scanned: reg.counter("cas.maintain.scanned", Section::Det),
+            maintain_promoted: reg.counter("cas.maintain.promoted", Section::Det),
+            maintain_demoted: reg.counter("cas.maintain.demoted", Section::Det),
+            blob_len: reg.histogram("cas.blob_len", Section::Det),
+        }
+    }
+}
+
 struct Blob {
     /// The in-memory representation: raw bytes, or a blocked container
     /// per `codec`.
@@ -220,6 +270,9 @@ pub struct ContentStore {
     tier: TierPolicy,
     /// Optional write-through durable backend (see module docs).
     durable: Option<Arc<DurableContentStore>>,
+    /// Attach-once metrics handle; unattached hot paths pay one load
+    /// and a branch.
+    obs: ObsSlot<CasObs>,
 }
 
 /// CAS errors.
@@ -246,6 +299,17 @@ impl ContentStore {
             dedup_hits: AtomicU64::new(0),
             tier: TierPolicy::raw(),
             durable: None,
+            obs: ObsSlot::new(),
+        }
+    }
+
+    /// Attach an observability registry; the first attachment wins and
+    /// later calls are no-ops. Also forwards to the durable backend, so
+    /// a single attach instruments the full write-through stack.
+    pub fn attach_obs(&self, reg: &Arc<Registry>) {
+        let _ = self.obs.set(Arc::new(CasObs::new(reg)));
+        if let Some(d) = &self.durable {
+            d.attach_obs(reg);
         }
     }
 
@@ -311,6 +375,9 @@ impl ContentStore {
             b.refs += 1;
             self.dedup_hits.fetch_add(1, Ordering::Relaxed);
             self.device.charge_db_read(1); // index hit
+            if let Some(o) = self.obs.get() {
+                o.put_dedup.inc();
+            }
             return false;
         }
         // All simulated charges are in logical bytes — the codec tier
@@ -322,6 +389,12 @@ impl ContentStore {
         let enc = self.tier.base.encode(bytes);
         self.encoded_bytes
             .fetch_add(enc.len() as u64, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.put_new.inc();
+            o.put_logical_bytes.add(bytes.len() as u64);
+            o.put_encoded_bytes.add(enc.len() as u64);
+            o.blob_len.record(bytes.len() as u64);
+        }
         shard.insert(
             digest,
             Blob {
@@ -389,6 +462,10 @@ impl ContentStore {
         self.device.charge_open(b.stored_len);
         self.device.charge_read(b.stored_len);
         b.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.get_hits.inc();
+            o.get_bytes.add(b.stored_len);
+        }
         Self::decode_blob(digest, b)
     }
 
@@ -410,6 +487,10 @@ impl ContentStore {
         self.device.charge_open(end - start);
         self.device.charge_read(end - start);
         b.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.range_hits.inc();
+            o.range_bytes.add(end - start);
+        }
         match b.codec {
             BlobCodec::Raw => Ok(b.enc[start as usize..end as usize].to_vec()),
             BlobCodec::Deflate | BlobCodec::Lz4 => {
@@ -478,6 +559,10 @@ impl ContentStore {
             self.unique_bytes.fetch_sub(freed, Ordering::Relaxed);
             self.encoded_bytes.fetch_sub(enc_freed, Ordering::Relaxed);
             self.device.charge_db_write(1);
+            if let Some(o) = self.obs.get() {
+                o.frees.inc();
+                o.freed_bytes.add(freed);
+            }
             return Ok(freed);
         }
         Ok(0)
@@ -596,6 +681,9 @@ impl ContentStore {
         let mut shard = self.shard(digest).write().unwrap();
         let b = shard.get_mut(digest).ok_or(CasError::NotFound(*digest))?;
         self.device.charge_db_write(1);
+        if let Some(o) = self.obs.get() {
+            o.recompress_ops.inc();
+        }
         self.recompress_blob(digest, b, codec)
     }
 
@@ -660,6 +748,11 @@ impl ContentStore {
                 }
                 b.reads.store(reads / 2, Ordering::Relaxed);
             }
+        }
+        if let Some(o) = self.obs.get() {
+            o.maintain_scanned.add(sweep.scanned as u64);
+            o.maintain_promoted.add(sweep.promoted as u64);
+            o.maintain_demoted.add(sweep.demoted as u64);
         }
         sweep
     }
